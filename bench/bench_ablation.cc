@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Ablation study (beyond the paper): which SysScale feature delivers
+ * how much of the win. Each row knocks out one design element that
+ * DESIGN.md calls out:
+ *
+ *  - no optimized MRC  (Observation 4 / Fig. 4 penalties apply)
+ *  - no V_IO scaling   (DDRIO-digital stays at boot voltage)
+ *  - no fabric scaling (V_SA cannot drop; memory-domain-only)
+ *  - no SRAM MRC       (firmware recompute on every transition)
+ *  - no redistribution (power saved but not re-granted)
+ */
+
+#include "bench/harness.hh"
+#include "workloads/battery.hh"
+#include "workloads/spec.hh"
+
+using namespace sysscale;
+using bench::pct;
+
+namespace {
+
+/** SysScale with redistribution disabled (ablation only). */
+class NoRedistSysScale : public core::SysScaleGovernor
+{
+  public:
+    NoRedistSysScale() { redistribute_ = false; }
+};
+
+core::FlowOptions
+knockout(int which)
+{
+    core::FlowOptions opts; // full SysScale
+    switch (which) {
+      case 1:
+        opts.useOptimizedMrc = false;
+        break;
+      case 2:
+        opts.scaleVio = false;
+        break;
+      case 3:
+        opts.scaleFabric = false;
+        opts.scaleVsa = false;
+        break;
+      case 4:
+        opts.sramMrc = false;
+        break;
+      default:
+        break;
+    }
+    return opts;
+}
+
+const char *kVariantNames[] = {
+    "full sysscale", "no optimized MRC", "no V_IO scaling",
+    "no fabric/V_SA", "no SRAM MRC",
+};
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Ablation", "SysScale feature knock-outs");
+
+    const char *benches[] = {"416.gamess", "400.perlbench",
+                             "473.astar"};
+
+    std::printf("SPEC perf gain over baseline:\n%-18s", "variant");
+    for (const char *b : benches)
+        std::printf(" %16s", b);
+    std::printf("\n");
+
+    for (int v = 0; v < 5; ++v) {
+        std::printf("%-18s", kVariantNames[v]);
+        for (const char *name : benches) {
+            const auto w = workloads::specBenchmark(name);
+            bench::RunConfig rc;
+            rc.window =
+                std::max<Tick>(2 * kTicksPerSec, 2 * w.period());
+
+            core::FixedGovernor base;
+            core::SysScaleGovernor gov(
+                core::SysScaleGovernor::defaultThresholds(), {},
+                knockout(v));
+            const double b =
+                bench::runExperiment(w, &base, rc).metrics.ips;
+            const double g =
+                pct(b, bench::runExperiment(w, &gov, rc).metrics.ips);
+            std::printf(" %+15.1f%%", g);
+        }
+        std::printf("\n");
+    }
+
+    std::printf("\nvideo-playback average power reduction:\n");
+    {
+        const auto vp = workloads::videoPlayback();
+        bench::RunConfig rc;
+        rc.window = 3 * kTicksPerSec;
+        core::FixedGovernor base;
+        const double b =
+            bench::runExperiment(vp, &base, rc).metrics.avgPower;
+
+        for (int v = 0; v < 5; ++v) {
+            core::SysScaleGovernor gov(
+                core::SysScaleGovernor::defaultThresholds(), {},
+                knockout(v));
+            const double p =
+                bench::runExperiment(vp, &gov, rc).metrics.avgPower;
+            std::printf("%-18s %+6.1f%%\n", kVariantNames[v],
+                        (1.0 - p / b) * 100.0);
+        }
+        // Redistribution does not change battery power (fixed
+        // demand), but it is the entire SPEC story:
+        NoRedistSysScale noredist;
+        const double p =
+            bench::runExperiment(vp, &noredist, rc).metrics.avgPower;
+        std::printf("%-18s %+6.1f%%\n", "no redistribution",
+                    (1.0 - p / b) * 100.0);
+    }
+
+    std::printf("\nno-redistribution SPEC check (expect ~0%% gain):\n");
+    {
+        const auto w = workloads::specBenchmark("416.gamess");
+        core::FixedGovernor base;
+        NoRedistSysScale noredist;
+        const double b =
+            bench::runExperiment(w, &base, {}).metrics.ips;
+        std::printf("%-18s %+6.1f%%\n", "416.gamess",
+                    pct(b, bench::runExperiment(w, &noredist, {})
+                               .metrics.ips));
+    }
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Fig. 10: SysScale's SPEC CPU2006 benefit vs SoC TDP (violin in the
+ * paper; rows of distribution statistics here). Paper: 19.1% average
+ * (up to 33%) at 3.5W, shrinking as TDP grows.
+ */
+
+#include <algorithm>
+#include <vector>
+
+#include "bench/harness.hh"
+#include "workloads/spec.hh"
+
+using namespace sysscale;
+using bench::pct;
+
+int
+main()
+{
+    bench::banner("Fig. 10", "SysScale benefit vs thermal design "
+                             "power (SPEC CPU2006)");
+
+    const double tdps[] = {3.5, 4.5, 7.0, 15.0};
+    const auto suite = workloads::specSuite();
+
+    std::printf("%-8s %8s %8s %8s %8s\n", "TDP", "average", "median",
+                "max", "min");
+
+    for (const double tdp : tdps) {
+        std::vector<double> gains;
+        gains.reserve(suite.size());
+        for (const auto &w : suite) {
+            bench::RunConfig rc;
+            rc.tdp = tdp;
+            rc.window =
+                std::max<Tick>(2 * kTicksPerSec, 2 * w.period());
+
+            core::FixedGovernor base;
+            core::SysScaleGovernor ss;
+            const double b =
+                bench::runExperiment(w, &base, rc).metrics.ips;
+            gains.push_back(
+                pct(b, bench::runExperiment(w, &ss, rc).metrics.ips));
+        }
+        std::sort(gains.begin(), gains.end());
+        double sum = 0.0;
+        for (double g : gains)
+            sum += g;
+        std::printf("%5.1fW %+7.1f%% %+7.1f%% %+7.1f%% %+7.1f%%\n",
+                    tdp, sum / gains.size(),
+                    gains[gains.size() / 2], gains.back(),
+                    gains.front());
+    }
+
+    std::printf("\npaper: 3.5W avg +19.1%% (max +33%%); benefit "
+                "shrinks as TDP grows (power becomes ample)\n");
+    return 0;
+}

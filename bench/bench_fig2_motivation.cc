@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Fig. 2: motivation experiments on the Broadwell-class system.
+ *
+ * (a) MD-DVFS (pinned low point, fixed 1.2GHz cores) vs baseline on
+ *     perlbench / cactusADM / lbm: average power, energy,
+ *     performance, EDP — plus the 1.3GHz budget-redistribution
+ *     point.
+ * (b) Bottleneck decomposition of the same workloads.
+ * (c) Memory bandwidth demand statistics.
+ */
+
+#include "bench/harness.hh"
+#include "workloads/spec.hh"
+
+using namespace sysscale;
+using bench::pct;
+
+namespace {
+
+bench::RunConfig
+pinnedSetup(bool low_point, Hertz core_freq)
+{
+    bench::RunConfig rc;
+    rc.socConfig = soc::broadwellConfig();
+    rc.pinnedCoreFreq = core_freq;
+    if (low_point) {
+        const soc::OpPointTable table(*rc.socConfig);
+        rc.pinnedOpPoint = table.low();
+    }
+    return rc;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Fig. 2", "MD-DVFS motivation (Broadwell, Sec. 3)");
+
+    const char *names[] = {"400.perlbench", "436.cactusADM",
+                           "470.lbm"};
+
+    std::printf("(a) MD-DVFS at fixed 1.2GHz cores vs baseline "
+                "(paper: power -10..-11%%; cactusADM/lbm perf loss "
+                ">10%%)\n");
+    std::printf("%-16s %8s %8s %8s %8s %12s\n", "workload", "power",
+                "energy", "perf", "EDP", "perf@1.3GHz");
+
+    for (const char *name : names) {
+        const auto w = workloads::specBenchmark(name);
+        const auto base =
+            bench::runExperiment(w, nullptr,
+                                 pinnedSetup(false, 1.2 * kGHz));
+        const auto md =
+            bench::runExperiment(w, nullptr,
+                                 pinnedSetup(true, 1.2 * kGHz));
+        const auto redist =
+            bench::runExperiment(w, nullptr,
+                                 pinnedSetup(true, 1.3 * kGHz));
+
+        std::printf("%-16s %+7.1f%% %+7.1f%% %+7.1f%% %+7.1f%% "
+                    "%+11.1f%%\n",
+                    name,
+                    pct(base.metrics.avgPower, md.metrics.avgPower),
+                    pct(base.metrics.energy, md.metrics.energy),
+                    pct(base.metrics.ips, md.metrics.ips),
+                    pct(base.metrics.edp / base.metrics.ips,
+                        md.metrics.edp / md.metrics.ips),
+                    pct(base.metrics.ips, redist.metrics.ips));
+    }
+
+    std::printf("\n(b) bottleneck decomposition (fraction of "
+                "execution bound by each)\n");
+    std::printf("%-16s %10s %10s %12s\n", "workload", "mem-lat",
+                "mem-bw", "non-memory");
+    for (const char *name : names) {
+        const auto w = workloads::specBenchmark(name);
+        const auto &work = w.phase(0).work;
+        // Decompose CPI at the baseline point: latency share is the
+        // exposed-miss CPI; bandwidth share is flagged when the
+        // demand saturates the interface.
+        const auto base = bench::runExperiment(
+            w, nullptr, pinnedSetup(false, 1.2 * kGHz));
+        const double lat_cycles =
+            base.metrics.avgMemLatencyNs * 1e-9 * 1.2e9;
+        const double mem_cpi =
+            work.mpki / 1000.0 * work.blockingFactor * lat_cycles;
+        const double cpi = work.cpiBase + mem_cpi;
+        const double bw_demand = base.metrics.avgMemBandwidth;
+        const double bw_bound =
+            bw_demand > 0.55 * 23e9
+                ? (bw_demand / 23e9 - 0.55) / 0.45
+                : 0.0;
+        const double lat_share =
+            (mem_cpi / cpi) * (1.0 - bw_bound);
+        std::printf("%-16s %9.0f%% %9.0f%% %11.0f%%\n", name,
+                    lat_share * 100.0, bw_bound * 100.0,
+                    (1.0 - lat_share - bw_bound) * 100.0);
+    }
+
+    std::printf("\n(c) memory bandwidth demand (paper: perlbench "
+                "low w/ spikes, cactusADM moderate, lbm ~10GB/s)\n");
+    std::printf("%-16s %12s\n", "workload", "avg BW");
+    for (const char *name : names) {
+        const auto w = workloads::specBenchmark(name);
+        const auto base = bench::runExperiment(
+            w, nullptr, pinnedSetup(false, 1.2 * kGHz));
+        std::printf("%-16s %9.2f GB/s\n", name,
+                    base.metrics.avgMemBandwidth / 1e9);
+    }
+    return 0;
+}

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Fig. 3: (a) memory bandwidth demand over time for three SPEC
+ * benchmarks and 3DMark; (b) static bandwidth demand of the display
+ * engine, ISP, and graphics engines per configuration.
+ */
+
+#include "bench/harness.hh"
+#include "workloads/graphics.hh"
+#include "workloads/spec.hh"
+
+using namespace sysscale;
+
+int
+main()
+{
+    bench::banner("Fig. 3", "bandwidth demand over time and by "
+                            "configuration");
+
+    std::printf("(a) bandwidth demand vs time (GB/s per 200ms "
+                "window)\n");
+    const workloads::WorkloadProfile profiles[] = {
+        workloads::specBenchmark("400.perlbench"),
+        workloads::specBenchmark("470.lbm"),
+        workloads::specBenchmark("473.astar"),
+        workloads::threeDMark06(),
+    };
+
+    for (const auto &w : profiles) {
+        Simulator sim(1);
+        soc::Soc chip(sim, soc::skylakeConfig());
+        chip.display().attachPanel(0, io::PanelConfig{
+            io::PanelResolution::HD, 60.0, 4});
+        workloads::ProfileAgent agent(w);
+        chip.setWorkload(&agent);
+        chip.run(100 * kTicksPerMs);
+
+        std::printf("%-16s", w.name().c_str());
+        for (int i = 0; i < 12; ++i) {
+            const auto m = chip.run(200 * kTicksPerMs);
+            std::printf(" %5.1f", m.avgMemBandwidth / 1e9);
+        }
+        std::printf("\n");
+    }
+
+    std::printf("\n(b) static/engine demand by configuration "
+                "(%% of 25.6 GB/s peak; paper: HD ~17%%, 4K ~70%%)\n");
+    const struct
+    {
+        const char *name;
+        io::PanelResolution res;
+        double refresh;
+    } panels[] = {
+        {"display 1x HD@60", io::PanelResolution::HD, 60.0},
+        {"display 1x FHD@60", io::PanelResolution::FHD, 60.0},
+        {"display 1x QHD@60", io::PanelResolution::QHD, 60.0},
+        {"display 1x 4K@60", io::PanelResolution::UHD4K, 60.0},
+    };
+    for (const auto &p : panels) {
+        const BytesPerSec bw = io::DisplayEngine::panelBandwidth(
+            io::PanelConfig{p.res, p.refresh, 4});
+        std::printf("%-22s %6.2f GB/s  (%4.1f%%)\n", p.name, bw / 1e9,
+                    bw / 25.6e9 * 100.0);
+    }
+    {
+        Simulator sim(1);
+        soc::Soc chip(sim, soc::skylakeConfig());
+        const io::PanelConfig hd{io::PanelResolution::HD, 60.0, 4};
+        chip.display().attachPanel(0, hd);
+        chip.display().attachPanel(1, hd);
+        chip.display().attachPanel(2, hd);
+        const BytesPerSec bw = chip.display().bandwidthDemand();
+        std::printf("%-22s %6.2f GB/s  (%4.1f%%)\n", "display 3x HD@60",
+                    bw / 1e9, bw / 25.6e9 * 100.0);
+    }
+    {
+        Simulator sim(1);
+        soc::Soc chip(sim, soc::skylakeConfig());
+        chip.isp().startCamera(io::CameraConfig{1280, 720, 30.0, 2});
+        std::printf("%-22s %6.2f GB/s  (%4.1f%%)\n", "ISP 720p30 camera",
+                    chip.isp().bandwidthDemand() / 1e9,
+                    chip.isp().bandwidthDemand() / 25.6e9 * 100.0);
+        chip.isp().startCamera(io::CameraConfig{1920, 1080, 60.0, 2});
+        std::printf("%-22s %6.2f GB/s  (%4.1f%%)\n", "ISP 1080p60 camera",
+                    chip.isp().bandwidthDemand() / 1e9,
+                    chip.isp().bandwidthDemand() / 25.6e9 * 100.0);
+    }
+    for (const auto &w : workloads::graphicsSuite()) {
+        const auto out = bench::runExperiment(w, nullptr, {});
+        std::printf("GFX %-18s %6.2f GB/s  (%4.1f%%)\n",
+                    w.name().c_str(),
+                    out.metrics.avgMemBandwidth / 1e9,
+                    out.metrics.avgMemBandwidth / 25.6e9 * 100.0);
+    }
+    return 0;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Fig. 4: impact of unoptimized MRC values on power and performance
+ * for a memory-bandwidth-intensive microbenchmark (paper: average
+ * power +22%, performance -10% vs optimized values).
+ */
+
+#include "bench/harness.hh"
+#include "workloads/micro.hh"
+
+using namespace sysscale;
+using bench::pct;
+
+int
+main()
+{
+    bench::banner("Fig. 4", "unoptimized MRC penalty on a STREAM-like "
+                            "microbenchmark");
+
+    const auto stream = workloads::streamMicro();
+    const soc::SocConfig cfg = soc::skylakeConfig();
+    const soc::OpPointTable table(cfg);
+
+    auto run_at_low = [&](bool unoptimized) {
+        bench::RunConfig rc;
+        rc.pinnedCoreFreq = 1.2 * kGHz;
+        rc.pinnedOpPoint = table.low();
+        rc.pinnedUnoptimizedMrc = unoptimized;
+        return bench::runExperiment(stream, nullptr, rc);
+    };
+
+    const auto optimized = run_at_low(false);
+    const auto unopt = run_at_low(true);
+
+    // Isolate the memory subsystem: the paper measures total average
+    // power and benchmark performance.
+    const double power_inc =
+        pct(optimized.metrics.avgPower, unopt.metrics.avgPower);
+    const double perf_deg =
+        -pct(optimized.metrics.ips, unopt.metrics.ips);
+
+    std::printf("%-28s %10s %10s\n", "metric", "measured", "paper");
+    std::printf("%-28s %+9.1f%% %10s\n", "average power increase",
+                power_inc, "+22%");
+    std::printf("%-28s %+9.1f%% %10s\n", "performance degradation",
+                perf_deg, "10%");
+
+    std::printf("\noptimized:   %6.2f GB/s, %6.3f W\n",
+                optimized.metrics.avgMemBandwidth / 1e9,
+                optimized.metrics.avgPower);
+    std::printf("unoptimized: %6.2f GB/s, %6.3f W\n",
+                unopt.metrics.avgMemBandwidth / 1e9,
+                unopt.metrics.avgPower);
+
+    const double vddq_opt =
+        optimized.metrics
+            .railEnergy[power::railIndex(power::Rail::VDDQ)];
+    const double vddq_unopt =
+        unopt.metrics.railEnergy[power::railIndex(power::Rail::VDDQ)];
+    std::printf("VDDQ rail energy: optimized %.3f J, unoptimized "
+                "%.3f J (%+.1f%%)\n",
+                vddq_opt, vddq_unopt, pct(vddq_opt, vddq_unopt));
+    return 0;
+}

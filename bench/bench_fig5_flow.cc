@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Fig. 5 / Sec. 5: the transition-flow step decomposition and its
+ * <10us latency budget, plus the hardware-cost accounting (MRC SRAM
+ * ~0.5KB, firmware ~0.6KB).
+ */
+
+#include "bench/harness.hh"
+
+using namespace sysscale;
+
+namespace {
+
+void
+report(const char *label, const core::FlowReport &r)
+{
+    std::printf("\n%s (total %.2f us, %s)\n", label,
+                usFromTicks(r.totalLatency),
+                r.increased ? "frequency increase"
+                            : "frequency decrease");
+    for (std::size_t i = 0; i < core::kNumFlowSteps; ++i) {
+        std::printf("  step %zu  %-16s %8.3f us\n", i + 1,
+                    r.steps[i].name, usFromTicks(r.steps[i].latency));
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Fig. 5 / Sec. 5",
+                  "transition flow latency decomposition");
+
+    Simulator sim(1);
+    soc::Soc chip(sim, soc::skylakeConfig());
+
+    core::TransitionFlow flow(chip);
+    const core::FlowReport down =
+        flow.execute(chip.opPoints().low());
+    report("high -> low (SysScale)", down);
+
+    sim.run(kTicksPerMs);
+    const core::FlowReport up = flow.execute(chip.opPoints().high());
+    report("low -> high (SysScale)", up);
+
+    std::printf("\npaper bound: < 10 us; measured: %.2f / %.2f us "
+                "(%s)\n",
+                usFromTicks(down.totalLatency),
+                usFromTicks(up.totalLatency),
+                down.totalLatency < 10 * kTicksPerUs &&
+                        up.totalLatency < 10 * kTicksPerUs
+                    ? "PASS"
+                    : "FAIL");
+
+    // The legacy path a governor without SysScale's hardware pays.
+    Simulator sim2(1);
+    soc::Soc chip2(sim2, soc::skylakeConfig());
+    core::FlowOptions legacy;
+    legacy.scaleFabric = false;
+    legacy.scaleVsa = false;
+    legacy.scaleVio = false;
+    legacy.useOptimizedMrc = false;
+    legacy.sramMrc = false;
+    core::TransitionFlow slow_flow(chip2, legacy);
+    soc::OperatingPoint target = chip2.opPoints().low();
+    target.mrcTrainedBin = 0;
+    const core::FlowReport slow = slow_flow.execute(target);
+    std::printf("\nwithout SRAM-cached MRC + fast relock (MemScale/"
+                "CoScale path): %.1f us\n",
+                usFromTicks(slow.totalLatency));
+
+    std::printf("\nSec. 5 hardware cost accounting:\n");
+    std::printf("  MRC SRAM: %zu bytes (budget %zu)\n",
+                chip.mrc().sramBytes(),
+                mem::MrcStore::kSramBudgetBytes);
+    core::SysScaleGovernor gov;
+    std::printf("  PMU firmware: %zu bytes (budget %zu)\n",
+                gov.firmwareBytes(),
+                soc::Pmu::kFirmwareBudgetBytes);
+    return 0;
+}

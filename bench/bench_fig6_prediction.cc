@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Fig. 6: actual vs predicted performance impact of reducing the
+ * DRAM frequency, across >1600 synthetic workloads in three classes
+ * (CPU single-thread, CPU multi-thread, graphics) and three
+ * frequency pairs (1600->800, 1600->1066, 2133->1066 MT/s).
+ *
+ * For each (class, pair) panel the bench measures every workload at
+ * both operating points, trains the mu+sigma thresholds and the
+ * linear impact model (Sec. 4.2), and reports prediction accuracy,
+ * the actual-vs-predicted correlation coefficient, and the false
+ * positive count (the paper reports zero).
+ */
+
+#include <algorithm>
+
+#include "bench/harness.hh"
+#include "core/threshold_trainer.hh"
+#include "workloads/sweep.hh"
+
+using namespace sysscale;
+
+namespace {
+
+struct Pair
+{
+    double hi;
+    double lo;
+};
+
+soc::SocConfig
+configFor(const Pair &pair)
+{
+    soc::SocConfig cfg = soc::skylakeConfig();
+    cfg.dramSpec = dram::DramSpec(
+        dram::DramType::LPDDR3,
+        {dram::FreqBin{pair.hi}, dram::FreqBin{pair.lo}},
+        2, 8, 1, 2, 8);
+    cfg.name = "skylake-sweep";
+    return cfg;
+}
+
+double
+perfOf(const bench::Outcome &o, workloads::WorkloadClass klass)
+{
+    return klass == workloads::WorkloadClass::Graphics
+               ? o.metrics.fps
+               : o.metrics.ips;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Fig. 6", "actual vs predicted impact of DRAM "
+                            "frequency scaling (>1600 workloads)");
+
+    const Pair pairs[] = {{1600.0, 800.0},
+                          {1600.0, 1066.0},
+                          {2133.0, 1066.0}};
+    const struct
+    {
+        workloads::WorkloadClass klass;
+        const char *name;
+        std::size_t count;
+    } classes[] = {
+        {workloads::WorkloadClass::CpuSingleThread, "CPU-ST", 900},
+        {workloads::WorkloadClass::CpuMultiThread, "CPU-MT", 400},
+        {workloads::WorkloadClass::Graphics, "Graphics", 320},
+    };
+
+    // Paper panel annotations, [class][pair].
+    const double paper_corr[3][3] = {{0.92, 0.86, 0.89},
+                                     {0.89, 0.87, 0.84},
+                                     {0.96, 0.95, 0.95}};
+    const double paper_acc[3] = {97.7, 94.2, 98.8};
+
+    std::printf("%-9s %-12s %6s %9s %12s %6s %14s\n", "class",
+                "pair(MT/s)", "n", "accuracy", "correlation", "FPs",
+                "paper(corr/acc)");
+
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < 3; ++c) {
+        const auto corpus = workloads::SynthSweep::generateClass(
+            classes[c].klass, classes[c].count, 0x5ca1e5 ^ c);
+        for (std::size_t p = 0; p < 3; ++p) {
+            const soc::SocConfig cfg = configFor(pairs[p]);
+            const soc::OpPointTable table(cfg);
+
+            std::vector<core::TrainingSample> samples;
+            samples.reserve(corpus.size());
+            for (const auto &w : corpus) {
+                bench::RunConfig rc;
+                rc.socConfig = cfg;
+                rc.warmup = 60 * kTicksPerMs;
+                rc.window = 200 * kTicksPerMs;
+                if (classes[c].klass !=
+                    workloads::WorkloadClass::Graphics) {
+                    rc.pinnedCoreFreq = 1.2 * kGHz;
+                }
+
+                rc.pinnedOpPoint = table.high();
+                const auto hi = bench::runExperiment(w, nullptr, rc);
+                rc.pinnedOpPoint = table.low();
+                const auto lo = bench::runExperiment(w, nullptr, rc);
+
+                core::TrainingSample s;
+                s.counters = hi.counters;
+                const double ph = perfOf(hi, classes[c].klass);
+                const double pl = perfOf(lo, classes[c].klass);
+                s.normPerf = ph > 0.0 ? std::min(pl / ph, 1.0) : 1.0;
+                samples.push_back(s);
+            }
+            total += samples.size();
+
+            const core::Thresholds thr =
+                core::ThresholdTrainer::train(samples, 0.01);
+            const core::LinearImpactModel model =
+                core::ThresholdTrainer::fitLinear(samples);
+            const core::DemandPredictor pred(thr, model);
+            const core::PredictionStats stats =
+                core::ThresholdTrainer::evaluate(pred, samples, 0.01);
+
+            std::printf("%-9s %4.0f->%-7.0f %6zu %8.1f%% %12.3f %6zu"
+                        "   %.2f / %.1f%%\n",
+                        classes[c].name, pairs[p].hi, pairs[p].lo,
+                        samples.size(), stats.accuracy * 100.0,
+                        stats.correlation, stats.falsePositives,
+                        paper_corr[c][p], paper_acc[c]);
+        }
+    }
+
+    std::printf("\ntotal workload runs: %zu workloads x 2 points "
+                "(paper: >1600 workloads)\n", total);
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Fig. 7: SPEC CPU2006 performance improvement of MemScale-Redist,
+ * CoScale-Redist, and SysScale over the fixed baseline at 4.5W TDP
+ * (paper averages: 1.7%, 3.8%, 9.2%; SysScale up to 16%).
+ */
+
+#include <algorithm>
+
+#include "bench/harness.hh"
+#include "workloads/spec.hh"
+
+using namespace sysscale;
+using bench::pct;
+
+int
+main()
+{
+    bench::banner("Fig. 7", "SPEC CPU2006 performance improvement "
+                            "@ 4.5W TDP");
+
+    const auto suite = workloads::specSuite();
+    std::printf("%-18s %10s %10s %10s\n", "benchmark", "MemScale-R",
+                "CoScale-R", "SysScale");
+
+    double sum_ms = 0.0, sum_cs = 0.0, sum_ss = 0.0, max_ss = 0.0;
+    for (const auto &w : suite) {
+        bench::RunConfig rc;
+        // Cover at least two full phase periods of phased profiles.
+        rc.window = std::max<Tick>(2 * kTicksPerSec, 2 * w.period());
+
+        core::FixedGovernor base;
+        core::MemScaleGovernor ms(/*redistribute=*/true);
+        core::CoScaleGovernor cs(/*redistribute=*/true);
+        core::SysScaleGovernor ss;
+
+        const double b =
+            bench::runExperiment(w, &base, rc).metrics.ips;
+        const double m =
+            pct(b, bench::runExperiment(w, &ms, rc).metrics.ips);
+        const double c =
+            pct(b, bench::runExperiment(w, &cs, rc).metrics.ips);
+        const double s =
+            pct(b, bench::runExperiment(w, &ss, rc).metrics.ips);
+
+        sum_ms += m;
+        sum_cs += c;
+        sum_ss += s;
+        max_ss = std::max(max_ss, s);
+        std::printf("%-18s %+9.1f%% %+9.1f%% %+9.1f%%\n",
+                    w.name().c_str(), m, c, s);
+    }
+
+    const double n = static_cast<double>(suite.size());
+    std::printf("%-18s %+9.1f%% %+9.1f%% %+9.1f%%\n", "AVERAGE",
+                sum_ms / n, sum_cs / n, sum_ss / n);
+    std::printf("%-18s %10s %10s %+9.1f%%\n", "MAX (SysScale)", "",
+                "", max_ss);
+    std::printf("\npaper: MemScale-R +1.7%%, CoScale-R +3.8%%, "
+                "SysScale +9.2%% avg / +16%% max\n");
+    return 0;
+}

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark): costs of the kernel and model
+ * hot paths, and the per-step cost of the assembled SoC.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench/harness.hh"
+#include "core/threshold_trainer.hh"
+#include "sim/random.hh"
+#include "workloads/spec.hh"
+
+using namespace sysscale;
+
+namespace {
+
+void
+BM_EventQueueScheduleFire(benchmark::State &state)
+{
+    EventQueue q;
+    EventFunctionWrapper ev("ev", [] {});
+    Tick t = 1;
+    for (auto _ : state) {
+        q.schedule(&ev, t);
+        q.step();
+        ++t;
+    }
+}
+BENCHMARK(BM_EventQueueScheduleFire);
+
+void
+BM_RngUniform(benchmark::State &state)
+{
+    Rng rng(1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rng.uniform());
+}
+BENCHMARK(BM_RngUniform);
+
+void
+BM_McService(benchmark::State &state)
+{
+    Simulator sim;
+    dram::DramDevice dev(sim, nullptr, dram::lpddr3Spec());
+    mem::MrcStore mrc(dram::lpddr3Spec());
+    mem::MemoryController mc(sim, nullptr, dev, mrc, 0.80);
+    mem::MemDemand d;
+    d.cpuRead = 6e9;
+    d.ioIso = 4.3e9;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(mc.service(d, 100 * kTicksPerUs));
+}
+BENCHMARK(BM_McService);
+
+void
+BM_LoadedLatency(benchmark::State &state)
+{
+    Simulator sim;
+    dram::DramDevice dev(sim, nullptr, dram::lpddr3Spec());
+    mem::MrcStore mrc(dram::lpddr3Spec());
+    mem::MemoryController mc(sim, nullptr, dev, mrc, 0.80);
+    double rho = 0.0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(mc.loadedLatencyAt(rho));
+        rho = rho > 0.9 ? 0.0 : rho + 0.01;
+    }
+}
+BENCHMARK(BM_LoadedLatency);
+
+void
+BM_PredictorDecision(benchmark::State &state)
+{
+    const core::DemandPredictor pred(
+        core::SysScaleGovernor::defaultThresholds(), {});
+    soc::CounterSnapshot snap;
+    snap[soc::Counter::LlcStalls] = 1e5;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(pred.demandsHighPoint(snap, 4.3e9));
+}
+BENCHMARK(BM_PredictorDecision);
+
+void
+BM_ThresholdTraining(benchmark::State &state)
+{
+    Rng rng(3);
+    std::vector<core::TrainingSample> corpus(1000);
+    for (auto &s : corpus) {
+        s.counters[soc::Counter::LlcStalls] = rng.uniform(0, 2e6);
+        s.counters[soc::Counter::LlcOccupancyTracer] =
+            rng.uniform(0, 20);
+        s.normPerf = rng.uniform(0.85, 1.0);
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            core::ThresholdTrainer::train(corpus, 0.01));
+    }
+}
+BENCHMARK(BM_ThresholdTraining);
+
+void
+BM_TransitionFlow(benchmark::State &state)
+{
+    Simulator sim;
+    soc::Soc chip(sim, soc::skylakeConfig());
+    core::TransitionFlow flow(chip);
+    bool low = true;
+    for (auto _ : state) {
+        flow.execute(low ? chip.opPoints().low()
+                         : chip.opPoints().high());
+        low = !low;
+    }
+}
+BENCHMARK(BM_TransitionFlow);
+
+void
+BM_SocStep(benchmark::State &state)
+{
+    Simulator sim;
+    soc::Soc chip(sim, soc::skylakeConfig());
+    chip.display().attachPanel(0, io::PanelConfig{});
+    workloads::ProfileAgent agent(
+        workloads::specBenchmark("470.lbm"));
+    chip.setWorkload(&agent);
+    chip.run(kTicksPerMs);
+    for (auto _ : state)
+        chip.run(100 * kTicksPerUs); // one model step
+}
+BENCHMARK(BM_SocStep);
+
+void
+BM_DisplayPanelBandwidth(benchmark::State &state)
+{
+    const io::PanelConfig cfg{io::PanelResolution::UHD4K, 60.0, 4};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            io::DisplayEngine::panelBandwidth(cfg));
+    }
+}
+BENCHMARK(BM_DisplayPanelBandwidth);
+
+} // namespace
+
+BENCHMARK_MAIN();

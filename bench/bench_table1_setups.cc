@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Table 1: the two real experimental setups (baseline vs MD-DVFS)
+ * as realized by the operating-point table.
+ */
+
+#include "bench/harness.hh"
+
+using namespace sysscale;
+
+int
+main()
+{
+    bench::banner("Table 1", "baseline vs multi-domain DVFS setups");
+
+    const soc::SocConfig cfg = soc::skylakeConfig();
+    const soc::OpPointTable table(cfg);
+    const soc::OperatingPoint &hi = table.high();
+    const soc::OperatingPoint &lo = table.low();
+
+    std::printf("%-22s %14s %14s  (paper)\n", "component", "baseline",
+                "MD-DVFS");
+    std::printf("%-22s %11.2fGHz %11.2fGHz  1.6 -> 1.06 GHz\n",
+                "DRAM frequency",
+                cfg.dramSpec.bin(hi.dramBin).transferRate() / 1e9,
+                cfg.dramSpec.bin(lo.dramBin).transferRate() / 1e9);
+    std::printf("%-22s %11.2fGHz %11.2fGHz  0.8 -> 0.4 GHz\n",
+                "IO interconnect", hi.fabricFreq / 1e9,
+                lo.fabricFreq / 1e9);
+    std::printf("%-22s %12.2fV %12.2fV   V_SA -> 0.8*V_SA\n",
+                "shared voltage V_SA", hi.vSa, lo.vSa);
+    std::printf("%-22s %12.2fV %12.2fV   V_IO -> 0.85*V_IO\n",
+                "DDRIO digital V_IO", hi.vIo, lo.vIo);
+    std::printf("%-22s %11.2fGHz %11.2fGHz  unchanged\n",
+                "2 cores (4 threads)", 1.2, 1.2);
+
+    std::printf("\nIO+memory budget demand: high %.3fW, low %.3fW "
+                "(freed: %.3fW)\n",
+                soc::ioMemBudgetDemand(cfg, hi),
+                soc::ioMemBudgetDemand(cfg, lo),
+                soc::ioMemBudgetDemand(cfg, hi) -
+                    soc::ioMemBudgetDemand(cfg, lo));
+    return 0;
+}

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Table 2: SoC and memory parameters of the evaluated systems.
+ */
+
+#include "bench/harness.hh"
+
+using namespace sysscale;
+
+namespace {
+
+void
+dump(const soc::SocConfig &cfg)
+{
+    std::printf("\n[%s]\n", cfg.name.c_str());
+    std::printf("  CPU cores:            %zu (x%zu threads)\n",
+                cfg.cores, cfg.threadsPerCore);
+    std::printf("  core base frequency:  %.1f GHz\n",
+                cfg.coreBaseFreq / 1e9);
+    std::printf("  gfx base frequency:   %.0f MHz\n",
+                cfg.gfxBaseFreq / 1e6);
+    std::printf("  L3 cache (LLC):       %zu MB\n",
+                cfg.llcBytes / (1024 * 1024));
+    std::printf("  TDP:                  %.1f W\n", cfg.tdp);
+    std::printf("  memory:               %s, %zu-channel, peak %.1f "
+                "GB/s\n",
+                cfg.dramSpec.name().c_str(), cfg.dramSpec.channels(),
+                cfg.dramSpec.peakBandwidth(0) / 1e9);
+    std::printf("  frequency bins:      ");
+    for (std::size_t i = 0; i < cfg.dramSpec.numBins(); ++i)
+        std::printf(" %.0fMT/s", cfg.dramSpec.bin(i).dataRateMTs);
+    std::printf("\n");
+    cfg.validate();
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Table 2", "SoC and memory parameters");
+
+    dump(soc::skylakeConfig());       // M-6Y75 (SysScale host)
+    dump(soc::broadwellConfig());     // M-5Y71 (motivation system)
+    dump(soc::skylakeDdr4Config());   // Sec. 7.4 sensitivity build
+
+    std::printf("\nall configurations validate\n");
+    return 0;
+}

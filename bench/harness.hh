@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Shared experiment harness for the per-figure/table benchmarks.
+ *
+ * Every bench builds a Skylake-class SoC per Table 2, attaches the
+ * laptop HD panel (all paper experiments run with the display on),
+ * binds a workload profile and a governor, warms up, and measures a
+ * fixed window. Helpers cover the two non-governor modes the paper
+ * uses: pinning an operating point (the ITP-forced motivation
+ * experiments of Sec. 3) and collecting counter averages (predictor
+ * training, Sec. 4.2).
+ */
+
+#ifndef SYSSCALE_BENCH_HARNESS_HH
+#define SYSSCALE_BENCH_HARNESS_HH
+
+#include <cstdio>
+#include <optional>
+#include <string>
+
+#include "core/governors.hh"
+#include "core/transition_flow.hh"
+#include "sim/sim_object.hh"
+#include "soc/soc.hh"
+#include "workloads/profile.hh"
+
+namespace sysscale {
+namespace bench {
+
+/** Experiment knobs. */
+struct RunConfig
+{
+    Watt tdp = 4.5;
+    Tick warmup = 200 * kTicksPerMs;
+    Tick window = 2 * kTicksPerSec;
+    bool hdPanel = true;
+    bool camera = false;
+
+    /** Pin the CPU cores to this frequency (0 = PBM-controlled). */
+    Hertz pinnedCoreFreq = 0.0;
+
+    /** Pin the IO/memory domains to this operating point. */
+    std::optional<soc::OperatingPoint> pinnedOpPoint;
+
+    /** Apply unoptimized (boot-trained) MRC at the pinned point. */
+    bool pinnedUnoptimizedMrc = false;
+
+    std::optional<soc::SocConfig> socConfig;
+};
+
+/** Workload wrapper that overrides the OS core-frequency request. */
+class PinnedFreqAgent : public soc::WorkloadAgent
+{
+  public:
+    PinnedFreqAgent(soc::WorkloadAgent &inner, Hertz freq)
+        : inner_(inner), freq_(freq)
+    {}
+
+    void
+    demandAt(Tick now, soc::IntervalDemand &demand) override
+    {
+        inner_.demandAt(now, demand);
+        if (freq_ > 0.0)
+            demand.coreFreqRequest = freq_;
+    }
+
+    bool
+    finished(Tick now) const override
+    {
+        return inner_.finished(now);
+    }
+
+  private:
+    soc::WorkloadAgent &inner_;
+    Hertz freq_;
+};
+
+/** PMU policy that accumulates window-averaged counters. */
+class CollectPolicy : public soc::PmuPolicy
+{
+  public:
+    const char *name() const override { return "collect"; }
+
+    void
+    evaluate(soc::Soc &soc, const soc::CounterSnapshot &avg) override
+    {
+        (void)soc;
+        for (std::size_t i = 0; i < soc::kNumCounters; ++i)
+            sum_.values[i] += avg.values[i];
+        ++windows_;
+    }
+
+    soc::CounterSnapshot
+    average() const
+    {
+        soc::CounterSnapshot out;
+        if (windows_ == 0)
+            return out;
+        for (std::size_t i = 0; i < soc::kNumCounters; ++i)
+            out.values[i] = sum_.values[i] /
+                            static_cast<double>(windows_);
+        return out;
+    }
+
+  private:
+    soc::CounterSnapshot sum_;
+    std::size_t windows_ = 0;
+};
+
+/** Outcome of one measured experiment. */
+struct Outcome
+{
+    soc::RunMetrics metrics;
+    soc::CounterSnapshot counters; //!< Valid when collected.
+};
+
+/**
+ * Run @p profile under @p policy (nullptr = pinned/no governor) and
+ * return the measured window.
+ */
+inline Outcome
+runExperiment(const workloads::WorkloadProfile &profile,
+              soc::PmuPolicy *policy, const RunConfig &rc = {})
+{
+    Simulator sim(1);
+    soc::Soc chip(sim, rc.socConfig ? *rc.socConfig
+                                    : soc::skylakeConfig(rc.tdp));
+    if (rc.hdPanel) {
+        chip.display().attachPanel(0, io::PanelConfig{
+            io::PanelResolution::HD, 60.0, 4});
+    }
+    if (rc.camera)
+        chip.isp().startCamera(io::CameraConfig{});
+
+    workloads::ProfileAgent agent(profile);
+    PinnedFreqAgent pinned(agent, rc.pinnedCoreFreq);
+    chip.setWorkload(&pinned);
+
+    CollectPolicy collector;
+    chip.pmu().setPolicy(policy ? policy : &collector);
+
+    if (rc.pinnedOpPoint) {
+        core::FlowOptions opts;
+        opts.useOptimizedMrc = !rc.pinnedUnoptimizedMrc;
+        core::TransitionFlow flow(chip, opts);
+        soc::OperatingPoint target = *rc.pinnedOpPoint;
+        if (rc.pinnedUnoptimizedMrc)
+            target.mrcTrainedBin = chip.opPoints().high().dramBin;
+        flow.execute(target);
+        chip.setComputeBudget(chip.pbm().computeBudget(
+            chip.ioMemBudget(chip.opPoints().high()), 0.0));
+    }
+
+    chip.run(rc.warmup);
+    Outcome out;
+    out.metrics = chip.run(rc.window);
+    out.counters = collector.average();
+    return out;
+}
+
+/** Percent delta helper: (b - a) / a in percent. */
+inline double
+pct(double a, double b)
+{
+    return (b / a - 1.0) * 100.0;
+}
+
+/** Section banner shared by all benches. */
+inline void
+banner(const char *id, const char *title)
+{
+    std::printf("==========================================================="
+                "=====\n");
+    std::printf("%s — %s\n", id, title);
+    std::printf("==========================================================="
+                "=====\n");
+}
+
+} // namespace bench
+} // namespace sysscale
+
+#endif // SYSSCALE_BENCH_HARNESS_HH

@@ -1,0 +1,109 @@
+#include "compute/cstates.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace sysscale {
+namespace compute {
+
+const CStateTraits &
+cstateTraits(CState c)
+{
+    // computeDyn, computeLeak, uncore, dramActive
+    static const std::array<CStateTraits, kNumCStates> traits = {{
+        {1.00, 1.00, 1.00, true},  // C0: executing.
+        {0.00, 0.85, 0.75, true},  // C2: clock-gated, DRAM active.
+        {0.00, 0.12, 0.22, false}, // C6: cores power-gated.
+        {0.00, 0.08, 0.12, false}, // C7: LLC flushed/shrunk.
+        {0.00, 0.04, 0.025, false}, // C8: deepest, DRAM self-refresh.
+    }};
+    return traits[cstateIndex(c)];
+}
+
+CStateResidency::CStateResidency()
+{
+    fractions_.fill(0.0);
+    fractions_[cstateIndex(CState::C0)] = 1.0;
+}
+
+CStateResidency::CStateResidency(
+    const std::array<double, kNumCStates> &fractions)
+    : fractions_(fractions)
+{
+    double sum = 0.0;
+    for (std::size_t i = 0; i < kNumCStates; ++i) {
+        if (fractions_[i] < 0.0) {
+            SYSSCALE_FATAL("negative C-state residency %.3f",
+                           fractions_[i]);
+        }
+        sum += fractions_[i];
+    }
+    if (std::fabs(sum - 1.0) > 1e-6)
+        SYSSCALE_FATAL("C-state residencies sum to %.6f, not 1", sum);
+}
+
+double
+CStateResidency::fraction(CState c) const
+{
+    return fractions_[cstateIndex(c)];
+}
+
+double
+CStateResidency::dramActiveFraction() const
+{
+    double f = 0.0;
+    for (CState c : kAllCStates) {
+        if (cstateTraits(c).dramActive)
+            f += fraction(c);
+    }
+    return f;
+}
+
+double
+CStateResidency::computeDynWeight() const
+{
+    double w = 0.0;
+    for (CState c : kAllCStates)
+        w += fraction(c) * cstateTraits(c).computeDynFactor;
+    return w;
+}
+
+double
+CStateResidency::computeLeakWeight() const
+{
+    double w = 0.0;
+    for (CState c : kAllCStates)
+        w += fraction(c) * cstateTraits(c).computeLeakFactor;
+    return w;
+}
+
+double
+CStateResidency::uncoreWeight() const
+{
+    double w = 0.0;
+    for (CState c : kAllCStates)
+        w += fraction(c) * cstateTraits(c).uncoreFactor;
+    return w;
+}
+
+HardwareDutyCycle::HardwareDutyCycle(Watt tdp)
+{
+    if (tdp <= 0.0)
+        SYSSCALE_FATAL("HardwareDutyCycle: non-positive TDP %.2f", tdp);
+
+    if (tdp >= kEngageTdp) {
+        duty_ = 1.0;
+        return;
+    }
+
+    // Linear ramp from kMinDuty at 3.5W to 1.0 at the engage TDP.
+    const double lo = 3.5;
+    const double t = std::clamp((tdp - lo) / (kEngageTdp - lo), 0.0,
+                                1.0);
+    duty_ = kMinDuty + (1.0 - kMinDuty) * t;
+}
+
+} // namespace compute
+} // namespace sysscale

@@ -1,0 +1,30 @@
+#include "core/demand_predictor.hh"
+
+namespace sysscale {
+namespace core {
+
+ConditionVector
+DemandPredictor::conditions(const soc::CounterSnapshot &avg,
+                            BytesPerSec static_demand) const
+{
+    using soc::Counter;
+
+    ConditionVector v;
+    v.staticBw = static_demand > thresholds_.staticBw;
+    v.gfxBandwidth = avg[Counter::GfxLlcMisses] >
+                     thresholds_.counter[soc::counterIndex(
+                         Counter::GfxLlcMisses)];
+    v.cpuBandwidth = avg[Counter::LlcOccupancyTracer] >
+                     thresholds_.counter[soc::counterIndex(
+                         Counter::LlcOccupancyTracer)];
+    v.memLatency = avg[Counter::LlcStalls] >
+                   thresholds_.counter[soc::counterIndex(
+                       Counter::LlcStalls)];
+    v.ioLatency = avg[Counter::IoRpq] >
+                  thresholds_.counter[soc::counterIndex(
+                      Counter::IoRpq)];
+    return v;
+}
+
+} // namespace core
+} // namespace sysscale

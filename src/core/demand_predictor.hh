@@ -1,0 +1,121 @@
+/**
+ * @file
+ * SysScale's dynamic demand predictor (paper Sec. 4.2, 4.3).
+ *
+ * The predictor answers one question every evaluation interval: will
+ * moving the IO and memory domains to the lower operating point
+ * degrade the running workload by more than the bound (1% by
+ * default)? It compares the window-averaged values of the four
+ * dedicated performance counters against trained thresholds, and the
+ * aggregated static demand against a capacity threshold. Any counter
+ * above its threshold keeps (or returns) the SoC at the high point
+ * — the paper's five conditions.
+ *
+ * A linear regression model over the same four counters produces the
+ * *predicted performance impact* plotted in Fig. 6; the thresholds
+ * gate the decision so that no false positives occur (predicting
+ * "safe to scale down" when it is not).
+ */
+
+#ifndef SYSSCALE_CORE_DEMAND_PREDICTOR_HH
+#define SYSSCALE_CORE_DEMAND_PREDICTOR_HH
+
+#include <array>
+
+#include "soc/counters.hh"
+
+namespace sysscale {
+namespace core {
+
+/** Per-counter decision thresholds plus the static-demand gate. */
+struct Thresholds
+{
+    /** Counter thresholds (events/ms), Sec. 4.3 conditions 2-5. */
+    std::array<double, soc::kNumCounters> counter{};
+
+    /**
+     * STATIC_BW_THR (condition 1): the static demand above which the
+     * low point cannot guarantee isochronous QoS.
+     */
+    BytesPerSec staticBw = 0.0;
+};
+
+/** Linear model over the four counters: predicted perf at low point. */
+struct LinearImpactModel
+{
+    std::array<double, soc::kNumCounters> weight{};
+    double bias = 1.0;
+
+    /** Predicted normalized performance (1.0 = no degradation). */
+    double
+    predict(const soc::CounterSnapshot &c) const
+    {
+        double v = bias;
+        for (std::size_t i = 0; i < soc::kNumCounters; ++i)
+            v += weight[i] * c.values[i];
+        return v;
+    }
+};
+
+/** Which of the five conditions fired (Sec. 4.3). */
+struct ConditionVector
+{
+    bool staticBw = false;      //!< 1: aggregated static demand.
+    bool gfxBandwidth = false;  //!< 2: GFX_LLC_MISSES > GFX_THR.
+    bool cpuBandwidth = false;  //!< 3: LLC_Occupancy > Core_THR.
+    bool memLatency = false;    //!< 4: LLC_STALLS > LAT_THR.
+    bool ioLatency = false;     //!< 5: IO_RPQ > IO_THR.
+
+    bool
+    any() const
+    {
+        return staticBw || gfxBandwidth || cpuBandwidth ||
+               memLatency || ioLatency;
+    }
+};
+
+/**
+ * The trained predictor.
+ */
+class DemandPredictor
+{
+  public:
+    DemandPredictor() = default;
+
+    DemandPredictor(Thresholds thresholds, LinearImpactModel model)
+        : thresholds_(thresholds), model_(model)
+    {}
+
+    const Thresholds &thresholds() const { return thresholds_; }
+    const LinearImpactModel &model() const { return model_; }
+
+    /** Evaluate the five conditions. */
+    ConditionVector conditions(const soc::CounterSnapshot &avg,
+                               BytesPerSec static_demand) const;
+
+    /**
+     * True when the SoC must be at (or move to) the high operating
+     * point — i.e. any condition fired.
+     */
+    bool demandsHighPoint(const soc::CounterSnapshot &avg,
+                          BytesPerSec static_demand) const
+    {
+        return conditions(avg, static_demand).any();
+    }
+
+    /** Fig. 6 regression output: predicted normalized performance. */
+    double
+    predictedImpact(const soc::CounterSnapshot &avg) const
+    {
+        return model_.predict(avg);
+    }
+
+  private:
+    Thresholds thresholds_;
+    LinearImpactModel model_;
+};
+
+} // namespace core
+} // namespace sysscale
+
+#endif // SYSSCALE_CORE_DEMAND_PREDICTOR_HH

@@ -1,0 +1,254 @@
+#include "core/governors.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace sysscale {
+namespace core {
+
+GovernorBase::GovernorBase(std::string name, FlowOptions opts,
+                           bool redistribute)
+    : name_(std::move(name)), opts_(opts), redistribute_(redistribute)
+{
+}
+
+void
+GovernorBase::reset(soc::Soc &soc)
+{
+    flow_ = std::make_unique<TransitionFlow>(soc, opts_);
+    updateBudget(soc);
+}
+
+void
+GovernorBase::moveTo(soc::Soc &soc, const soc::OperatingPoint &target)
+{
+    SYSSCALE_ASSERT(flow_ != nullptr, "governor '%s' not reset",
+                    name_.c_str());
+    const FlowReport report = flow_->execute(target);
+    if (report.executed) {
+        ++flowRuns_;
+        lastFlowLatency_ = report.totalLatency;
+    }
+    updateBudget(soc);
+}
+
+void
+GovernorBase::updateBudget(soc::Soc &soc)
+{
+    // Without redistribution the compute domain keeps the worst-case
+    // allocation of the *high* point — saved IO/memory power is
+    // simply not spent (pure MemScale/CoScale, Sec. 6).
+    const soc::OperatingPoint &billing =
+        redistribute_ ? soc.currentOpPoint() : soc.opPoints().high();
+
+    // PMU budget tables cost a trained interface; a governor running
+    // unoptimized MRC (MemScale/CoScale) physically draws more than
+    // it budgets, which is part of why the paper calls unoptimized
+    // registers able to "negate potential benefits" (Sec. 3).
+    const Watt iomem =
+        soc::ioMemBudgetDemand(soc.config(), billing, true);
+    soc.setComputeBudget(soc.pbm().computeBudget(iomem, 0.0));
+}
+
+FixedGovernor::FixedGovernor()
+    : GovernorBase("baseline", FlowOptions{}, /*redistribute=*/false)
+{
+}
+
+void
+FixedGovernor::evaluate(soc::Soc &soc, const soc::CounterSnapshot &avg)
+{
+    (void)avg;
+    // Pinned at the high point; budgets never move.
+    moveTo(soc, soc.opPoints().high());
+}
+
+Thresholds
+SysScaleGovernor::defaultThresholds()
+{
+    using soc::Counter;
+    Thresholds thr;
+    thr.counter[soc::counterIndex(Counter::GfxLlcMisses)] = 1.7e5;
+    thr.counter[soc::counterIndex(Counter::LlcOccupancyTracer)] = 5.0;
+    thr.counter[soc::counterIndex(Counter::LlcStalls)] = 4.5e5;
+    thr.counter[soc::counterIndex(Counter::IoRpq)] = 6.0;
+    thr.staticBw = 0.0; // derived from the low point at reset
+    return thr;
+}
+
+SysScaleGovernor::SysScaleGovernor(Thresholds thresholds,
+                                   LinearImpactModel model,
+                                   FlowOptions opts)
+    : GovernorBase("sysscale", opts, /*redistribute=*/true),
+      thresholds_(thresholds), model_(model)
+{
+}
+
+void
+SysScaleGovernor::reset(soc::Soc &soc)
+{
+    if (thresholds_.staticBw <= 0.0) {
+        // Condition 1 gate: static demand the low point can carry
+        // while honoring isochronous QoS.
+        const soc::OperatingPoint &low = soc.opPoints().low();
+        const BytesPerSec low_capacity =
+            soc.config().dramSpec.peakBandwidth(low.dramBin) *
+            soc.mrc().optimizedSet(low.dramBin).interfaceEfficiency;
+        thresholds_.staticBw = low_capacity * kStaticMargin;
+    }
+    predictor_ = DemandPredictor(thresholds_, model_);
+
+    Thresholds up = thresholds_;
+    for (double &t : up.counter)
+        t *= kUpHysteresis;
+    upPredictor_ = DemandPredictor(up, model_);
+
+    GovernorBase::reset(soc);
+}
+
+void
+SysScaleGovernor::evaluate(soc::Soc &soc,
+                           const soc::CounterSnapshot &avg)
+{
+    const BytesPerSec static_demand =
+        table_.staticDemand(soc.csr());
+
+    // Counters read higher while running at the low point, so the
+    // pair of adjacent points uses dedicated thresholds (Sec. 4.3).
+    const bool at_high =
+        soc.currentOpPoint() == soc.opPoints().high();
+    const DemandPredictor &pred =
+        at_high ? predictor_ : upPredictor_;
+    lastCond_ = pred.conditions(avg, static_demand);
+
+    // Sec. 4.3: any condition -> high point; none -> low point.
+    const soc::OperatingPoint &target =
+        lastCond_.any() ? soc.opPoints().high()
+                        : soc.opPoints().low();
+    moveTo(soc, target);
+}
+
+MemScaleGovernor::MemScaleGovernor(bool redistribute)
+    : GovernorBase(redistribute ? "memscale-r" : "memscale",
+                   FlowOptions{/*scaleFabric=*/false,
+                               /*scaleVsa=*/false,
+                               /*scaleVio=*/false,
+                               /*useOptimizedMrc=*/false,
+                               /*sramMrc=*/false},
+                   redistribute)
+{
+}
+
+soc::OperatingPoint
+MemScaleGovernor::memOnlyLowPoint(soc::Soc &soc) const
+{
+    // Memory-domain-only scaling: the DRAM bin and MC clock drop,
+    // everything else keeps its boot value and the registers stay
+    // trained for the boot bin (Fig. 4 penalties apply).
+    soc::OperatingPoint op = soc.opPoints().low();
+    const soc::OperatingPoint &high = soc.opPoints().high();
+    op.name = "mem-only-low";
+    op.fabricFreq = high.fabricFreq;
+    op.vSa = high.vSa;
+    op.vIo = high.vIo;
+    op.mrcTrainedBin = high.dramBin;
+    return op;
+}
+
+void
+MemScaleGovernor::epochDecision(soc::Soc &soc,
+                                const soc::CounterSnapshot &avg,
+                                double stall_thr, double occ_thr,
+                                double max_low_rho)
+{
+    ++evalCount_;
+
+    const bool at_high =
+        soc.currentOpPoint().dramBin == soc.opPoints().high().dramBin;
+    const double h = at_high ? 1.0 : kEpochHysteresis;
+
+    // Epoch governors model queueing slack before committing to a
+    // lower frequency: the projected utilization of the low point
+    // must leave headroom, or loaded latency explodes.
+    const double low_capacity =
+        soc.config().dramSpec.peakBandwidth(
+            soc.opPoints().low().dramBin) *
+        0.90 * 0.89; // boot-trained registers at the low bin
+    const double low_rho = soc.recentBandwidth() / low_capacity;
+
+    const bool bound =
+        avg[soc::Counter::LlcStalls] > stall_thr * h ||
+        avg[soc::Counter::LlcOccupancyTracer] > occ_thr * h ||
+        low_rho > max_low_rho * (at_high ? 1.0 : 1.15);
+
+    if (bound) {
+        if (!at_high) {
+            // A low sojourn that reverts quickly means the epoch
+            // model mispredicted; back off exponentially before
+            // trying again (epoch governors thrash on phased
+            // workloads otherwise).
+            if (evalCount_ - lastWentLow_ <= 3) {
+                backoffLen_ = std::min<std::uint64_t>(
+                    64, backoffLen_ * 2);
+                backoffUntil_ = evalCount_ + backoffLen_;
+            } else {
+                backoffLen_ = 2;
+            }
+        }
+        moveTo(soc, soc.opPoints().high());
+        return;
+    }
+
+    if (at_high && evalCount_ < backoffUntil_) {
+        updateBudget(soc);
+        return;
+    }
+
+    if (at_high)
+        lastWentLow_ = evalCount_;
+    moveTo(soc, memOnlyLowPoint(soc));
+}
+
+void
+MemScaleGovernor::evaluate(soc::Soc &soc,
+                           const soc::CounterSnapshot &avg)
+{
+    // Memory-side epoch model: conservative gates because MemScale
+    // only observes the memory subsystem [Deng+, ASPLOS'11].
+    epochDecision(soc, avg, kMemStallThr, kMemOccThr, kMemMaxLowRho);
+}
+
+CoScaleGovernor::CoScaleGovernor(bool redistribute)
+    : MemScaleGovernor(redistribute)
+{
+    name_ = redistribute ? "coscale-r" : "coscale";
+}
+
+void
+CoScaleGovernor::evaluate(soc::Soc &soc,
+                          const soc::CounterSnapshot &avg)
+{
+    // Joint CPU+memory epoch model: looser gates than MemScale
+    // because the joint model also sees CPU slack — but still no IO
+    // or graphics visibility and no static demand table.
+    epochDecision(soc, avg, kJointStallThr, kJointOccThr,
+                  kJointMaxLowRho);
+
+    // Joint CPU coordination: a heavily memory-bound workload gains
+    // almost nothing from the top core clocks, so CoScale shaves
+    // them within its performance bound and banks the energy. The
+    // cap is deliberately gentle — CoScale guarantees bounded
+    // slowdown [Deng+, MICRO'12].
+    const double stalls = avg[soc::Counter::LlcStalls];
+    const double boundness = std::min(1.0, stalls / kStallRef);
+    if (boundness > 0.9) {
+        const Hertz fmax = soc.cpu().pstates().max().freq;
+        soc.setCoreFreqCap(fmax * kBoundCapShare);
+    } else {
+        soc.setCoreFreqCap(0.0);
+    }
+}
+
+} // namespace core
+} // namespace sysscale

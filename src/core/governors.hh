@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Power-management governors.
+ *
+ * All governors plug into the PMU behind soc::PmuPolicy and drive
+ * the same TransitionFlow; what distinguishes them is which knobs
+ * their FlowOptions unlock and how they decide:
+ *
+ *  - FixedGovernor: the paper's baseline — IO and memory domains
+ *    pinned at the high operating point, worst-case budgets.
+ *  - SysScaleGovernor: the paper's contribution — the five-condition
+ *    algorithm of Sec. 4.3 over the four counters plus the static
+ *    demand table, full multi-domain scaling, SRAM-cached per-bin
+ *    MRC, and power-budget redistribution.
+ *  - MemScaleGovernor: memory-domain-only DVFS [Deng+, ASPLOS'11]:
+ *    scales the DRAM bin and MC clock but cannot touch the fabric
+ *    clock, the shared V_SA, or V_IO, and runs lower bins on
+ *    boot-trained (unoptimized) registers. The -Redist variant the
+ *    paper compares against adds budget redistribution.
+ *  - CoScaleGovernor: coordinated CPU + memory DVFS [Deng+,
+ *    MICRO'12]: MemScale's memory handling plus a CPU frequency cap
+ *    when the workload is memory bound. -Redist likewise.
+ */
+
+#ifndef SYSSCALE_CORE_GOVERNORS_HH
+#define SYSSCALE_CORE_GOVERNORS_HH
+
+#include <memory>
+#include <string>
+
+#include "core/demand_predictor.hh"
+#include "core/static_table.hh"
+#include "core/transition_flow.hh"
+#include "soc/pmu.hh"
+#include "soc/soc.hh"
+
+namespace sysscale {
+namespace core {
+
+/**
+ * Shared governor plumbing: flow ownership and budget arithmetic.
+ */
+class GovernorBase : public soc::PmuPolicy
+{
+  public:
+    GovernorBase(std::string name, FlowOptions opts,
+                 bool redistribute);
+
+    const char *name() const override { return name_.c_str(); }
+
+    void reset(soc::Soc &soc) override;
+
+    bool redistributes() const { return redistribute_; }
+    const FlowOptions &flowOptions() const { return opts_; }
+
+    /** Flow executions performed (diagnostics). */
+    std::uint64_t flowRuns() const { return flowRuns_; }
+
+    /** Latency of the most recent flow execution. */
+    Tick lastFlowLatency() const { return lastFlowLatency_; }
+
+  protected:
+    /**
+     * Move the SoC to @p target (no-op if already there) and update
+     * the compute budget according to the redistribution setting.
+     */
+    void moveTo(soc::Soc &soc, const soc::OperatingPoint &target);
+
+    /** Recompute the compute-domain budget. */
+    void updateBudget(soc::Soc &soc);
+
+    std::string name_;
+    FlowOptions opts_;
+    bool redistribute_;
+    std::unique_ptr<TransitionFlow> flow_;
+    std::uint64_t flowRuns_ = 0;
+    Tick lastFlowLatency_ = 0;
+};
+
+/**
+ * The paper's baseline: domains pinned at the high point.
+ */
+class FixedGovernor : public GovernorBase
+{
+  public:
+    FixedGovernor();
+
+    void evaluate(soc::Soc &soc, const soc::CounterSnapshot &avg)
+        override;
+
+    std::size_t firmwareBytes() const override { return 64; }
+};
+
+/**
+ * SysScale (paper Sec. 4).
+ */
+class SysScaleGovernor : public GovernorBase
+{
+  public:
+    /**
+     * @param thresholds Trained counter thresholds (Sec. 4.2); the
+     *        static-demand gate is derived from the low point's
+     *        capacity at reset when left at zero.
+     * @param model Fig. 6 linear impact model (diagnostics only).
+     * @param opts Feature knobs (defaults = full SysScale; ablations
+     *        toggle individual features).
+     */
+    explicit SysScaleGovernor(Thresholds thresholds =
+                                  defaultThresholds(),
+                              LinearImpactModel model = {},
+                              FlowOptions opts = {});
+
+    void reset(soc::Soc &soc) override;
+    void evaluate(soc::Soc &soc, const soc::CounterSnapshot &avg)
+        override;
+
+    /** Sec. 5: ~0.6KB of PMU firmware. */
+    std::size_t firmwareBytes() const override { return 600; }
+
+    const DemandPredictor &predictor() const { return predictor_; }
+    const StaticDemandTable &staticTable() const { return table_; }
+
+    /** Conditions fired at the last evaluation (introspection). */
+    const ConditionVector &lastConditions() const { return lastCond_; }
+
+    /**
+     * Hand-tuned fallback thresholds for running without an offline
+     * training pass (events per millisecond).
+     */
+    static Thresholds defaultThresholds();
+
+    /** Safety margin on the low point's capacity for the static
+     *  demand gate (condition 1). */
+    static constexpr double kStaticMargin = 0.85;
+
+    /**
+     * Up-transition hysteresis: counters read higher at the low
+     * point (latency-scaled observables), so the thresholds that
+     * pull the SoC back up are scaled by this factor — the "dedicated
+     * thresholds" per adjacent-point pair of Sec. 4.3.
+     */
+    static constexpr double kUpHysteresis = 1.6;
+
+  private:
+    Thresholds thresholds_;
+    LinearImpactModel model_;
+    DemandPredictor predictor_;
+    DemandPredictor upPredictor_;
+    StaticDemandTable table_;
+    ConditionVector lastCond_;
+};
+
+/**
+ * MemScale [16] with optional budget redistribution (MemScale-R).
+ */
+class MemScaleGovernor : public GovernorBase
+{
+  public:
+    explicit MemScaleGovernor(bool redistribute);
+
+    void evaluate(soc::Soc &soc, const soc::CounterSnapshot &avg)
+        override;
+
+    std::size_t firmwareBytes() const override { return 256; }
+
+    /** Memory-side stall gate (cycles/ms). */
+    static constexpr double kMemStallThr = 3.5e5;
+
+    /** Memory-side MC occupancy gate. */
+    static constexpr double kMemOccThr = 4.0;
+
+    /** Up-transition hysteresis of the epoch model. */
+    static constexpr double kEpochHysteresis = 1.6;
+
+    /** Projected low-point utilization ceiling. */
+    static constexpr double kMemMaxLowRho = 0.45;
+
+  protected:
+    /** Build the memory-only low point (boot fabric/voltages/MRC). */
+    soc::OperatingPoint memOnlyLowPoint(soc::Soc &soc) const;
+
+    /**
+     * Epoch decision shared by MemScale and CoScale: move low when
+     * both gates pass, with exponential backoff after a low sojourn
+     * that had to be reverted quickly (epoch governors thrash on
+     * phased workloads otherwise).
+     */
+    void epochDecision(soc::Soc &soc, const soc::CounterSnapshot &avg,
+                       double stall_thr, double occ_thr,
+                       double max_low_rho);
+
+  private:
+    std::uint64_t evalCount_ = 0;
+    std::uint64_t lastWentLow_ = 0;
+    std::uint64_t backoffUntil_ = 0;
+    std::uint64_t backoffLen_ = 2;
+};
+
+/**
+ * CoScale [14] with optional budget redistribution (CoScale-R).
+ */
+class CoScaleGovernor : public MemScaleGovernor
+{
+  public:
+    explicit CoScaleGovernor(bool redistribute);
+
+    void evaluate(soc::Soc &soc, const soc::CounterSnapshot &avg)
+        override;
+
+    std::size_t firmwareBytes() const override { return 384; }
+
+    /** Joint-model stall gate: looser than MemScale's because the
+     *  joint model also sees the CPU side. */
+    static constexpr double kJointStallThr = 5.5e5;
+
+    /** Joint-model MC occupancy gate. */
+    static constexpr double kJointOccThr = 5.0;
+
+    /** Joint model tolerates more congestion (it sees CPU slack). */
+    static constexpr double kJointMaxLowRho = 0.50;
+
+    /** LLC_STALLS level (cycles/ms) treated as fully memory bound. */
+    static constexpr double kStallRef = 1.5e6;
+
+    /** Core-clock share kept when fully memory bound. */
+    static constexpr double kBoundCapShare = 0.85;
+};
+
+} // namespace core
+} // namespace sysscale
+
+#endif // SYSSCALE_CORE_GOVERNORS_HH

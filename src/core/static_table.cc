@@ -1,0 +1,67 @@
+#include "core/static_table.hh"
+
+#include "io/display.hh"
+#include "io/isp.hh"
+#include "sim/logging.hh"
+
+namespace sysscale {
+namespace core {
+
+StaticDemandTable::StaticDemandTable()
+{
+    // Entries are computed once from the display-engine model at
+    // 60Hz — the firmware equivalent ships these as constants.
+    const io::PanelResolution res[4] = {
+        io::PanelResolution::HD, io::PanelResolution::FHD,
+        io::PanelResolution::QHD, io::PanelResolution::UHD4K,
+    };
+    for (std::size_t i = 0; i < 4; ++i) {
+        io::PanelConfig cfg;
+        cfg.resolution = res[i];
+        cfg.refreshHz = 60.0;
+        panelTable_[i] = io::DisplayEngine::panelBandwidth(cfg);
+    }
+}
+
+BytesPerSec
+StaticDemandTable::panelEntry(std::uint64_t resolution_code) const
+{
+    SYSSCALE_ASSERT(resolution_code >= 1 && resolution_code <= 4,
+                    "panel resolution code %llu out of range",
+                    static_cast<unsigned long long>(resolution_code));
+    return panelTable_[resolution_code - 1];
+}
+
+BytesPerSec
+StaticDemandTable::staticDemand(const io::CsrSpace &csr) const
+{
+    BytesPerSec total = 0.0;
+
+    for (std::size_t i = 0; i < io::DisplayEngine::kMaxPanels; ++i) {
+        const std::uint64_t code =
+            csr.read(io::DisplayEngine::csrResolution(i));
+        if (code == 0)
+            continue;
+        const double refresh = static_cast<double>(
+            csr.read(io::DisplayEngine::csrRefresh(i)));
+        total += panelEntry(code) * (refresh / 60.0);
+    }
+
+    if (csr.read(io::IspEngine::kCsrActive) != 0) {
+        const double pixel_rate = static_cast<double>(
+            csr.read(io::IspEngine::kCsrPixelRate));
+        total += pixel_rate * kIspBytesPerPixel;
+    }
+
+    return total;
+}
+
+std::size_t
+StaticDemandTable::firmwareBytes() const
+{
+    // 4 panel entries x 8B, refresh scaling code, ISP coefficient.
+    return panelTable_.size() * 8 + 24;
+}
+
+} // namespace core
+} // namespace sysscale

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Static performance-demand estimation (paper Sec. 4.2).
+ *
+ * "SysScale maintains a table inside the firmware of the PMU that
+ * maps every possible configuration of peripherals connected to the
+ * processor to IO and memory bandwidth/latency demand values. The
+ * firmware obtains the current configuration from control and status
+ * registers (CSRs) of these peripherals."
+ *
+ * The estimate is exact by construction: a peripheral configuration
+ * has a known, deterministic bandwidth demand. The table is keyed on
+ * the CSRs the display engine and ISP publish; its per-configuration
+ * entries reproduce Fig. 3(b).
+ */
+
+#ifndef SYSSCALE_CORE_STATIC_TABLE_HH
+#define SYSSCALE_CORE_STATIC_TABLE_HH
+
+#include <array>
+
+#include "io/csr.hh"
+#include "sim/types.hh"
+
+namespace sysscale {
+namespace core {
+
+/**
+ * The PMU-firmware static demand table.
+ */
+class StaticDemandTable
+{
+  public:
+    StaticDemandTable();
+
+    /**
+     * Total isochronous bandwidth demand implied by the peripheral
+     * configuration currently published in @p csr.
+     */
+    BytesPerSec staticDemand(const io::CsrSpace &csr) const;
+
+    /**
+     * Per-panel bandwidth entry for a resolution code as published
+     * in the display CSRs (1=HD .. 4=4K) at 60Hz; scaled linearly by
+     * refresh rate.
+     */
+    BytesPerSec panelEntry(std::uint64_t resolution_code) const;
+
+    /** ISP demand per unit pixel rate (bytes per pixel per pass). */
+    static constexpr double kIspBytesPerPixel = 2.0 * 3.0;
+
+    /** Modeled table footprint in firmware bytes. */
+    std::size_t firmwareBytes() const;
+
+  private:
+    /** 60Hz per-panel demand, indexed by resolution code - 1. */
+    std::array<BytesPerSec, 4> panelTable_;
+};
+
+} // namespace core
+} // namespace sysscale
+
+#endif // SYSSCALE_CORE_STATIC_TABLE_HH

@@ -1,0 +1,276 @@
+#include "core/threshold_trainer.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace sysscale {
+namespace core {
+
+namespace {
+
+constexpr std::size_t kN = soc::kNumCounters;
+
+bool
+safeSample(const TrainingSample &s, double bound)
+{
+    return s.normPerf >= 1.0 - bound;
+}
+
+bool
+underAllThresholds(const TrainingSample &s, const Thresholds &thr)
+{
+    for (std::size_t i = 0; i < kN; ++i) {
+        if (s.counters.values[i] > thr.counter[i])
+            return false;
+    }
+    return true;
+}
+
+/**
+ * Solve the symmetric system A x = b (dim n) by Gaussian elimination
+ * with partial pivoting. Returns false on singularity.
+ */
+bool
+solveLinearSystem(std::vector<std::vector<double>> &a,
+                  std::vector<double> &b)
+{
+    const std::size_t n = b.size();
+    for (std::size_t col = 0; col < n; ++col) {
+        std::size_t pivot = col;
+        for (std::size_t row = col + 1; row < n; ++row) {
+            if (std::fabs(a[row][col]) > std::fabs(a[pivot][col]))
+                pivot = row;
+        }
+        if (std::fabs(a[pivot][col]) < 1e-12)
+            return false;
+        std::swap(a[col], a[pivot]);
+        std::swap(b[col], b[pivot]);
+
+        for (std::size_t row = col + 1; row < n; ++row) {
+            const double f = a[row][col] / a[col][col];
+            for (std::size_t k = col; k < n; ++k)
+                a[row][k] -= f * a[col][k];
+            b[row] -= f * b[col];
+        }
+    }
+    for (std::size_t col = n; col-- > 0;) {
+        for (std::size_t k = col + 1; k < n; ++k)
+            b[col] -= a[col][k] * b[k];
+        b[col] /= a[col][col];
+    }
+    return true;
+}
+
+} // namespace
+
+Thresholds
+ThresholdTrainer::train(const std::vector<TrainingSample> &corpus,
+                        double degradation_bound)
+{
+    if (corpus.empty())
+        SYSSCALE_FATAL("threshold training on an empty corpus");
+
+    Thresholds thr;
+
+    // Mean and standard deviation of each counter over safe runs.
+    std::array<double, kN> sum{};
+    std::array<double, kN> sumsq{};
+    std::size_t safe = 0;
+    for (const TrainingSample &s : corpus) {
+        if (!safeSample(s, degradation_bound))
+            continue;
+        ++safe;
+        for (std::size_t i = 0; i < kN; ++i) {
+            sum[i] += s.counters.values[i];
+            sumsq[i] += s.counters.values[i] * s.counters.values[i];
+        }
+    }
+    if (safe == 0)
+        SYSSCALE_FATAL("no safe runs below the %.1f%% bound",
+                       degradation_bound * 100.0);
+
+    for (std::size_t i = 0; i < kN; ++i) {
+        const double mu = sum[i] / static_cast<double>(safe);
+        const double var = std::max(
+            0.0, sumsq[i] / static_cast<double>(safe) - mu * mu);
+        thr.counter[i] = mu + std::sqrt(var);
+    }
+
+    // Zero-false-positive pass: every unsafe run must exceed at
+    // least one threshold. When one slips under all of them, clamp
+    // the threshold of its most prominent counter (relative to the
+    // current threshold) just below that run's value.
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (const TrainingSample &s : corpus) {
+            if (safeSample(s, degradation_bound))
+                continue;
+            if (!underAllThresholds(s, thr))
+                continue;
+
+            std::size_t best = 0;
+            double best_ratio = -1.0;
+            for (std::size_t i = 0; i < kN; ++i) {
+                const double ratio =
+                    thr.counter[i] > 0.0
+                        ? s.counters.values[i] / thr.counter[i]
+                        : 0.0;
+                if (ratio > best_ratio) {
+                    best_ratio = ratio;
+                    best = i;
+                }
+            }
+            thr.counter[best] =
+                std::max(0.0, s.counters.values[best] * 0.999);
+            changed = true;
+        }
+    }
+
+    return thr;
+}
+
+LinearImpactModel
+ThresholdTrainer::fitLinear(const std::vector<TrainingSample> &corpus)
+{
+    if (corpus.size() < kN + 1)
+        SYSSCALE_FATAL("linear fit needs more than %zu samples",
+                       kN + 1);
+
+    // The raw counters span six orders of magnitude (stall cycles
+    // vs queue occupancies), which makes the raw normal equations
+    // numerically hopeless. Standardize each feature first, solve a
+    // lightly ridged system in z-score space, then map the weights
+    // back. Dead features (e.g. GFX misses in a CPU-only corpus)
+    // get sigma = 0 and a zero weight.
+    const double n = static_cast<double>(corpus.size());
+    std::array<double, kN> mean{};
+    std::array<double, kN> sigma{};
+    for (const TrainingSample &s : corpus) {
+        for (std::size_t i = 0; i < kN; ++i)
+            mean[i] += s.counters.values[i];
+    }
+    for (std::size_t i = 0; i < kN; ++i)
+        mean[i] /= n;
+    for (const TrainingSample &s : corpus) {
+        for (std::size_t i = 0; i < kN; ++i) {
+            const double d = s.counters.values[i] - mean[i];
+            sigma[i] += d * d;
+        }
+    }
+    for (std::size_t i = 0; i < kN; ++i)
+        sigma[i] = std::sqrt(sigma[i] / n);
+
+    constexpr std::size_t dim = kN + 1;
+    std::vector<std::vector<double>> a(dim,
+                                       std::vector<double>(dim, 0.0));
+    std::vector<double> b(dim, 0.0);
+
+    for (const TrainingSample &s : corpus) {
+        std::array<double, dim> x;
+        for (std::size_t i = 0; i < kN; ++i) {
+            x[i] = sigma[i] > 0.0
+                       ? (s.counters.values[i] - mean[i]) / sigma[i]
+                       : 0.0;
+        }
+        x[kN] = 1.0;
+        for (std::size_t i = 0; i < dim; ++i) {
+            for (std::size_t j = 0; j < dim; ++j)
+                a[i][j] += x[i] * x[j];
+            b[i] += x[i] * s.normPerf;
+        }
+    }
+
+    for (std::size_t i = 0; i < dim; ++i)
+        a[i][i] += 1e-6 * n;
+
+    LinearImpactModel model;
+    if (!solveLinearSystem(a, b)) {
+        // Degenerate corpus (e.g. constant counters): predict the
+        // mean performance.
+        double perf_mean = 0.0;
+        for (const TrainingSample &s : corpus)
+            perf_mean += s.normPerf;
+        model.bias = perf_mean / n;
+        return model;
+    }
+
+    model.bias = b[kN];
+    for (std::size_t i = 0; i < kN; ++i) {
+        if (sigma[i] > 0.0) {
+            model.weight[i] = b[i] / sigma[i];
+            model.bias -= b[i] * mean[i] / sigma[i];
+        }
+    }
+    return model;
+}
+
+double
+ThresholdTrainer::correlation(const std::vector<double> &a,
+                              const std::vector<double> &b)
+{
+    SYSSCALE_ASSERT(a.size() == b.size() && !a.empty(),
+                    "correlation needs equal non-empty series");
+    const double n = static_cast<double>(a.size());
+    double sa = 0.0, sb = 0.0, saa = 0.0, sbb = 0.0, sab = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        sa += a[i];
+        sb += b[i];
+        saa += a[i] * a[i];
+        sbb += b[i] * b[i];
+        sab += a[i] * b[i];
+    }
+    const double cov = sab / n - (sa / n) * (sb / n);
+    const double va = saa / n - (sa / n) * (sa / n);
+    const double vb = sbb / n - (sb / n) * (sb / n);
+    if (va <= 0.0 || vb <= 0.0)
+        return 0.0;
+    return cov / std::sqrt(va * vb);
+}
+
+PredictionStats
+ThresholdTrainer::evaluate(const DemandPredictor &predictor,
+                           const std::vector<TrainingSample> &corpus,
+                           double degradation_bound)
+{
+    PredictionStats stats;
+    stats.samples = corpus.size();
+
+    std::vector<double> actual, predicted;
+    actual.reserve(corpus.size());
+    predicted.reserve(corpus.size());
+
+    std::size_t correct = 0;
+    for (const TrainingSample &s : corpus) {
+        const bool is_safe = safeSample(s, degradation_bound);
+        const bool predicted_high =
+            predictor.demandsHighPoint(s.counters, 0.0);
+        const bool predicted_safe = !predicted_high;
+
+        if (predicted_safe == is_safe) {
+            ++correct;
+        } else if (predicted_safe && !is_safe) {
+            ++stats.falsePositives;
+        } else {
+            ++stats.falseNegatives;
+        }
+
+        actual.push_back(s.normPerf);
+        predicted.push_back(
+            std::clamp(predictor.predictedImpact(s.counters), 0.0,
+                       1.2));
+    }
+
+    stats.accuracy =
+        corpus.empty()
+            ? 0.0
+            : static_cast<double>(correct) /
+                  static_cast<double>(corpus.size());
+    stats.correlation = correlation(actual, predicted);
+    return stats;
+}
+
+} // namespace core
+} // namespace sysscale

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Offline threshold training (paper Sec. 4.2).
+ *
+ * "We set a bound on the performance degradation (e.g., 1%) when
+ * operating in MD-DVFS. We mark all the runs that have a performance
+ * degradation below this bound, and for the corresponding
+ * performance counter values, we calculate the mean and the standard
+ * deviation. We set the threshold for each performance counter as
+ * Threshold = mu + sigma."
+ *
+ * The trainer additionally enforces the paper's zero-false-positive
+ * property ("there are no predictions where the algorithm decides to
+ * move the SoC to a lower DVFS operating point while the actual
+ * performance degradation is more than the bound"): any unsafe
+ * training run that would slip under every threshold pulls the most
+ * discriminative threshold down below that run's counter value.
+ *
+ * A least-squares linear model over the same counters provides the
+ * predicted-performance series of Fig. 6.
+ */
+
+#ifndef SYSSCALE_CORE_THRESHOLD_TRAINER_HH
+#define SYSSCALE_CORE_THRESHOLD_TRAINER_HH
+
+#include <vector>
+
+#include "core/demand_predictor.hh"
+
+namespace sysscale {
+namespace core {
+
+/** One corpus run: counters at the high point, measured outcome. */
+struct TrainingSample
+{
+    soc::CounterSnapshot counters;
+
+    /** Performance at the low point normalized to the high point. */
+    double normPerf = 1.0;
+};
+
+/** Predictor quality metrics (Fig. 6 panel annotations). */
+struct PredictionStats
+{
+    /** Pearson correlation of predicted vs. actual normPerf. */
+    double correlation = 0.0;
+
+    /** Fraction of correct safe/unsafe decisions. */
+    double accuracy = 0.0;
+
+    /** Decisions "safe" where the run was actually unsafe. */
+    std::size_t falsePositives = 0;
+
+    /** Decisions "unsafe" where the run was actually safe. */
+    std::size_t falseNegatives = 0;
+
+    std::size_t samples = 0;
+};
+
+/**
+ * The offline training pass.
+ */
+class ThresholdTrainer
+{
+  public:
+    /**
+     * Train counter thresholds at @p degradation_bound (default 1%,
+     * i.e. runs with normPerf >= 0.99 are "safe").
+     */
+    static Thresholds train(const std::vector<TrainingSample> &corpus,
+                            double degradation_bound = 0.01);
+
+    /** Fit the Fig. 6 linear impact model by least squares. */
+    static LinearImpactModel
+    fitLinear(const std::vector<TrainingSample> &corpus);
+
+    /** Evaluate a trained predictor against a corpus. */
+    static PredictionStats
+    evaluate(const DemandPredictor &predictor,
+             const std::vector<TrainingSample> &corpus,
+             double degradation_bound = 0.01);
+
+    /** Pearson correlation between two equal-length series. */
+    static double correlation(const std::vector<double> &a,
+                              const std::vector<double> &b);
+};
+
+} // namespace core
+} // namespace sysscale
+
+#endif // SYSSCALE_CORE_THRESHOLD_TRAINER_HH

@@ -1,0 +1,125 @@
+#include "core/transition_flow.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace sysscale {
+namespace core {
+
+TransitionFlow::TransitionFlow(soc::Soc &soc, FlowOptions opts)
+    : soc_(soc), opts_(opts)
+{
+    if (opts_.scaleVsa && !opts_.scaleFabric) {
+        SYSSCALE_FATAL("V_SA cannot be lowered without scaling the "
+                       "fabric that shares the rail (Fig. 1)");
+    }
+}
+
+FlowReport
+TransitionFlow::execute(const soc::OperatingPoint &target)
+{
+    FlowReport report;
+    const soc::OperatingPoint current = soc_.currentOpPoint();
+    if (current == target)
+        return report;
+
+    report.executed = true;
+
+    const dram::DramSpec &spec = soc_.config().dramSpec;
+    const Hertz cur_clock = spec.bin(current.dramBin).busClock();
+    const Hertz new_clock = spec.bin(target.dramBin).busClock();
+    report.increased = new_clock > cur_clock ||
+                       (new_clock == cur_clock &&
+                        target.fabricFreq > current.fabricFreq);
+
+    const Tick t0 = soc_.now();
+    auto &steps = report.steps;
+
+    // Step 1: demand prediction / firmware dispatch.
+    steps[0] = {"predict", kFirmwareLatency};
+
+    // Voltage targets honoring the feature knobs.
+    const Volt vsa_target =
+        opts_.scaleVsa ? target.vSa : current.vSa;
+    const Volt vio_target =
+        opts_.scaleVio ? target.vIo : current.vIo;
+
+    auto ramp_rails = [&]() -> Tick {
+        Tick ramp = 0;
+        ramp = std::max(ramp,
+                        soc_.vsaRegulator().rampTo(vsa_target, t0));
+        ramp = std::max(ramp,
+                        soc_.vioRegulator().rampTo(vio_target, t0));
+        return ramp;
+    };
+
+    // Step 2: increasing frequency raises voltages first.
+    steps[1] = {"raise_voltages",
+                report.increased ? ramp_rails() : 0};
+
+    // Step 3: block and drain the fabric and LLC-to-MC traffic
+    // (performed in parallel; the slower drain dominates).
+    const Tick drain = std::max(soc_.fabric().blockAndDrain(),
+                                soc_.mc().blockAndDrain());
+    steps[2] = {"block_drain", drain};
+
+    // Step 4: DRAM enters self-refresh.
+    soc_.dram().enterSelfRefresh();
+    steps[3] = {"sr_entry", kSrEntryLatency};
+
+    // Step 5: program MC/DDRIO/DRAM configuration registers.
+    soc_.dram().setBin(target.dramBin);
+    const mem::MrcRegisterSet regs =
+        opts_.useOptimizedMrc
+            ? soc_.mrc().optimizedSet(target.dramBin)
+            : soc_.mrc().crossBinSet(target.mrcTrainedBin,
+                                     target.dramBin);
+    soc_.mc().programRegisters(regs);
+    steps[4] = {"load_mrc", opts_.sramMrc ? soc_.mrc().loadLatency()
+                                          : kMrcFirmwareRecalc};
+
+    // Step 6: relock PLLs/DLLs to the new clocks (overlapped).
+    if (opts_.scaleFabric)
+        soc_.fabric().setFrequency(target.fabricFreq);
+    steps[5] = {"relock",
+                std::max(kPllRelockLatency,
+                         soc_.mc().ddrio().relockLatency())};
+
+    // Step 7: decreasing frequency lowers voltages now.
+    steps[6] = {"reduce_voltages",
+                report.increased ? 0 : ramp_rails()};
+
+    // Static rail bookkeeping follows the regulators' end state.
+    soc_.mc().setVsa(vsa_target);
+    soc_.fabric().setVsa(vsa_target);
+    soc_.mc().ddrio().setVio(vio_target);
+
+    // Step 8: DRAM exits self-refresh (fast relock with SRAM state).
+    steps[7] = {"sr_exit",
+                soc_.dram().exitSelfRefresh(opts_.sramMrc)};
+
+    // Step 9: release the interconnect and LLC traffic.
+    soc_.fabric().release();
+    soc_.mc().release();
+    steps[8] = {"release", kReleaseLatency};
+
+    for (const FlowStep &s : steps)
+        report.totalLatency += s.latency;
+
+    // Record the applied point with the options' effective values so
+    // budget arithmetic sees what the hardware actually runs at.
+    soc::OperatingPoint applied = target;
+    applied.vSa = vsa_target;
+    applied.vIo = vio_target;
+    if (!opts_.scaleFabric)
+        applied.fabricFreq = current.fabricFreq;
+    if (!opts_.useOptimizedMrc)
+        applied.mrcTrainedBin = target.mrcTrainedBin;
+
+    soc_.noteTransition(applied, report.totalLatency);
+    return report;
+}
+
+} // namespace core
+} // namespace sysscale

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * The SysScale power-management transition flow (paper Fig. 5).
+ *
+ * Nine steps carry the SoC from one IO/memory operating point to
+ * another:
+ *
+ *   1. demand prediction selects target frequencies/voltages,
+ *   2. when increasing frequency: raise voltages first,
+ *   3. block and drain the IO interconnect and LLC-to-MC traffic,
+ *   4. DRAM enters self-refresh,
+ *   5. load optimized MRC values from on-chip SRAM into the MC,
+ *      DDRIO, and DRAM configuration registers,
+ *   6. relock PLLs/DLLs to the new frequencies,
+ *   7. when decreasing frequency: reduce voltages now,
+ *   8. DRAM exits self-refresh,
+ *   9. release the interconnect and LLC traffic.
+ *
+ * SysScale bounds the whole flow below 10us (Sec. 5) by overlapping
+ * the per-domain DVFS latencies and caching the MRC register images
+ * in SRAM. Baseline governors that lack those features pay a
+ * firmware MRC path and a full interface retrain — the FlowOptions
+ * knobs reproduce exactly that gap.
+ */
+
+#ifndef SYSSCALE_CORE_TRANSITION_FLOW_HH
+#define SYSSCALE_CORE_TRANSITION_FLOW_HH
+
+#include <array>
+#include <cstdint>
+
+#include "soc/soc.hh"
+
+namespace sysscale {
+namespace core {
+
+/** Feature knobs distinguishing SysScale from prior mechanisms. */
+struct FlowOptions
+{
+    /** Scale the IO interconnect clock with the memory bin. */
+    bool scaleFabric = true;
+
+    /** Ramp the shared V_SA rail (requires fabric scaling). */
+    bool scaleVsa = true;
+
+    /** Ramp the DDRIO-digital / IO PHY rail. */
+    bool scaleVio = true;
+
+    /** Program the target bin's trained MRC registers. */
+    bool useOptimizedMrc = true;
+
+    /** Load register images from SRAM (else firmware recompute). */
+    bool sramMrc = true;
+};
+
+/** One timed flow step. */
+struct FlowStep
+{
+    const char *name = "";
+    Tick latency = 0;
+};
+
+/** Flow steps, indexed as in Fig. 5. */
+constexpr std::size_t kNumFlowSteps = 9;
+
+/** Outcome of one flow execution. */
+struct FlowReport
+{
+    Tick totalLatency = 0;
+    std::array<FlowStep, kNumFlowSteps> steps{};
+    bool increased = false; //!< Frequency went up.
+    bool executed = false;  //!< False when already at the target.
+};
+
+/**
+ * Executes operating-point transitions against a live SoC.
+ */
+class TransitionFlow
+{
+  public:
+    explicit TransitionFlow(soc::Soc &soc, FlowOptions opts = {});
+
+    const FlowOptions &options() const { return opts_; }
+
+    /**
+     * Run the flow to @p target. Applies all hardware changes,
+     * charges the stall to the SoC (Soc::noteTransition), and
+     * returns the per-step latency decomposition.
+     */
+    FlowReport execute(const soc::OperatingPoint &target);
+
+    /** @name Fixed step latencies (Sec. 5). @{ */
+
+    /** Firmware decision/dispatch overhead (step 1 + glue, <1us). */
+    static constexpr Tick kFirmwareLatency = 500 * kTicksPerNs;
+
+    /** DRAM self-refresh entry (step 4). */
+    static constexpr Tick kSrEntryLatency = 200 * kTicksPerNs;
+
+    /** Fabric/MC PLL relock (step 6, overlapped with DDRIO DLL). */
+    static constexpr Tick kPllRelockLatency = 1 * kTicksPerUs;
+
+    /** Unblock/release (step 9). */
+    static constexpr Tick kReleaseLatency = 100 * kTicksPerNs;
+
+    /**
+     * MRC register derivation without SysScale's SRAM cache: the
+     * firmware must recompute/retrain values (tens of us).
+     */
+    static constexpr Tick kMrcFirmwareRecalc = 60 * kTicksPerUs;
+    /** @} */
+
+  private:
+    soc::Soc &soc_;
+    FlowOptions opts_;
+};
+
+} // namespace core
+} // namespace sysscale
+
+#endif // SYSSCALE_CORE_TRANSITION_FLOW_HH

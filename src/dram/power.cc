@@ -1,0 +1,112 @@
+#include "dram/power.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace sysscale {
+namespace dram {
+
+DramPowerModel::DramPowerModel(const DramSpec &spec, Volt vddq)
+    : spec_(spec), vddq_(vddq)
+{
+    if (vddq <= 0.0)
+        SYSSCALE_FATAL("DramPowerModel: non-positive VDDQ");
+
+    switch (spec_.type()) {
+      case DramType::LPDDR3:
+        refClockMhz_ = 800.0;        // 1600 MT/s bus clock
+        bgStandbyMwAtRef_ = 100.0;
+        bgFloorMw_ = 20.0;
+        selfRefreshMw_ = 1.6;
+        arrayPjPerBitRead_ = 4.0;
+        arrayPjPerBitWrite_ = 4.6;
+        ioPjPerBitAtRef_ = 1.8;
+        termMwPerDevice_ = 0.0;      // LPDDR3 is unterminated
+        registerMwAtRef_ = 8.0;
+        break;
+      case DramType::DDR4:
+        refClockMhz_ = 933.0;        // 1866 MT/s bus clock
+        bgStandbyMwAtRef_ = 30.0;
+        bgFloorMw_ = 10.0;
+        selfRefreshMw_ = 2.2;
+        arrayPjPerBitRead_ = 3.2;
+        arrayPjPerBitWrite_ = 3.8;
+        ioPjPerBitAtRef_ = 2.4;
+        termMwPerDevice_ = 16.0;     // ODT burns real power on DDR4
+        registerMwAtRef_ = 4.0;
+        break;
+    }
+}
+
+Watt
+DramPowerModel::selfRefreshPower() const
+{
+    return selfRefreshMw_ * 1e-3 *
+           static_cast<double>(spec_.totalDevices());
+}
+
+DramPowerBreakdown
+DramPowerModel::activePower(std::size_t bin_index, double read_bytes,
+                            double write_bytes, double interval_s,
+                            double termination_factor) const
+{
+    SYSSCALE_ASSERT(interval_s > 0.0, "non-positive interval");
+    SYSSCALE_ASSERT(read_bytes >= 0.0 && write_bytes >= 0.0,
+                    "negative traffic");
+    SYSSCALE_ASSERT(termination_factor >= 1.0,
+                    "termination factor below trained value");
+
+    const FreqBin &bin = spec_.bin(bin_index);
+    const double devices =
+        static_cast<double>(spec_.totalDevices());
+    const double clock_ratio = (bin.busClock() / kMHz) / refClockMhz_;
+    const double vscale = (vddq_ / 1.2) * (vddq_ / 1.2);
+
+    const TimingSet timings = optimizedTimings(spec_, bin_index);
+
+    DramPowerBreakdown out;
+
+    // Background: clock-tree + peripheral standby scales with the bus
+    // clock; a floor remains for always-on circuits.
+    out.background = devices * 1e-3 *
+        (bgFloorMw_ + bgStandbyMwAtRef_ * clock_ratio) * vscale;
+
+    // Refresh: modeled as its duty-cycle share of an active-burst
+    // power level (tRFC every tREFI).
+    const double refresh_burst_mw = 60.0; // per device during tRFC
+    out.refresh = devices * 1e-3 * refresh_burst_mw *
+                  timings.refreshOverhead() * vscale;
+
+    // Array operation energy: charge per accessed bit.
+    const double read_bits = read_bytes * 8.0;
+    const double write_bits = write_bytes * 8.0;
+    out.array = (read_bits * arrayPjPerBitRead_ +
+                 write_bits * arrayPjPerBitWrite_) * 1e-12 *
+                vscale / interval_s;
+
+    // IO energy: per-bit cost grows as the clock drops because each
+    // burst occupies the drivers longer (Sec. 2.4, point 3).
+    const double io_pj_per_bit =
+        ioPjPerBitAtRef_ / std::max(clock_ratio, 1e-6);
+    out.io = (read_bits + write_bits) * io_pj_per_bit * 1e-12 *
+             vscale * termination_factor / interval_s;
+
+    // Termination: proportional to interface utilization, not
+    // directly to frequency (Sec. 2.3).
+    const double peak_bytes =
+        spec_.peakBandwidth(bin_index) * interval_s;
+    const double util = std::min(
+        1.0, (read_bytes + write_bytes) / std::max(peak_bytes, 1.0));
+    out.termination = devices * 1e-3 * termMwPerDevice_ * util *
+                      termination_factor;
+
+    // Registers/clock buffers on the command-address interface.
+    out.registers = devices * 1e-3 * registerMwAtRef_ * clock_ratio *
+                    vscale;
+
+    return out;
+}
+
+} // namespace dram
+} // namespace sysscale

@@ -1,0 +1,103 @@
+#include "dram/spec.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace sysscale {
+namespace dram {
+
+std::string
+dramTypeName(DramType t)
+{
+    switch (t) {
+      case DramType::LPDDR3: return "LPDDR3";
+      case DramType::DDR4: return "DDR4";
+    }
+    return "?";
+}
+
+DramSpec::DramSpec(DramType type, std::vector<FreqBin> bins,
+                   std::size_t channels, std::size_t bytes_per_channel,
+                   std::size_t ranks_per_channel,
+                   std::size_t devices_per_rank, std::size_t banks)
+    : type_(type), bins_(std::move(bins)), channels_(channels),
+      bytesPerChannel_(bytes_per_channel),
+      ranksPerChannel_(ranks_per_channel),
+      devicesPerRank_(devices_per_rank), banks_(banks)
+{
+    if (bins_.empty())
+        SYSSCALE_FATAL("DramSpec: no frequency bins");
+    if (channels_ == 0 || bytesPerChannel_ == 0 ||
+        ranksPerChannel_ == 0 || devicesPerRank_ == 0 || banks_ == 0) {
+        SYSSCALE_FATAL("DramSpec: zero geometry field");
+    }
+
+    std::sort(bins_.begin(), bins_.end(),
+              [](const FreqBin &a, const FreqBin &b) {
+                  return a.dataRateMTs > b.dataRateMTs;
+              });
+
+    name_ = dramTypeName(type_) + "-" +
+            std::to_string(static_cast<int>(bins_.front().dataRateMTs));
+}
+
+const FreqBin &
+DramSpec::bin(std::size_t i) const
+{
+    SYSSCALE_ASSERT(i < bins_.size(), "bin index %zu out of range", i);
+    return bins_[i];
+}
+
+std::size_t
+DramSpec::binIndexFor(double data_rate_mts) const
+{
+    for (std::size_t i = 0; i < bins_.size(); ++i) {
+        if (std::fabs(bins_[i].dataRateMTs - data_rate_mts) < 1.0)
+            return i;
+    }
+    SYSSCALE_FATAL("%s: unsupported data rate %.0f MT/s",
+                   name_.c_str(), data_rate_mts);
+}
+
+std::size_t
+DramSpec::totalDevices() const
+{
+    return channels_ * ranksPerChannel_ * devicesPerRank_;
+}
+
+BytesPerSec
+DramSpec::peakBandwidth(std::size_t bin_index) const
+{
+    const FreqBin &b = bin(bin_index);
+    return static_cast<BytesPerSec>(channels_) *
+           static_cast<BytesPerSec>(bytesPerChannel_) *
+           b.transferRate();
+}
+
+DramSpec
+lpddr3Spec()
+{
+    // Dual-channel, 64-bit channels, 8GB total; x32 devices, 2 per
+    // rank, 1 rank per channel, 8 banks (JESD209-3).
+    return DramSpec(DramType::LPDDR3,
+                    {FreqBin{1600.0}, FreqBin{1066.0}, FreqBin{800.0}},
+                    /*channels=*/2, /*bytes_per_channel=*/8,
+                    /*ranks_per_channel=*/1, /*devices_per_rank=*/2,
+                    /*banks=*/8);
+}
+
+DramSpec
+ddr4Spec()
+{
+    // Dual-channel DDR4: x8 devices, 8 per rank, 16 banks (JESD79-4).
+    return DramSpec(DramType::DDR4,
+                    {FreqBin{1866.0}, FreqBin{1333.0}},
+                    /*channels=*/2, /*bytes_per_channel=*/8,
+                    /*ranks_per_channel=*/1, /*devices_per_rank=*/8,
+                    /*banks=*/16);
+}
+
+} // namespace dram
+} // namespace sysscale

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * DRAM device specifications and frequency bins.
+ *
+ * Commercial mobile DRAM supports only a few discrete frequency bins
+ * (paper Sec. 3 footnote 4: LPDDR3 supports 1600, 1066, and 800 MT/s;
+ * the paper's DDR4 sensitivity study uses 1866 and 1333 MT/s). A
+ * DramSpec carries the bin list plus geometry, from which channel
+ * bandwidth and clock relationships are derived.
+ */
+
+#ifndef SYSSCALE_DRAM_SPEC_HH
+#define SYSSCALE_DRAM_SPEC_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace sysscale {
+namespace dram {
+
+/** DRAM family. */
+enum class DramType : std::uint8_t { LPDDR3, DDR4 };
+
+std::string dramTypeName(DramType t);
+
+/** One supported frequency bin. */
+struct FreqBin
+{
+    /** Data rate in mega-transfers per second (e.g. 1600). */
+    double dataRateMTs;
+
+    /** DRAM/DDRIO bus clock (half the data rate for DDR). */
+    Hertz busClock() const { return dataRateMTs * 0.5 * kMHz; }
+
+    /** Memory-controller clock ("half the DDR frequency", Sec. 3). */
+    Hertz mcClock() const { return dataRateMTs * 0.5 * kMHz; }
+
+    /** Data-rate expressed as Hertz of transfers. */
+    Hertz transferRate() const { return dataRateMTs * kMHz; }
+};
+
+/**
+ * A DRAM configuration: family, geometry, and its frequency bins
+ * sorted from highest (the default boot bin) to lowest.
+ */
+class DramSpec
+{
+  public:
+    DramSpec(DramType type, std::vector<FreqBin> bins,
+             std::size_t channels, std::size_t bytes_per_channel,
+             std::size_t ranks_per_channel,
+             std::size_t devices_per_rank, std::size_t banks);
+
+    DramType type() const { return type_; }
+    const std::string &name() const { return name_; }
+
+    std::size_t numBins() const { return bins_.size(); }
+    const FreqBin &bin(std::size_t i) const;
+
+    /** Index of the highest-frequency (default) bin: always 0. */
+    static constexpr std::size_t kDefaultBin = 0;
+
+    /** Find the bin index with the given data rate (fatal if absent). */
+    std::size_t binIndexFor(double data_rate_mts) const;
+
+    std::size_t channels() const { return channels_; }
+    std::size_t bytesPerChannel() const { return bytesPerChannel_; }
+    std::size_t ranksPerChannel() const { return ranksPerChannel_; }
+    std::size_t devicesPerRank() const { return devicesPerRank_; }
+    std::size_t banks() const { return banks_; }
+
+    /** Total DRAM devices across the system. */
+    std::size_t totalDevices() const;
+
+    /** Theoretical peak bandwidth at @p bin across all channels. */
+    BytesPerSec peakBandwidth(std::size_t bin_index) const;
+
+  private:
+    DramType type_;
+    std::string name_;
+    std::vector<FreqBin> bins_;
+    std::size_t channels_;
+    std::size_t bytesPerChannel_; //!< Channel data-bus width in bytes.
+    std::size_t ranksPerChannel_;
+    std::size_t devicesPerRank_;
+    std::size_t banks_;
+};
+
+/**
+ * Dual-channel LPDDR3-1600 as in the paper's Skylake system
+ * (Table 2): 25.6 GB/s peak at the 1600 bin.
+ */
+DramSpec lpddr3Spec();
+
+/** DDR4-1866 configuration used in the Sec. 7.4 sensitivity study. */
+DramSpec ddr4Spec();
+
+} // namespace dram
+} // namespace sysscale
+
+#endif // SYSSCALE_DRAM_SPEC_HH

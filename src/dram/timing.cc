@@ -1,0 +1,68 @@
+#include "dram/timing.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace sysscale {
+namespace dram {
+
+Cycles
+TimingSet::cyclesOf(double ns) const
+{
+    SYSSCALE_ASSERT(tCKNs > 0.0, "timing set with zero tCK");
+    return static_cast<Cycles>(std::ceil(ns / tCKNs - 1e-9));
+}
+
+TimingSet
+optimizedTimings(const DramSpec &spec, std::size_t bin_index)
+{
+    const FreqBin &bin = spec.bin(bin_index);
+    const double tck = 1e3 / bin.dataRateMTs * 2.0; // ns per bus clock
+
+    TimingSet t{};
+    t.tCKNs = tck;
+
+    switch (spec.type()) {
+      case DramType::LPDDR3:
+        // JESD209-3 class values. Analog timings are roughly constant
+        // in ns; CL is binned to the data rate.
+        t.tRCDNs = 18.0;
+        t.tRPNs = 18.0;
+        t.tRASNs = 42.0;
+        t.tWRNs = 15.0;
+        t.tRFCNs = 130.0;
+        t.tREFINs = 3900.0;
+        t.tXSRNs = 140.0;
+        t.tFAWNs = 50.0;
+        if (bin.dataRateMTs >= 1600.0 - 1.0) {
+            t.tCLNs = 12 * tck; // CL12 @ 1.25ns
+        } else if (bin.dataRateMTs >= 1066.0 - 1.0) {
+            t.tCLNs = 10 * tck; // CL10 @ 1.875ns
+        } else {
+            t.tCLNs = 8 * tck;  // CL8 @ 2.5ns
+        }
+        break;
+
+      case DramType::DDR4:
+        t.tRCDNs = 13.92;
+        t.tRPNs = 13.92;
+        t.tRASNs = 34.0;
+        t.tWRNs = 15.0;
+        t.tRFCNs = 260.0;
+        t.tREFINs = 7800.0;
+        t.tXSRNs = 270.0;
+        t.tFAWNs = 30.0;
+        if (bin.dataRateMTs >= 1866.0 - 1.0) {
+            t.tCLNs = 13 * tck; // CL13 @ ~1.07ns
+        } else {
+            t.tCLNs = 10 * tck; // CL10 @ 1.5ns
+        }
+        break;
+    }
+
+    return t;
+}
+
+} // namespace dram
+} // namespace sysscale

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * JEDEC-style timing parameter sets per frequency bin.
+ *
+ * Timings are stored in nanoseconds (analog constraints) and converted
+ * to bus-clock cycles on demand. The MRC (mem/mrc.hh) decides which
+ * TimingSet is actually programmed into the controller; an unoptimized
+ * set carries guard-banded values.
+ */
+
+#ifndef SYSSCALE_DRAM_TIMING_HH
+#define SYSSCALE_DRAM_TIMING_HH
+
+#include <cstdint>
+
+#include "dram/spec.hh"
+#include "sim/types.hh"
+
+namespace sysscale {
+namespace dram {
+
+/**
+ * Core timing parameters for one frequency bin.
+ */
+struct TimingSet
+{
+    double tCKNs;   //!< Bus clock period.
+    double tCLNs;   //!< CAS (read) latency.
+    double tRCDNs;  //!< RAS-to-CAS delay.
+    double tRPNs;   //!< Row precharge.
+    double tRASNs;  //!< Row active time.
+    double tWRNs;   //!< Write recovery.
+    double tRFCNs;  //!< Refresh cycle time.
+    double tREFINs; //!< Refresh interval.
+    double tXSRNs;  //!< Self-refresh exit (to first command).
+    double tFAWNs;  //!< Four-activate window.
+
+    /** Random-access (closed-page) latency: tRP + tRCD + tCL. */
+    double randomAccessNs() const { return tRPNs + tRCDNs + tCLNs; }
+
+    /** Convert a nanosecond constraint to bus-clock cycles. */
+    Cycles cyclesOf(double ns) const;
+
+    /** Fraction of time unavailable due to refresh: tRFC/tREFI. */
+    double refreshOverhead() const { return tRFCNs / tREFINs; }
+};
+
+/**
+ * The JEDEC-optimized timing set for @p spec at @p bin_index — the
+ * values a correct MRC training run would produce.
+ */
+TimingSet optimizedTimings(const DramSpec &spec, std::size_t bin_index);
+
+} // namespace dram
+} // namespace sysscale
+
+#endif // SYSSCALE_DRAM_TIMING_HH

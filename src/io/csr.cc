@@ -1,0 +1,60 @@
+#include "io/csr.hh"
+
+#include "sim/logging.hh"
+
+namespace sysscale {
+namespace io {
+
+void
+CsrSpace::define(const std::string &name, std::uint64_t reset_value)
+{
+    auto [it, inserted] =
+        regs_.emplace(name, Reg{reset_value, reset_value});
+    (void)it;
+    if (!inserted)
+        SYSSCALE_FATAL("CSR '%s' defined twice", name.c_str());
+}
+
+bool
+CsrSpace::defined(const std::string &name) const
+{
+    return regs_.count(name) != 0;
+}
+
+std::uint64_t
+CsrSpace::read(const std::string &name) const
+{
+    auto it = regs_.find(name);
+    if (it == regs_.end())
+        SYSSCALE_FATAL("read of undefined CSR '%s'", name.c_str());
+    return it->second.value;
+}
+
+void
+CsrSpace::write(const std::string &name, std::uint64_t value)
+{
+    auto it = regs_.find(name);
+    if (it == regs_.end())
+        SYSSCALE_FATAL("write of undefined CSR '%s'", name.c_str());
+    it->second.value = value;
+}
+
+void
+CsrSpace::reset()
+{
+    for (auto &[name, reg] : regs_)
+        reg.value = reg.resetValue;
+}
+
+std::vector<std::string>
+CsrSpace::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(regs_.size());
+    for (const auto &[name, reg] : regs_)
+        out.push_back(name);
+    return out;
+}
+
+} // namespace io
+} // namespace sysscale

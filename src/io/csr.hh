@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Control and status register (CSR) space.
+ *
+ * Peripherals expose their configuration through CSRs; the PMU
+ * firmware reads them to estimate static performance demand (paper
+ * Sec. 4.2: "the number of active displays and the resolution and
+ * refresh rate for each display are available in the CSRs of the
+ * display engine"). The space is a small named register file so the
+ * firmware side (core/static_table) can be written against the same
+ * interface the real Pcode uses.
+ */
+
+#ifndef SYSSCALE_IO_CSR_HH
+#define SYSSCALE_IO_CSR_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sysscale {
+namespace io {
+
+/**
+ * A flat, named 64-bit register file.
+ */
+class CsrSpace
+{
+  public:
+    CsrSpace() = default;
+
+    /**
+     * Define a register. Fatal if the name is already taken — CSR
+     * maps are fixed at SoC integration time.
+     */
+    void define(const std::string &name, std::uint64_t reset_value = 0);
+
+    /** True if @p name exists. */
+    bool defined(const std::string &name) const;
+
+    /** Read a register (fatal if undefined). */
+    std::uint64_t read(const std::string &name) const;
+
+    /** Write a register (fatal if undefined). */
+    void write(const std::string &name, std::uint64_t value);
+
+    /** Restore every register to its reset value. */
+    void reset();
+
+    /** Number of defined registers. */
+    std::size_t size() const { return regs_.size(); }
+
+    /** Sorted list of register names (for dumps/tests). */
+    std::vector<std::string> names() const;
+
+  private:
+    struct Reg
+    {
+        std::uint64_t value;
+        std::uint64_t resetValue;
+    };
+
+    std::map<std::string, Reg> regs_;
+};
+
+} // namespace io
+} // namespace sysscale
+
+#endif // SYSSCALE_IO_CSR_HH

@@ -1,0 +1,210 @@
+#include "mem/controller.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "power/power_model.hh"
+#include "sim/logging.hh"
+
+namespace sysscale {
+namespace mem {
+
+MemoryController::MemoryController(Simulator &sim, SimObject *parent,
+                                   dram::DramDevice &device,
+                                   const MrcStore &mrc, Volt v_sa)
+    : SimObject(sim, parent, "mc"), device_(device),
+      ddrio_(device.spec(), /*v_io=*/1.0), vsa_(v_sa),
+      servicedBytes_(this, "serviced_bytes", "total bytes serviced"),
+      qosViolations_(this, "qos_violations",
+                     "intervals with isochronous demand unmet"),
+      drains_(this, "drains", "block-and-drain operations"),
+      utilizationAvg_(this, "utilization",
+                      "interface utilization per interval"),
+      latencyAvg_(this, "loaded_latency_ns",
+                  "average loaded CPU read latency")
+{
+    regs_ = mrc.optimizedSet(dram::DramSpec::kDefaultBin);
+    if (v_sa <= 0.0)
+        SYSSCALE_FATAL("MemoryController: non-positive V_SA %.3f",
+                       v_sa);
+}
+
+void
+MemoryController::programRegisters(const MrcRegisterSet &regs)
+{
+    SYSSCALE_ASSERT(blocked_,
+                    "programming MC registers while traffic flows");
+    SYSSCALE_ASSERT(device_.mode() == dram::DramMode::SelfRefresh,
+                    "programming DRAM registers outside self-refresh");
+    regs_ = regs;
+    ddrio_.setBin(regs.appliedBin);
+}
+
+Hertz
+MemoryController::clock() const
+{
+    return device_.spec().bin(regs_.appliedBin).mcClock();
+}
+
+void
+MemoryController::setVsa(Volt v)
+{
+    SYSSCALE_ASSERT(v > 0.0, "non-positive V_SA %.3f", v);
+    vsa_ = v;
+}
+
+Tick
+MemoryController::blockAndDrain()
+{
+    SYSSCALE_ASSERT(!blocked_, "nested block-and-drain");
+    blocked_ = true;
+    ++drains_;
+
+    // Outstanding bytes are bounded by the queue capacity; draining
+    // them takes at most queue-bytes / capacity. With 16KB of queue
+    // and >= 8.5GB/s of low-bin capacity this stays under 2us and is
+    // typically a few hundred ns (the paper bounds it below 1us).
+    const double outstanding =
+        kMaxOutstandingBytes * std::min(1.0, lastUtilization_ + 0.05);
+    const double seconds = outstanding / capacity();
+    return ticksFromSeconds(seconds);
+}
+
+void
+MemoryController::release()
+{
+    SYSSCALE_ASSERT(blocked_, "release without block");
+    blocked_ = false;
+}
+
+BytesPerSec
+MemoryController::capacity() const
+{
+    return device_.spec().peakBandwidth(regs_.appliedBin) *
+           regs_.interfaceEfficiency;
+}
+
+double
+MemoryController::baseLatencyNs() const
+{
+    const double mc_ns = kPipelineCycles / clock() * 1e9;
+    return kFixedPathNs + mc_ns + regs_.timings.randomAccessNs() +
+           regs_.latencyAdderNs;
+}
+
+double
+MemoryController::loadedLatencyAt(double utilization) const
+{
+    const double rho = std::clamp(utilization, 0.0, kMaxRho);
+
+    // Congestion delay with an M/D/1-flavoured knee: negligible at
+    // low utilization (prefetchers and bank parallelism hide it),
+    // exploding toward the capacity ceiling. S is the service time
+    // of one cache line at the trained interface rate.
+    const double service_ns = 64.0 / capacity() * 1e9;
+    const double wait_ns =
+        rho * rho * rho / (1.0 - rho) * service_ns * kQueueScale;
+    return baseLatencyNs() + wait_ns;
+}
+
+MemServiceResult
+MemoryController::service(const MemDemand &demand, Tick interval)
+{
+    SYSSCALE_ASSERT(!blocked_, "servicing a blocked controller");
+    SYSSCALE_ASSERT(interval > 0, "zero-length service interval");
+    SYSSCALE_ASSERT(device_.mode() == dram::DramMode::Active,
+                    "servicing DRAM in self-refresh");
+
+    const BytesPerSec cap = capacity();
+    MemServiceResult res;
+
+    // Isochronous traffic is guaranteed first: the display engine
+    // cannot be stalled (Sec. 1, QoS). A violation means the static
+    // demand table put the SoC in too low an operating point.
+    res.achievedIso = std::min(demand.ioIso, cap);
+    res.qosViolation = demand.ioIso > cap + 1e-3;
+    if (res.qosViolation)
+        ++qosViolations_;
+
+    // Remaining capacity is shared in proportion to demand.
+    const BytesPerSec remaining = cap - res.achievedIso;
+    const BytesPerSec rest_demand = demand.cpuRead + demand.cpuWrite +
+                                    demand.gfx + demand.ioBestEffort;
+    const double grant =
+        rest_demand <= remaining || rest_demand <= 0.0
+            ? 1.0
+            : remaining / rest_demand;
+
+    res.achievedCpuRead = demand.cpuRead * grant;
+    res.achievedCpuWrite = demand.cpuWrite * grant;
+    res.achievedGfx = demand.gfx * grant;
+    res.achievedBestEffort = demand.ioBestEffort * grant;
+
+    res.utilization =
+        std::min(1.0, res.achievedTotal() / device_.spec()
+                          .peakBandwidth(regs_.appliedBin));
+
+    const double queue_rho =
+        std::min(kMaxRho, (res.achievedIso + rest_demand) / cap);
+    res.loadedLatencyNs = loadedLatencyAt(queue_rho);
+
+    // Little's law on the CPU read stream.
+    res.readPendingOccupancy = demand.cpuRead / 64.0 *
+                               (res.loadedLatencyNs * 1e-9);
+
+    // Account DRAM energy for the interval.
+    const double secs = secondsFromTicks(interval);
+    const double read_bytes =
+        (res.achievedCpuRead + res.achievedGfx * 0.7 +
+         res.achievedIso * 0.8 + res.achievedBestEffort * 0.5) * secs;
+    const double write_bytes =
+        (res.achievedCpuWrite + res.achievedGfx * 0.3 +
+         res.achievedIso * 0.2 + res.achievedBestEffort * 0.5) * secs;
+
+    const dram::DramPowerBreakdown dram_power = device_.accountTraffic(
+        read_bytes, write_bytes, interval, regs_.terminationFactor);
+    lastDramPower_ = dram_power.total();
+
+    lastUtilization_ = res.utilization;
+    servicedBytes_ += res.achievedTotal() * secs;
+    utilizationAvg_.sample(res.utilization);
+    latencyAvg_.sample(res.loadedLatencyNs);
+
+    return res;
+}
+
+Watt
+MemoryController::idleSelfRefresh(Tick interval)
+{
+    SYSSCALE_ASSERT(interval > 0, "zero-length idle interval");
+    lastUtilization_ = 0.0;
+    lastDramPower_ = device_.selfRefreshPower();
+    return lastDramPower_;
+}
+
+Watt
+MemoryController::controllerPower(double utilization) const
+{
+    return powerAt(vsa_, clock(), utilization);
+}
+
+Watt
+MemoryController::powerAt(Volt v_sa, Hertz clock, double utilization)
+{
+    SYSSCALE_ASSERT(utilization >= 0.0 && utilization <= 1.0,
+                    "MC utilization %.3f out of [0,1]", utilization);
+    const double activity = 0.25 + 0.75 * utilization;
+    const Watt dynamic =
+        power::dynamicPower(kCdynFarad, v_sa, clock, activity);
+    const Watt leak = power::leakagePower(kLeakK, v_sa, 50.0);
+    return dynamic + leak;
+}
+
+Watt
+MemoryController::ddrioDigitalPower(double utilization) const
+{
+    return ddrio_.digitalPower(utilization, regs_.ddrioActivityFactor);
+}
+
+} // namespace mem
+} // namespace sysscale

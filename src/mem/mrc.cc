@@ -1,0 +1,85 @@
+#include "mem/mrc.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace sysscale {
+namespace mem {
+
+MrcStore::MrcStore(const dram::DramSpec &spec)
+{
+    sets_.reserve(spec.numBins());
+    for (std::size_t i = 0; i < spec.numBins(); ++i) {
+        MrcRegisterSet set;
+        set.trainedBin = i;
+        set.appliedBin = i;
+        set.timings = dram::optimizedTimings(spec, i);
+        set.interfaceEfficiency = 0.90;
+        set.latencyAdderNs = 0.0;
+        set.terminationFactor = 1.0;
+        set.ddrioActivityFactor = 1.0;
+        sets_.push_back(set);
+    }
+
+    if (sramBytes() > kSramBudgetBytes) {
+        SYSSCALE_FATAL("MrcStore: %zu bins need %zu bytes of SRAM, "
+                       "budget is %zu",
+                       sets_.size(), sramBytes(), kSramBudgetBytes);
+    }
+}
+
+const MrcRegisterSet &
+MrcStore::optimizedSet(std::size_t bin_index) const
+{
+    SYSSCALE_ASSERT(bin_index < sets_.size(),
+                    "MRC set %zu out of range", bin_index);
+    return sets_[bin_index];
+}
+
+MrcRegisterSet
+MrcStore::crossBinSet(std::size_t trained_bin,
+                      std::size_t applied_bin) const
+{
+    SYSSCALE_ASSERT(trained_bin < sets_.size(),
+                    "trained bin %zu out of range", trained_bin);
+    SYSSCALE_ASSERT(applied_bin < sets_.size(),
+                    "applied bin %zu out of range", applied_bin);
+
+    if (trained_bin == applied_bin)
+        return sets_[trained_bin];
+
+    // Registers trained for one bin but clocked at another: the
+    // analog timings stay legal (nanosecond constraints are met by
+    // the slower of the two bins) but the interface runs with wrong
+    // eye centers, ODT, and drive strength.
+    MrcRegisterSet set = sets_[applied_bin];
+    set.trainedBin = trained_bin;
+    set.appliedBin = applied_bin;
+
+    const double distance = static_cast<double>(
+        trained_bin > applied_bin ? trained_bin - applied_bin
+                                  : applied_bin - trained_bin);
+
+    set.interfaceEfficiency =
+        sets_[applied_bin].interfaceEfficiency * kUnoptEfficiency;
+    set.latencyAdderNs = kUnoptLatencyAdderNs * distance;
+    set.terminationFactor = kUnoptTerminationFactor;
+    set.ddrioActivityFactor = kUnoptDdrioActivity;
+
+    // Guard-banded timings: untrained command/data delays force the
+    // controller to pad CAS and turnaround by roughly a clock.
+    set.timings.tCLNs += set.timings.tCKNs * distance;
+    set.timings.tWRNs += set.timings.tCKNs * distance;
+
+    return set;
+}
+
+std::size_t
+MrcStore::sramBytes() const
+{
+    return sets_.size() * kBytesPerSet;
+}
+
+} // namespace mem
+} // namespace sysscale

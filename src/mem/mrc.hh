@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Memory reference code (MRC) register sets and the on-chip SRAM store.
+ *
+ * MRC training (BIOS, Sec. 2.5 of the paper) produces configuration
+ * register values for the memory controller, DDRIO, and DIMMs that are
+ * optimized for one DRAM frequency. SysScale pre-computes the register
+ * sets of *every* supported bin at reset and caches them in ~0.5KB of
+ * on-chip SRAM so the transition flow can reload them in under 1us
+ * (Sec. 5). Running a bin with another bin's registers ("unoptimized
+ * MRC") costs both performance and power (Fig. 4: -10% performance,
+ * +22% average power on a STREAM-like microbenchmark).
+ */
+
+#ifndef SYSSCALE_MEM_MRC_HH
+#define SYSSCALE_MEM_MRC_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "dram/spec.hh"
+#include "dram/timing.hh"
+#include "sim/types.hh"
+
+namespace sysscale {
+namespace mem {
+
+/**
+ * One trained register image: the timing set programmed into MC,
+ * DDRIO, and DRAM mode registers plus the interface quality that
+ * training achieved.
+ */
+struct MrcRegisterSet
+{
+    /** Bin these registers are optimized for. */
+    std::size_t trainedBin = 0;
+
+    /** Bin the registers are currently applied to. */
+    std::size_t appliedBin = 0;
+
+    /** Timings programmed into the controller. */
+    dram::TimingSet timings{};
+
+    /**
+     * Fraction of theoretical peak bandwidth the interface sustains
+     * (trained eye margins, turnaround guard bands).
+     */
+    double interfaceEfficiency = 0.90;
+
+    /** Extra interface latency from untrained delay lines. */
+    double latencyAdderNs = 0.0;
+
+    /**
+     * Multiplier on DRAM termination/IO power (untrained ODT and
+     * drive-strength settings burn extra watts, Fig. 4).
+     */
+    double terminationFactor = 1.0;
+
+    /** Extra DDRIO-digital switching activity from guard banding. */
+    double ddrioActivityFactor = 1.0;
+
+    /** True when the registers match the applied bin. */
+    bool optimized() const { return trainedBin == appliedBin; }
+};
+
+/**
+ * The reset-time MRC training result for every supported bin, held in
+ * a modeled on-chip SRAM (paper Sec. 5: ~0.5KB, <0.006% of die area).
+ */
+class MrcStore
+{
+  public:
+    /**
+     * Train all bins of @p spec (performed once, at reset).
+     *
+     * @param spec DRAM configuration to train against.
+     */
+    explicit MrcStore(const dram::DramSpec &spec);
+
+    /** Number of register sets held (== spec bins). */
+    std::size_t numSets() const { return sets_.size(); }
+
+    /** The optimized register image for @p bin_index. */
+    const MrcRegisterSet &optimizedSet(std::size_t bin_index) const;
+
+    /**
+     * The register image that results from running @p applied_bin
+     * with registers trained for @p trained_bin. When the bins match
+     * this is the optimized set; otherwise the set carries the paper's
+     * Fig. 4 penalties (lower efficiency, extra latency, hotter
+     * termination).
+     */
+    MrcRegisterSet crossBinSet(std::size_t trained_bin,
+                               std::size_t applied_bin) const;
+
+    /** SRAM load latency of one register image (< 1us, Sec. 5). */
+    Tick loadLatency() const { return kLoadLatency; }
+
+    /** Modeled SRAM footprint of the whole store, in bytes. */
+    std::size_t sramBytes() const;
+
+    /** Bytes of one register image in the modeled SRAM. */
+    static constexpr std::size_t kBytesPerSet = 168;
+
+    /** SRAM budget the paper reserves for MRC values (Sec. 5). */
+    static constexpr std::size_t kSramBudgetBytes = 512;
+
+    /** SRAM-to-CR load latency (Sec. 5 bounds it below 1us). */
+    static constexpr Tick kLoadLatency = 500 * kTicksPerNs;
+
+    /** @name Fig. 4 cross-bin penalty calibration. @{ */
+
+    /** Peak-bandwidth efficiency multiplier when unoptimized. */
+    static constexpr double kUnoptEfficiency = 0.93;
+
+    /** Extra latency per bin of distance between trained/applied. */
+    static constexpr double kUnoptLatencyAdderNs = 6.0;
+
+    /** Termination/IO power multiplier when unoptimized. */
+    static constexpr double kUnoptTerminationFactor = 3.2;
+
+    /** DDRIO-digital activity multiplier when unoptimized. */
+    static constexpr double kUnoptDdrioActivity = 1.80;
+    /** @} */
+
+  private:
+    std::vector<MrcRegisterSet> sets_;
+};
+
+} // namespace mem
+} // namespace sysscale
+
+#endif // SYSSCALE_MEM_MRC_HH

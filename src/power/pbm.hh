@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Power budget manager (PBM).
+ *
+ * The PBM keeps the SoC's average power within the thermal design
+ * power (TDP) by allocating per-domain budgets and splitting the
+ * compute budget between CPU cores and graphics engines (paper Sec.
+ * 1, 4.3, 4.4). SysScale feeds it: when the IO/memory domains move to
+ * a low operating point, their freed budget is granted to compute.
+ */
+
+#ifndef SYSSCALE_POWER_PBM_HH
+#define SYSSCALE_POWER_PBM_HH
+
+#include "power/power_model.hh"
+#include "sim/types.hh"
+
+namespace sysscale {
+namespace power {
+
+/** Compute-domain budget split between cores and graphics. */
+struct ComputeSplit
+{
+    Watt coreBudget;
+    Watt gfxBudget;
+};
+
+/**
+ * TDP-constrained budget arithmetic and P-state selection.
+ */
+class PowerBudgetManager
+{
+  public:
+    /**
+     * @param tdp SoC thermal design power.
+     * @param reserve_w Headroom kept for rails the PBM does not
+     *        actively manage (PCH slice, VR losses, guard band).
+     */
+    explicit PowerBudgetManager(Watt tdp, Watt reserve_w = 0.0);
+
+    Watt tdp() const { return tdp_; }
+    void setTdp(Watt tdp);
+
+    Watt reserve() const { return reserve_; }
+
+    /**
+     * Budget available to the compute domain once the IO and memory
+     * domains draw @p io_w and @p mem_w. Clamped at zero: a
+     * configuration whose uncore alone exceeds TDP cannot grant
+     * compute anything, and the caller must throttle.
+     */
+    Watt computeBudget(Watt io_w, Watt mem_w) const;
+
+    /**
+     * Split the compute budget between cores and graphics.
+     *
+     * @param budget Compute-domain budget.
+     * @param gfx_active Whether a graphics workload is running. When
+     *        true the cores get only kCoreShareGfxActive of the
+     *        budget (10-20% per the paper; we use 15%).
+     */
+    ComputeSplit split(Watt budget, bool gfx_active) const;
+
+    /**
+     * Grant a DVFS request: returns the requested state if its power
+     * fits @p budget, else the highest state that does (the paper's
+     * "demote ... to a safe lower frequency", Sec. 4.4).
+     */
+    const PState &grant(const PStateTable &table, Hertz requested,
+                        Watt budget, double activity) const;
+
+    /** Fraction of compute budget granted to cores under graphics. */
+    static constexpr double kCoreShareGfxActive = 0.15;
+
+  private:
+    Watt tdp_;
+    Watt reserve_;
+};
+
+} // namespace power
+} // namespace sysscale
+
+#endif // SYSSCALE_POWER_PBM_HH

@@ -1,0 +1,114 @@
+#include "sim/event_queue.hh"
+
+#include "sim/logging.hh"
+
+namespace sysscale {
+
+Event::Event(std::string name, int priority)
+    : name_(std::move(name)), priority_(priority)
+{
+}
+
+Event::~Event()
+{
+    // Owners must deschedule before destruction; a scheduled event
+    // dying would leave a dangling pointer in the queue.
+    SYSSCALE_ASSERT(!scheduled_,
+                    "event '%s' destroyed while scheduled",
+                    name_.c_str());
+}
+
+void
+EventQueue::schedule(Event *ev, Tick when)
+{
+    SYSSCALE_ASSERT(ev != nullptr, "schedule(nullptr)");
+    SYSSCALE_ASSERT(!ev->scheduled_,
+                    "event '%s' double-scheduled", ev->name().c_str());
+    SYSSCALE_ASSERT(when >= now_,
+                    "event '%s' scheduled in the past (%llu < %llu)",
+                    ev->name().c_str(),
+                    static_cast<unsigned long long>(when),
+                    static_cast<unsigned long long>(now_));
+
+    ev->scheduled_ = true;
+    ev->when_ = when;
+    ev->seq_ = nextSeq_++;
+    ++ev->generation_;
+    heap_.push(Entry{when, ev->priority(), ev->seq_,
+                     ev->generation_, ev});
+    ++live_;
+}
+
+void
+EventQueue::deschedule(Event *ev)
+{
+    SYSSCALE_ASSERT(ev != nullptr, "deschedule(nullptr)");
+    SYSSCALE_ASSERT(ev->scheduled_,
+                    "event '%s' descheduled while not scheduled",
+                    ev->name().c_str());
+    // Lazy deletion: bump the generation so the heap entry is skipped.
+    ev->scheduled_ = false;
+    ++ev->generation_;
+    --live_;
+}
+
+void
+EventQueue::reschedule(Event *ev, Tick when)
+{
+    if (ev->scheduled_)
+        deschedule(ev);
+    schedule(ev, when);
+}
+
+void
+EventQueue::skim()
+{
+    while (!heap_.empty()) {
+        const Entry &top = heap_.top();
+        if (top.ev->generation_ == top.generation &&
+            top.ev->scheduled_) {
+            return;
+        }
+        heap_.pop();
+    }
+}
+
+bool
+EventQueue::step()
+{
+    skim();
+    if (heap_.empty())
+        return false;
+
+    Entry top = heap_.top();
+    heap_.pop();
+    SYSSCALE_ASSERT(top.when >= now_, "event queue went backwards");
+    now_ = top.when;
+
+    Event *ev = top.ev;
+    ev->scheduled_ = false;
+    --live_;
+    ++processed_;
+    ev->process();
+    return true;
+}
+
+std::uint64_t
+EventQueue::runUntil(Tick limit)
+{
+    std::uint64_t fired = 0;
+    while (true) {
+        skim();
+        if (heap_.empty())
+            break;
+        if (heap_.top().when > limit)
+            break;
+        step();
+        ++fired;
+    }
+    if (now_ < limit)
+        now_ = limit;
+    return fired;
+}
+
+} // namespace sysscale

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Discrete-event kernel.
+ *
+ * A single EventQueue orders events by (tick, priority, insertion
+ * sequence). Components either subclass Event or use
+ * EventFunctionWrapper to run a lambda at a given time, mirroring the
+ * gem5 kernel at a much smaller scale.
+ */
+
+#ifndef SYSSCALE_SIM_EVENT_QUEUE_HH
+#define SYSSCALE_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace sysscale {
+
+class EventQueue;
+
+/**
+ * An occurrence scheduled at a point in simulated time.
+ *
+ * Events are owned by their creators (typically as members of
+ * SimObjects); the queue never deletes them. An event may be scheduled
+ * on at most one queue at a time and may be rescheduled after it fires.
+ */
+class Event
+{
+  public:
+    /** Relative ordering for events that share a tick (lower first). */
+    enum Priority
+    {
+        kPrioMinimum = 0,
+        kPrioDvfsFlow = 10,     //!< PMU transition-flow steps.
+        kPrioDefault = 50,
+        kPrioStatsSample = 80,  //!< Counter sampling after model updates.
+        kPrioMaximum = 100,
+    };
+
+    explicit Event(std::string name, int priority = kPrioDefault);
+    virtual ~Event();
+
+    Event(const Event &) = delete;
+    Event &operator=(const Event &) = delete;
+
+    /** Invoked by the queue when the event's tick is reached. */
+    virtual void process() = 0;
+
+    const std::string &name() const { return name_; }
+    int priority() const { return priority_; }
+
+    /** True while the event sits in a queue. */
+    bool scheduled() const { return scheduled_; }
+
+    /** Tick this event will fire at (valid only while scheduled). */
+    Tick when() const { return when_; }
+
+  private:
+    friend class EventQueue;
+
+    std::string name_;
+    int priority_;
+    bool scheduled_ = false;
+    Tick when_ = 0;
+    std::uint64_t seq_ = 0;
+    std::uint64_t generation_ = 0; //!< Invalidates stale queue entries.
+};
+
+/**
+ * Convenience event that runs a std::function.
+ */
+class EventFunctionWrapper : public Event
+{
+  public:
+    EventFunctionWrapper(std::string name, std::function<void()> fn,
+                         int priority = kPrioDefault)
+        : Event(std::move(name), priority), fn_(std::move(fn))
+    {}
+
+    void process() override { fn_(); }
+
+  private:
+    std::function<void()> fn_;
+};
+
+/**
+ * The kernel: a time-ordered queue of events plus the current tick.
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /**
+     * Schedule @p ev at absolute time @p when (>= now()).
+     * Panics if the event is already scheduled or when is in the past.
+     */
+    void schedule(Event *ev, Tick when);
+
+    /** Schedule @p ev at now() + @p delta. */
+    void scheduleIn(Event *ev, Tick delta) { schedule(ev, now_ + delta); }
+
+    /** Remove a scheduled event (no-op panic if not scheduled). */
+    void deschedule(Event *ev);
+
+    /** Deschedule-if-needed then schedule at @p when. */
+    void reschedule(Event *ev, Tick when);
+
+    /** Number of pending events. */
+    std::size_t pending() const { return live_; }
+
+    bool empty() const { return live_ == 0; }
+
+    /**
+     * Run until the queue empties or @p limit is passed.
+     *
+     * @param limit Absolute tick bound (inclusive); events scheduled
+     *              beyond it remain pending and now() advances to limit.
+     * @return Number of events processed.
+     */
+    std::uint64_t runUntil(Tick limit);
+
+    /** Run a single event if one is pending. @return true if fired. */
+    bool step();
+
+    /** Total number of events processed over the queue's lifetime. */
+    std::uint64_t processedCount() const { return processed_; }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        int priority;
+        std::uint64_t seq;
+        std::uint64_t generation;
+        Event *ev;
+    };
+
+    struct EntryGreater
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            if (a.priority != b.priority)
+                return a.priority > b.priority;
+            return a.seq > b.seq;
+        }
+    };
+
+    /** Pop dead (descheduled/rescheduled) entries off the heap top. */
+    void skim();
+
+    std::priority_queue<Entry, std::vector<Entry>, EntryGreater> heap_;
+    Tick now_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t processed_ = 0;
+    std::size_t live_ = 0;
+};
+
+} // namespace sysscale
+
+#endif // SYSSCALE_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,71 @@
+#include "sim/sim_object.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace sysscale {
+
+Simulator::Simulator(std::uint64_t seed)
+    : statsRoot_(nullptr, ""), rootRng_(seed)
+{
+}
+
+void
+Simulator::registerObject(SimObject *obj)
+{
+    objects_.push_back(obj);
+}
+
+void
+Simulator::unregisterObject(SimObject *obj)
+{
+    auto it = std::find(objects_.begin(), objects_.end(), obj);
+    if (it != objects_.end())
+        objects_.erase(it);
+}
+
+void
+Simulator::startAll()
+{
+    if (started_)
+        return;
+    started_ = true;
+    // Objects may register children during startup; index loop on
+    // purpose.
+    for (std::size_t i = 0; i < objects_.size(); ++i)
+        objects_[i]->startup();
+}
+
+std::uint64_t
+Simulator::run(Tick limit)
+{
+    startAll();
+    return eventq_.runUntil(limit);
+}
+
+SimObject *
+Simulator::find(const std::string &name) const
+{
+    for (auto *obj : objects_) {
+        if (obj->path() == name || obj->name() == name)
+            return obj;
+    }
+    return nullptr;
+}
+
+SimObject::SimObject(Simulator &sim, SimObject *parent, std::string name)
+    : stats::StatGroup(parent ? static_cast<stats::StatGroup *>(parent)
+                              : &sim.statsRoot(),
+                       std::move(name)),
+      sim_(sim)
+{
+    sim_.registerObject(this);
+}
+
+SimObject::~SimObject()
+{
+    sim_.unregisterObject(this);
+}
+
+} // namespace sysscale

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * SimObject and Simulator: naming, registration, and shared kernel
+ * services (event queue, root RNG, stats root).
+ */
+
+#ifndef SYSSCALE_SIM_SIM_OBJECT_HH
+#define SYSSCALE_SIM_SIM_OBJECT_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/random.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace sysscale {
+
+class SimObject;
+
+/**
+ * Top-level simulation context.
+ *
+ * Owns the event queue, the root statistics group, and the root RNG.
+ * SimObjects register themselves at construction; startup() is called
+ * on each before the first event fires.
+ */
+class Simulator
+{
+  public:
+    explicit Simulator(std::uint64_t seed = 1);
+
+    Simulator(const Simulator &) = delete;
+    Simulator &operator=(const Simulator &) = delete;
+
+    EventQueue &eventq() { return eventq_; }
+    const EventQueue &eventq() const { return eventq_; }
+
+    stats::StatGroup &statsRoot() { return statsRoot_; }
+
+    /** Fork a deterministic per-component RNG stream. */
+    Rng forkRng() { return rootRng_.fork(); }
+
+    Tick now() const { return eventq_.now(); }
+
+    /** Call startup() on all registered objects (idempotent). */
+    void startAll();
+
+    /** Run the kernel until @p limit, calling startAll() first. */
+    std::uint64_t run(Tick limit);
+
+    /** Look up a registered object by name (nullptr if absent). */
+    SimObject *find(const std::string &name) const;
+
+    const std::vector<SimObject *> &objects() const { return objects_; }
+
+  private:
+    friend class SimObject;
+    void registerObject(SimObject *obj);
+    void unregisterObject(SimObject *obj);
+
+    EventQueue eventq_;
+    stats::StatGroup statsRoot_;
+    Rng rootRng_;
+    std::vector<SimObject *> objects_;
+    bool started_ = false;
+};
+
+/**
+ * Base class for every named model component.
+ */
+class SimObject : public stats::StatGroup
+{
+  public:
+    SimObject(Simulator &sim, SimObject *parent, std::string name);
+    ~SimObject() override;
+
+    /** Hook called once before simulation begins. */
+    virtual void startup() {}
+
+    Simulator &sim() { return sim_; }
+    const Simulator &sim() const { return sim_; }
+
+    EventQueue &eventq() { return sim_.eventq(); }
+    Tick now() const { return sim_.now(); }
+
+  private:
+    Simulator &sim_;
+};
+
+} // namespace sysscale
+
+#endif // SYSSCALE_SIM_SIM_OBJECT_HH

@@ -1,0 +1,456 @@
+#include "soc/soc.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace sysscale {
+namespace soc {
+
+namespace {
+
+/** LLC capacity the workload profiles were characterized at. */
+constexpr std::size_t kProfileLlcBytes = 4ull * 1024 * 1024;
+
+} // namespace
+
+Soc::Soc(Simulator &sim, SocConfig cfg)
+    : SimObject(sim, nullptr, "soc"), cfg_(std::move(cfg)),
+      mrc_(cfg_.dramSpec), opPoints_(cfg_),
+      meter_(), pbm_(cfg_.tdp, cfg_.pbmReserve),
+      vsaReg_(power::Rail::VSA, cfg_.vSaBoot, cfg_.vrSlewRate),
+      vioReg_(power::Rail::VIO, cfg_.vIoBoot, cfg_.vrSlewRate),
+      hdc_(cfg_.tdp),
+      stepEvent_("soc.step", [this] { step(); }),
+      transitions_(this, "transitions", "operating-point transitions"),
+      qosViolations_(this, "qos_violations",
+                     "steps with isochronous demand unmet"),
+      stallTicks_(this, "stall_ticks",
+                  "memory-blocked time charged by DVFS flows"),
+      steps_(this, "steps", "model steps executed")
+{
+    cfg_.validate();
+
+    dram_ = std::make_unique<dram::DramDevice>(sim, this,
+                                               cfg_.dramSpec,
+                                               cfg_.vddq);
+    mc_ = std::make_unique<mem::MemoryController>(sim, this, *dram_,
+                                                  mrc_, cfg_.vSaBoot);
+    mc_->ddrio().setVio(cfg_.vIoBoot);
+    fabric_ = std::make_unique<interconnect::IoFabric>(
+        sim, this, cfg_.fabricFreqHigh, cfg_.vSaBoot);
+    display_ = std::make_unique<io::DisplayEngine>(sim, this, csr_);
+    isp_ = std::make_unique<io::IspEngine>(sim, this, csr_);
+    dma_ = std::make_unique<io::DmaDevice>(sim, this, "dma");
+
+    power::PStateTable core_table(power::skylakeCoreCurve(),
+                                  cfg_.coreCdyn, cfg_.coreLeakK,
+                                  cfg_.temperature, cfg_.pstateSteps);
+    cpu_ = std::make_unique<compute::CpuCluster>(
+        sim, this, cfg_.cores, cfg_.threadsPerCore,
+        std::move(core_table));
+
+    power::PStateTable gfx_table(power::skylakeGfxCurve(),
+                                 cfg_.gfxCdyn, cfg_.gfxLeakK,
+                                 cfg_.temperature, cfg_.pstateSteps);
+    gfx_ = std::make_unique<compute::GfxEngine>(sim, this,
+                                                std::move(gfx_table));
+
+    llc_ = std::make_unique<compute::Llc>(sim, this, cfg_.llcBytes);
+    counters_ = std::make_unique<PerfCounterBlock>(sim, this);
+    pmu_ = std::make_unique<Pmu>(sim, *this, *counters_,
+                                 cfg_.sampleInterval,
+                                 cfg_.evaluationInterval);
+
+    currentOp_ = opPoints_.high();
+    computeBudget_ = pbm_.computeBudget(ioMemBudget(currentOp_), 0.0);
+    meter_.reset(0);
+}
+
+Soc::~Soc()
+{
+    if (stepEvent_.scheduled())
+        eventq().deschedule(&stepEvent_);
+}
+
+void
+Soc::startup()
+{
+    eventq().schedule(&stepEvent_, now() + cfg_.stepInterval);
+}
+
+BytesPerSec
+Soc::isoBandwidthDemand() const
+{
+    return display_->bandwidthDemand() + isp_->bandwidthDemand();
+}
+
+Watt
+Soc::ioMemBudget(const OperatingPoint &op) const
+{
+    return ioMemBudgetDemand(cfg_, op);
+}
+
+void
+Soc::setComputeBudget(Watt budget)
+{
+    SYSSCALE_ASSERT(budget >= 0.0, "negative compute budget");
+    computeBudget_ = budget;
+}
+
+void
+Soc::noteTransition(const OperatingPoint &target, Tick flow_latency)
+{
+    currentOp_ = target;
+    ++transitions_;
+    pendingStall_ += flow_latency;
+    stallTicks_ += static_cast<double>(flow_latency);
+}
+
+void
+Soc::applyComputePStates(const IntervalDemand &demand,
+                         std::size_t active_threads,
+                         double avg_activity)
+{
+    const power::ComputeSplit split =
+        pbm_.split(computeBudget_, gfxActive_);
+
+    // Idle unit floors are charged from the budget before granting.
+    const std::size_t active_cores = std::max<std::size_t>(
+        1, (active_threads + cfg_.threadsPerCore - 1) /
+               cfg_.threadsPerCore);
+
+    Hertz core_req = demand.coreFreqRequest > 0.0
+                         ? demand.coreFreqRequest
+                         : cpu_->pstates().max().freq;
+    if (coreFreqCap_ > 0.0)
+        core_req = std::min(core_req, coreFreqCap_);
+
+    const Watt core_budget = throttle_ *
+        (gfxActive_ ? split.coreBudget : computeBudget_) /
+        static_cast<double>(active_cores);
+    cpu_->setPState(pbm_.grant(cpu_->pstates(), core_req, core_budget,
+                               avg_activity));
+
+    if (gfxActive_) {
+        const Hertz gfx_req = demand.gfxFreqRequest > 0.0
+                                  ? demand.gfxFreqRequest
+                                  : gfx_->pstates().max().freq;
+        gfx_->setPState(pbm_.grant(gfx_->pstates(), gfx_req,
+                                   split.gfxBudget * throttle_,
+                                   demand.gfxWork.activity));
+    } else {
+        gfx_->setPState(gfx_->pstates().min());
+    }
+}
+
+void
+Soc::step()
+{
+    const Tick interval = cfg_.stepInterval;
+    ++steps_;
+
+    IntervalDemand demand;
+    if (workload_ && !workload_->finished(now()))
+        workload_->demandAt(now(), demand);
+
+    const compute::CStateResidency &res = demand.residency;
+    const double dram_frac = res.dramActiveFraction();
+
+    // Transition stall: memory-blocked wall time inside this step.
+    const double stall_frac = std::min(
+        0.9, static_cast<double>(pendingStall_) /
+                 static_cast<double>(interval));
+    pendingStall_ = 0;
+
+    const double exec_frac =
+        res.activeFraction() * hdc_.dutyFactor() * (1.0 - stall_frac);
+
+    std::size_t active_threads = 0;
+    double act_sum = 0.0;
+    for (const auto &w : demand.threadWork) {
+        if (w.cpiBase > 0.0) {
+            ++active_threads;
+            act_sum += w.activity;
+        }
+    }
+    const double avg_activity =
+        active_threads ? act_sum / static_cast<double>(active_threads)
+                       : 0.7;
+
+    gfxActive_ = !demand.gfxWork.idle() && exec_frac > 0.0;
+    applyComputePStates(demand, active_threads, avg_activity);
+
+    const double miss_scale = llc_->missScale(kProfileLlcBytes);
+    const BytesPerSec iso = isoBandwidthDemand();
+
+    // Rates below are normalized to the DRAM-active window; CPU and
+    // graphics only execute during the C0 share of it.
+    const double cpu_share =
+        dram_frac > 1e-9 ? exec_frac / dram_frac : 0.0;
+
+    mem::MemDemand md;
+    double latency = lastMemLatencyNs_;
+    double gfx_demand_c0 = 0.0;
+
+    for (int pass = 0; pass < 3; ++pass) {
+        double cpu_bw = 0.0;
+        for (const auto &w : demand.threadWork) {
+            if (w.cpiBase <= 0.0)
+                continue;
+            compute::CoreWork scaled = w;
+            scaled.mpki *= miss_scale;
+            cpu_bw += cpu_->bandwidthDemand(scaled, latency);
+        }
+        gfx_demand_c0 = gfx_->bandwidthDemand(demand.gfxWork);
+
+        md.cpuRead = cpu_bw * cpu_share * kCpuReadShare;
+        md.cpuWrite = cpu_bw * cpu_share * (1.0 - kCpuReadShare);
+        md.gfx = gfx_demand_c0 * cpu_share;
+        md.ioIso = iso;
+        md.ioBestEffort = demand.ioBestEffort * cpu_share;
+
+        const double rho =
+            std::min(0.96, md.total() / mc_->capacity());
+        latency = mc_->loadedLatencyAt(rho);
+    }
+
+    // IO traffic crosses the fabric; CPU/GFX reach the MC via LLC.
+    interconnect::FabricResult fr;
+    if (dram_frac > 1e-9) {
+        fr = fabric_->service(
+            interconnect::FabricDemand{md.ioIso, md.ioBestEffort},
+            interval);
+    }
+
+    mem::MemServiceResult ms;
+    Watt vddq_power = dram_->selfRefreshPower();
+    double mc_util = 0.0;
+    if (dram_frac > 1e-9) {
+        const Tick active_ticks = static_cast<Tick>(
+            static_cast<double>(interval) * dram_frac);
+        ms = mc_->service(md, std::max<Tick>(1, active_ticks));
+        vddq_power = mc_->lastDramPower() * dram_frac +
+                     dram_->selfRefreshPower() * (1.0 - dram_frac);
+        mc_util = ms.utilization;
+        lastMemLatencyNs_ = ms.loadedLatencyNs;
+    }
+
+    if (ms.qosViolation || fr.qosViolation)
+        ++qosViolations_;
+
+    // Retire compute progress.
+    double stall_cycles = 0.0;
+    double instr = 0.0;
+    const Tick exec_ticks = static_cast<Tick>(
+        static_cast<double>(interval) * exec_frac);
+    if (exec_ticks > 0) {
+        const double cpu_grant =
+            md.cpuRead > 1e-9
+                ? std::clamp(ms.achievedCpuRead / md.cpuRead, 1e-3,
+                             1.0)
+                : 1.0;
+        for (const auto &w : demand.threadWork) {
+            if (w.cpiBase <= 0.0)
+                continue;
+            compute::CoreWork scaled = w;
+            scaled.mpki *= miss_scale;
+            const compute::CoreResult r = cpu_->retire(
+                scaled, lastMemLatencyNs_, cpu_grant, exec_ticks);
+            stall_cycles += r.stallCycles;
+            instr += r.instructions;
+        }
+
+        if (gfxActive_) {
+            const double gfx_grant =
+                md.gfx > 1e-9
+                    ? std::clamp(ms.achievedGfx / md.gfx, 1e-3, 1.0)
+                    : 1.0;
+            gfx_->render(demand.gfxWork,
+                         gfx_demand_c0 * gfx_grant, exec_ticks);
+        }
+    }
+
+    // Counter observables (raw per-step quantities).
+    const double secs = secondsFromTicks(interval);
+    const double gfx_misses =
+        ms.achievedGfx * dram_frac * secs / 64.0;
+    const double cpu_occ = ms.readPendingOccupancy * dram_frac;
+    const double io_rpq = fr.readPendingOccupancy * dram_frac;
+    llc_->recordInterval(ms.achievedCpuRead * dram_frac * secs / 64.0,
+                         gfx_misses, stall_cycles, cpu_occ);
+    counters_->accumulate(gfx_misses, cpu_occ, stall_cycles, io_rpq,
+                          interval);
+
+    const Watt step_power = integratePower(
+        demand, mc_util, fr.utilization, vddq_power, interval);
+
+    // Reactive power capping: budget models are estimates; when the
+    // measured average runs above TDP the compute grant is walked
+    // down (and back up once headroom returns).
+    powerEwma_ = 0.98 * powerEwma_ +
+                 0.02 * (step_power - cfg_.platformFloor);
+    if (powerEwma_ > cfg_.tdp) {
+        throttle_ = std::max(kThrottleFloor, throttle_ * 0.98);
+    } else if (throttle_ < 1.0) {
+        throttle_ = std::min(1.0, throttle_ * 1.01);
+    }
+
+    bwEwma_ = 0.98 * bwEwma_ + 0.02 * ms.achievedTotal() * dram_frac;
+
+    // Run-window accumulators.
+    elapsedSeconds_ += secs;
+    memLatIntegral_ += lastMemLatencyNs_ * secs * dram_frac;
+    memActiveSeconds_ += secs * dram_frac;
+    bwIntegral_ += ms.achievedTotal() * dram_frac * secs;
+    coreFreqIntegral_ += cpu_->frequency() * secs;
+    if (!(currentOp_ == opPoints_.high()))
+        lowPointSeconds_ += secs;
+
+    (void)instr;
+    eventq().schedule(&stepEvent_, now() + interval);
+}
+
+Watt
+Soc::integratePower(const IntervalDemand &demand, double mc_util,
+                    double fabric_util, Watt vddq_power,
+                    Tick interval)
+{
+    const compute::CStateResidency &res = demand.residency;
+    const double exec = res.activeFraction() * hdc_.dutyFactor();
+    const double leak_w = res.computeLeakWeight();
+    const double uncore_w = res.uncoreWeight();
+
+    std::size_t active_threads = 0;
+    double act_sum = 0.0;
+    for (const auto &w : demand.threadWork) {
+        if (w.cpiBase > 0.0) {
+            ++active_threads;
+            act_sum += w.activity;
+        }
+    }
+    const double activity =
+        active_threads ? act_sum / static_cast<double>(active_threads)
+                       : 0.0;
+
+    // VCore: dynamic while executing, leakage weighted by C-state,
+    // LLC on the same rail.
+    const Watt cpu_total = active_threads
+                               ? cpu_->power(active_threads, activity)
+                               : cpu_->leakage();
+    const Watt cpu_dyn = cpu_total - cpu_->leakage();
+    const Watt llc_power = llc_->power(cpu_->voltage(), mc_util);
+    const Watt v_core = cpu_dyn * exec +
+                        cpu_->leakage() * leak_w + llc_power * leak_w;
+    meter_.addPower(power::Rail::VCore, v_core, interval);
+
+    // VGfx: dynamic while rendering, leakage weighted by C-state.
+    const Watt gfx_total = gfx_->power(demand.gfxWork);
+    const Watt gfx_leak = gfx_->power(compute::GfxWork{});
+    const Watt v_gfx = gfxActive_
+                           ? (gfx_total - gfx_leak) * exec +
+                                 gfx_leak * leak_w
+                           : gfx_leak * leak_w;
+    meter_.addPower(power::Rail::VGfx, v_gfx, interval);
+
+    // V_SA: MC + fabric + IO engines (Fig. 1, circled 1).
+    const Watt v_sa =
+        (mc_->controllerPower(mc_util) + fabric_->power(fabric_util) +
+         display_->power() + isp_->power() +
+         dma_->power(demand.ioBestEffort)) *
+        uncore_w;
+    meter_.addPower(power::Rail::VSA, v_sa, interval);
+
+    // V_IO: DDRIO-digital + IO PHYs (circled 4).
+    const Watt v_io = mc_->ddrioDigitalPower(mc_util) * uncore_w;
+    meter_.addPower(power::Rail::VIO, v_io, interval);
+
+    // VDDQ: DRAM + DDRIO-analog (circled 2 and 3); already blended
+    // between active and self-refresh by the caller.
+    meter_.addPower(power::Rail::VDDQ, vddq_power, interval);
+
+    // Always-on platform slice outside the managed domains; charged
+    // on the V_SA meter channel (same supply branch on the board).
+    meter_.addPower(power::Rail::VSA, cfg_.platformFloor, interval);
+
+    return v_core + v_gfx + v_sa + v_io + vddq_power +
+           cfg_.platformFloor;
+}
+
+RunMetrics
+Soc::run(Tick duration)
+{
+    SYSSCALE_ASSERT(duration > 0, "zero-length run");
+
+    struct Snapshot
+    {
+        double instructions, frames;
+        std::array<Joule, power::kNumRails> rail;
+        double latInt, latSecs, bwInt, freqInt, lowSecs, elapsed;
+        double qos, trans, stall;
+    };
+
+    auto snap = [this] {
+        Snapshot s;
+        s.instructions = cpu_->totalInstructions();
+        s.frames = gfx_->totalFrames();
+        for (power::Rail r : power::kAllRails)
+            s.rail[power::railIndex(r)] = meter_.railEnergy(r);
+        s.latInt = memLatIntegral_;
+        s.latSecs = memActiveSeconds_;
+        s.bwInt = bwIntegral_;
+        s.freqInt = coreFreqIntegral_;
+        s.lowSecs = lowPointSeconds_;
+        s.elapsed = elapsedSeconds_;
+        s.qos = qosViolations_.value();
+        s.trans = transitions_.value();
+        s.stall = stallTicks_.value();
+        return s;
+    };
+
+    const Snapshot before = snap();
+    sim().run(now() + duration);
+    const Snapshot after = snap();
+
+    RunMetrics m;
+    m.seconds = secondsFromTicks(duration);
+    m.instructions = after.instructions - before.instructions;
+    m.ips = m.instructions / m.seconds;
+    m.frames = after.frames - before.frames;
+    m.fps = m.frames / m.seconds;
+
+    Joule total = 0.0;
+    for (power::Rail r : power::kAllRails) {
+        const std::size_t i = power::railIndex(r);
+        m.railEnergy[i] = after.rail[i] - before.rail[i];
+        total += m.railEnergy[i];
+    }
+    m.energy = total;
+    m.avgPower = total / m.seconds;
+    m.edp = power::edp(total, m.seconds);
+
+    const double lat_secs = after.latSecs - before.latSecs;
+    m.avgMemLatencyNs =
+        lat_secs > 0.0 ? (after.latInt - before.latInt) / lat_secs
+                       : 0.0;
+    const double elapsed = after.elapsed - before.elapsed;
+    m.avgMemBandwidth =
+        elapsed > 0.0 ? (after.bwInt - before.bwInt) / elapsed : 0.0;
+    m.avgCoreFreq =
+        elapsed > 0.0 ? (after.freqInt - before.freqInt) / elapsed
+                      : 0.0;
+    m.lowPointResidency =
+        elapsed > 0.0 ? (after.lowSecs - before.lowSecs) / elapsed
+                      : 0.0;
+
+    m.qosViolations =
+        static_cast<std::uint64_t>(after.qos - before.qos);
+    m.transitions =
+        static_cast<std::uint64_t>(after.trans - before.trans);
+    m.stallTicks = static_cast<Tick>(after.stall - before.stall);
+    return m;
+}
+
+} // namespace soc
+} // namespace sysscale

@@ -1,0 +1,263 @@
+/**
+ * @file
+ * The assembled mobile SoC (paper Fig. 1).
+ *
+ * Soc wires the three domains together — compute (CPU cluster,
+ * graphics, LLC), IO (fabric, display, ISP, DMA), and memory (MC,
+ * DDRIO, DRAM) — plus the PMU, the voltage regulators, and the
+ * energy meter. The model advances in fixed interval steps: each
+ * step the workload agent presents demand, the memory subsystem
+ * computes achieved bandwidth and loaded latency, the compute models
+ * convert service into progress, and per-rail power is integrated.
+ *
+ * Governors (src/core) plug in behind soc::PmuPolicy and manipulate
+ * the exposed components through the transition flow.
+ */
+
+#ifndef SYSSCALE_SOC_SOC_HH
+#define SYSSCALE_SOC_SOC_HH
+
+#include <array>
+#include <memory>
+
+#include "compute/cpu.hh"
+#include "compute/cstates.hh"
+#include "compute/gfx.hh"
+#include "compute/llc.hh"
+#include "dram/device.hh"
+#include "interconnect/fabric.hh"
+#include "io/csr.hh"
+#include "io/display.hh"
+#include "io/dma.hh"
+#include "io/isp.hh"
+#include "mem/controller.hh"
+#include "mem/mrc.hh"
+#include "power/energy_meter.hh"
+#include "power/pbm.hh"
+#include "power/regulator.hh"
+#include "sim/sim_object.hh"
+#include "soc/config.hh"
+#include "soc/counters.hh"
+#include "soc/op_point.hh"
+#include "soc/pmu.hh"
+#include "soc/workload_agent.hh"
+
+namespace sysscale {
+namespace soc {
+
+/** Aggregate metrics over one measured run window. */
+struct RunMetrics
+{
+    double seconds = 0.0;
+
+    /** @name Performance. @{ */
+    double instructions = 0.0;
+    double ips = 0.0;          //!< Instructions per second.
+    double frames = 0.0;
+    double fps = 0.0;          //!< Average frame rate.
+    /** @} */
+
+    /** @name Power and energy. @{ */
+    Watt avgPower = 0.0;
+    Joule energy = 0.0;
+    double edp = 0.0;          //!< Energy x delay over the window.
+    std::array<Joule, power::kNumRails> railEnergy{};
+    /** @} */
+
+    /** @name Memory subsystem. @{ */
+    double avgMemLatencyNs = 0.0;
+    BytesPerSec avgMemBandwidth = 0.0;
+    /** @} */
+
+    /** @name Power management. @{ */
+    Hertz avgCoreFreq = 0.0;
+    std::uint64_t qosViolations = 0;
+    std::uint64_t transitions = 0;
+    Tick stallTicks = 0;
+    double lowPointResidency = 0.0; //!< Time share below the top point.
+    /** @} */
+};
+
+/**
+ * A Skylake-class mobile SoC instance.
+ */
+class Soc : public SimObject
+{
+  public:
+    Soc(Simulator &sim, SocConfig cfg);
+    ~Soc() override;
+
+    const SocConfig &config() const { return cfg_; }
+    const OpPointTable &opPoints() const { return opPoints_; }
+
+    /** @name Component access (flow and governor plumbing). @{ */
+    dram::DramDevice &dram() { return *dram_; }
+    mem::MemoryController &mc() { return *mc_; }
+    const mem::MrcStore &mrc() const { return mrc_; }
+    interconnect::IoFabric &fabric() { return *fabric_; }
+    io::CsrSpace &csr() { return csr_; }
+    io::DisplayEngine &display() { return *display_; }
+    io::IspEngine &isp() { return *isp_; }
+    io::DmaDevice &dma() { return *dma_; }
+    compute::CpuCluster &cpu() { return *cpu_; }
+    compute::GfxEngine &gfx() { return *gfx_; }
+    compute::Llc &llc() { return *llc_; }
+    PerfCounterBlock &counters() { return *counters_; }
+    Pmu &pmu() { return *pmu_; }
+    power::EnergyMeter &meter() { return meter_; }
+    power::PowerBudgetManager &pbm() { return pbm_; }
+    power::Regulator &vsaRegulator() { return vsaReg_; }
+    power::Regulator &vioRegulator() { return vioReg_; }
+    /** @} */
+
+    /** @name Operating point bookkeeping. @{ */
+
+    /** The IO/memory-domain point currently applied. */
+    const OperatingPoint &currentOpPoint() const { return currentOp_; }
+
+    /**
+     * Record a completed transition: the flow has already programmed
+     * the hardware; the Soc charges the stall and re-budgets.
+     *
+     * @param target Point now in effect.
+     * @param flow_latency Wall time memory traffic was blocked.
+     */
+    void noteTransition(const OperatingPoint &target,
+                        Tick flow_latency);
+
+    /** Worst-case IO+memory power of @p op (budget arithmetic). */
+    Watt ioMemBudget(const OperatingPoint &op) const;
+
+    /** Compute-domain budget currently granted by the policy. */
+    Watt computeBudget() const { return computeBudget_; }
+
+    /** Grant the compute domain @p budget (policy hook). */
+    void setComputeBudget(Watt budget);
+
+    /** Cap CPU frequency (CoScale-style coordination; 0 = none). */
+    void setCoreFreqCap(Hertz cap) { coreFreqCap_ = cap; }
+
+    Hertz coreFreqCap() const { return coreFreqCap_; }
+    /** @} */
+
+    /** @name Workload and execution. @{ */
+
+    /** Bind the running workload (not owned; may be null = idle). */
+    void setWorkload(WorkloadAgent *agent) { workload_ = agent; }
+
+    /** Whether graphics rendered in the last step. */
+    bool gfxActive() const { return gfxActive_; }
+
+    /** Static isochronous demand from the IO engines (CSR-derived). */
+    BytesPerSec isoBandwidthDemand() const;
+
+    /**
+     * Run the SoC for @p duration and return metrics over exactly
+     * that window. Successive calls continue the same simulation
+     * (use an initial run as warm-up).
+     */
+    RunMetrics run(Tick duration);
+
+    /** Loaded memory latency of the last step (ns). */
+    double lastMemLatencyNs() const { return lastMemLatencyNs_; }
+
+    /**
+     * Exponentially-weighted recent memory bandwidth (time constant
+     * of a few milliseconds) — the utilization signal epoch-based
+     * governors like MemScale/CoScale key on.
+     */
+    BytesPerSec recentBandwidth() const { return bwEwma_; }
+
+    std::uint64_t transitionCount() const
+    {
+        return static_cast<std::uint64_t>(transitions_.value());
+    }
+
+    std::uint64_t qosViolationCount() const
+    {
+        return static_cast<std::uint64_t>(qosViolations_.value());
+    }
+    /** @} */
+
+    void startup() override;
+
+    /** Read/write split assumed for CPU memory traffic. */
+    static constexpr double kCpuReadShare = 0.70;
+
+    /**
+     * Reactive power-cap throttle floor. The PBM "is designed to
+     * keep the average power consumption of the compute domain
+     * within the allocated power budget" (Sec. 4.3); when measured
+     * SoC power runs over TDP (budget models are estimates), the
+     * compute grant is walked down to this floor.
+     */
+    static constexpr double kThrottleFloor = 0.30;
+
+    /** Current reactive throttle multiplier (diagnostics). */
+    double throttle() const { return throttle_; }
+
+  private:
+    void step();
+    void applyComputePStates(const IntervalDemand &demand,
+                             std::size_t active_threads,
+                             double avg_activity);
+
+    /** Integrate rail power for the step; returns total watts. */
+    Watt integratePower(const IntervalDemand &demand,
+                        double mc_util, double fabric_util,
+                        Watt dram_power, Tick interval);
+
+    SocConfig cfg_;
+    mem::MrcStore mrc_;
+    OpPointTable opPoints_;
+    io::CsrSpace csr_;
+
+    std::unique_ptr<dram::DramDevice> dram_;
+    std::unique_ptr<mem::MemoryController> mc_;
+    std::unique_ptr<interconnect::IoFabric> fabric_;
+    std::unique_ptr<io::DisplayEngine> display_;
+    std::unique_ptr<io::IspEngine> isp_;
+    std::unique_ptr<io::DmaDevice> dma_;
+    std::unique_ptr<compute::CpuCluster> cpu_;
+    std::unique_ptr<compute::GfxEngine> gfx_;
+    std::unique_ptr<compute::Llc> llc_;
+    std::unique_ptr<PerfCounterBlock> counters_;
+    std::unique_ptr<Pmu> pmu_;
+
+    power::EnergyMeter meter_;
+    power::PowerBudgetManager pbm_;
+    power::Regulator vsaReg_;
+    power::Regulator vioReg_;
+    compute::HardwareDutyCycle hdc_;
+
+    WorkloadAgent *workload_ = nullptr;
+    OperatingPoint currentOp_;
+    Watt computeBudget_ = 0.0;
+    Hertz coreFreqCap_ = 0.0;
+    bool gfxActive_ = false;
+    double lastMemLatencyNs_ = 60.0;
+    BytesPerSec bwEwma_ = 0.0;
+    Watt powerEwma_ = 0.0;
+    double throttle_ = 1.0;
+    Tick pendingStall_ = 0;
+
+    EventFunctionWrapper stepEvent_;
+
+    // Run-window accumulators (sampled by run()).
+    double memLatIntegral_ = 0.0;
+    double memActiveSeconds_ = 0.0;
+    double bwIntegral_ = 0.0;
+    double coreFreqIntegral_ = 0.0;
+    double lowPointSeconds_ = 0.0;
+    double elapsedSeconds_ = 0.0;
+
+    stats::Scalar transitions_;
+    stats::Scalar qosViolations_;
+    stats::Scalar stallTicks_;
+    stats::Scalar steps_;
+};
+
+} // namespace soc
+} // namespace sysscale
+
+#endif // SYSSCALE_SOC_SOC_HH

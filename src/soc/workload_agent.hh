@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The demand interface between workloads and the SoC model.
+ *
+ * Every simulation step the SoC asks its workload agent what each
+ * compute unit is doing and how the package idles. Workload profiles
+ * (src/workloads) implement this interface; the SoC never needs to
+ * know which benchmark is running.
+ */
+
+#ifndef SYSSCALE_SOC_WORKLOAD_AGENT_HH
+#define SYSSCALE_SOC_WORKLOAD_AGENT_HH
+
+#include <vector>
+
+#include "compute/cpu.hh"
+#include "compute/cstates.hh"
+#include "compute/gfx.hh"
+#include "sim/types.hh"
+
+namespace sysscale {
+namespace soc {
+
+/** Everything a workload demands of the SoC during one step. */
+struct IntervalDemand
+{
+    /** Per-hardware-thread work; empty entries idle the thread. */
+    std::vector<compute::CoreWork> threadWork;
+
+    /** Graphics work (idle() when no rendering). */
+    compute::GfxWork gfxWork;
+
+    /** Best-effort IO demand (DMA clients). */
+    BytesPerSec ioBestEffort = 0.0;
+
+    /** Package idle-state residency over the step. */
+    compute::CStateResidency residency;
+
+    /**
+     * OS P-state request for the CPU cores (Sec. 4.4); 0 means
+     * "maximum" (race-to-finish). Battery-life workloads request the
+     * most efficient frequency Pn (Sec. 7.2).
+     */
+    Hertz coreFreqRequest = 0.0;
+
+    /** Graphics-driver P-state request; 0 means "maximum". */
+    Hertz gfxFreqRequest = 0.0;
+};
+
+/**
+ * A running workload.
+ */
+class WorkloadAgent
+{
+  public:
+    virtual ~WorkloadAgent() = default;
+
+    /** Fill @p demand for the step beginning at @p now. */
+    virtual void demandAt(Tick now, IntervalDemand &demand) = 0;
+
+    /** True once the workload has no more work (open-ended if not). */
+    virtual bool finished(Tick now) const = 0;
+};
+
+} // namespace soc
+} // namespace sysscale
+
+#endif // SYSSCALE_SOC_WORKLOAD_AGENT_HH

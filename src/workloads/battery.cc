@@ -1,0 +1,102 @@
+#include "workloads/battery.hh"
+
+namespace sysscale {
+namespace workloads {
+
+namespace {
+
+using compute::CState;
+using compute::CStateResidency;
+using compute::kNumCStates;
+
+CStateResidency
+residency(double c0, double c2, double c6, double c7, double c8)
+{
+    std::array<double, kNumCStates> f{};
+    f[compute::cstateIndex(CState::C0)] = c0;
+    f[compute::cstateIndex(CState::C2)] = c2;
+    f[compute::cstateIndex(CState::C6)] = c6;
+    f[compute::cstateIndex(CState::C7)] = c7;
+    f[compute::cstateIndex(CState::C8)] = c8;
+    return CStateResidency(f);
+}
+
+Phase
+batteryPhase(Tick duration, double cpi, double mpki, double bpi,
+             double activity, const CStateResidency &res)
+{
+    Phase p;
+    p.duration = duration;
+    p.work.cpiBase = cpi;
+    p.work.mpki = mpki;
+    p.work.blockingFactor = 0.55;
+    p.work.bytesPerInstr = bpi;
+    p.work.activity = activity;
+    p.activeThreads = 1;
+    p.residency = res;
+    p.coreFreqRequest = kBatteryCoreFreq;
+    return p;
+}
+
+} // namespace
+
+WorkloadProfile
+webBrowsing()
+{
+    // Scroll/render bursts alternating with reading idle.
+    Phase burst = batteryPhase(120 * kTicksPerMs, 0.80, 1.8, 1.4,
+                               0.60, residency(0.16, 0.06, 0.22,
+                                               0.06, 0.50));
+    burst.activeThreads = 2;
+    Phase readIdle = batteryPhase(180 * kTicksPerMs, 0.80, 0.8, 0.6,
+                                  0.45, residency(0.05, 0.04, 0.20,
+                                                  0.11, 0.60));
+    return WorkloadProfile("web-browsing", WorkloadClass::BatteryLife,
+                           {burst, readIdle}, 0.1);
+}
+
+WorkloadProfile
+lightGaming()
+{
+    Phase p = batteryPhase(200 * kTicksPerMs, 0.85, 1.5, 1.2, 0.55,
+                           residency(0.22, 0.08, 0.25, 0.05, 0.40));
+    p.gfxWork.cyclesPerFrame = 5.5e6;
+    p.gfxWork.bytesPerFrame = 28e6;
+    p.gfxWork.targetFps = 60.0;
+    p.gfxWork.activity = 0.55;
+    p.gfxFreqRequest = kBatteryGfxFreq;
+    return WorkloadProfile("light-gaming", WorkloadClass::BatteryLife,
+                           {p}, 0.1);
+}
+
+WorkloadProfile
+videoConferencing()
+{
+    // Camera capture (ISP handles the isochronous stream; the CPU
+    // encodes) with moderate activity.
+    Phase p = batteryPhase(200 * kTicksPerMs, 0.70, 2.2, 1.8, 0.60,
+                           residency(0.17, 0.07, 0.20, 0.06, 0.50));
+    p.activeThreads = 2;
+    return WorkloadProfile("video-conferencing",
+                           WorkloadClass::BatteryLife, {p}, 0.1);
+}
+
+WorkloadProfile
+videoPlayback()
+{
+    // Sec. 7.3: C0/C2/C8 residencies of 10/5/85% per frame cycle.
+    Phase p = batteryPhase(100 * kTicksPerMs, 0.75, 1.2, 1.0, 0.50,
+                           residency(0.10, 0.05, 0.00, 0.00, 0.85));
+    return WorkloadProfile("video-playback",
+                           WorkloadClass::BatteryLife, {p}, 0.1);
+}
+
+std::vector<WorkloadProfile>
+batterySuite()
+{
+    return {webBrowsing(), lightGaming(), videoConferencing(),
+            videoPlayback()};
+}
+
+} // namespace workloads
+} // namespace sysscale

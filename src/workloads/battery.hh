@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Battery-life workload profiles (paper Sec. 7.3).
+ *
+ * These workloads have *fixed* performance demands (a 60fps video
+ * frame must be ready every 16.67ms) and long idle windows: active
+ * (C0) residency is 10-40%, with the SoC parked in deep idle states
+ * otherwise. The compute domain requests its most-efficient P-state
+ * (Pn) rather than racing. SysScale's win here is pure average-power
+ * reduction while in C0/C2 (the states with DRAM active), Fig. 9.
+ *
+ * The experiment harness attaches the HD laptop panel (and, for
+ * video conferencing, the camera) before running these profiles.
+ */
+
+#ifndef SYSSCALE_WORKLOADS_BATTERY_HH
+#define SYSSCALE_WORKLOADS_BATTERY_HH
+
+#include <vector>
+
+#include "workloads/profile.hh"
+
+namespace sysscale {
+namespace workloads {
+
+/** Web browsing: bursty scrolling/rendering, ~25% active. */
+WorkloadProfile webBrowsing();
+
+/** Light gaming: capped 60fps rendering, ~40% active. */
+WorkloadProfile lightGaming();
+
+/** Video conferencing: camera + encode, ~30% active. */
+WorkloadProfile videoConferencing();
+
+/** Video playback: decode + scan-out, C0/C2/C8 = 10/5/85%. */
+WorkloadProfile videoPlayback();
+
+/** All four in Fig. 9 order. */
+std::vector<WorkloadProfile> batterySuite();
+
+/** The Pn-style frequency battery workloads request of the cores. */
+constexpr Hertz kBatteryCoreFreq = 0.6 * kGHz;
+
+/** The frequency battery workloads request of the graphics engine. */
+constexpr Hertz kBatteryGfxFreq = 0.45 * kGHz;
+
+} // namespace workloads
+} // namespace sysscale
+
+#endif // SYSSCALE_WORKLOADS_BATTERY_HH

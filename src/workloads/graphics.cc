@@ -1,0 +1,59 @@
+#include "workloads/graphics.hh"
+
+namespace sysscale {
+namespace workloads {
+
+namespace {
+
+WorkloadProfile
+gfxProfile(const char *name, double cycles_per_frame,
+           double bytes_per_frame)
+{
+    Phase p;
+    p.duration = 250 * kTicksPerMs;
+
+    // Driver feed thread: light, mildly bandwidth-consuming.
+    p.work.cpiBase = 0.80;
+    p.work.mpki = 1.0;
+    p.work.blockingFactor = 0.5;
+    p.work.bytesPerInstr = 0.8;
+    p.work.activity = 0.60;
+    p.activeThreads = 1;
+
+    p.gfxWork.cyclesPerFrame = cycles_per_frame;
+    p.gfxWork.bytesPerFrame = bytes_per_frame;
+    p.gfxWork.targetFps = 0.0; // benchmark mode: uncapped
+    p.gfxWork.activity = 0.85;
+
+    return WorkloadProfile(name, WorkloadClass::Graphics, {p},
+                           /*perf_scalability=*/0.2);
+}
+
+} // namespace
+
+WorkloadProfile
+threeDMark06()
+{
+    return gfxProfile("3DMark06", 21e6, 150e6);
+}
+
+WorkloadProfile
+threeDMark11()
+{
+    return gfxProfile("3DMark11", 30e6, 260e6);
+}
+
+WorkloadProfile
+threeDMarkVantage()
+{
+    return gfxProfile("3DMarkVantage", 25e6, 240e6);
+}
+
+std::vector<WorkloadProfile>
+graphicsSuite()
+{
+    return {threeDMark06(), threeDMark11(), threeDMarkVantage()};
+}
+
+} // namespace workloads
+} // namespace sysscale

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * 3DMark graphics workload profiles (paper Sec. 7.2).
+ *
+ * Graphics benchmarks are shader-rate limited at mobile TDPs: the
+ * engine runs as fast as its granted frequency allows while a light
+ * CPU thread feeds it. Their gains under SysScale come from the
+ * power budget freed in the IO/memory domains being converted to
+ * graphics frequency (Fig. 8: 3DMark06 +8.9%, 3DMark11 +6.7%,
+ * Vantage +8.1%).
+ */
+
+#ifndef SYSSCALE_WORKLOADS_GRAPHICS_HH
+#define SYSSCALE_WORKLOADS_GRAPHICS_HH
+
+#include <vector>
+
+#include "workloads/profile.hh"
+
+namespace sysscale {
+namespace workloads {
+
+/** 3DMark06: lighter frames, moderate texture bandwidth. */
+WorkloadProfile threeDMark06();
+
+/** 3DMark11: heaviest frames and textures of the three. */
+WorkloadProfile threeDMark11();
+
+/** 3DMark Vantage. */
+WorkloadProfile threeDMarkVantage();
+
+/** All three in Fig. 8 order. */
+std::vector<WorkloadProfile> graphicsSuite();
+
+} // namespace workloads
+} // namespace sysscale
+
+#endif // SYSSCALE_WORKLOADS_GRAPHICS_HH

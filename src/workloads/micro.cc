@@ -1,0 +1,50 @@
+#include "workloads/micro.hh"
+
+namespace sysscale {
+namespace workloads {
+
+WorkloadProfile
+streamMicro()
+{
+    Phase p;
+    p.duration = 200 * kTicksPerMs;
+    p.work.cpiBase = 0.60;
+    p.work.mpki = 30.0;
+    p.work.blockingFactor = 0.35; // deep prefetch, high MLP
+    p.work.bytesPerInstr = 40.0;
+    p.work.activity = 0.55;
+    p.activeThreads = 4;
+    return WorkloadProfile("stream", WorkloadClass::Micro, {p}, 0.02);
+}
+
+WorkloadProfile
+pointerChaseMicro()
+{
+    Phase p;
+    p.duration = 200 * kTicksPerMs;
+    p.work.cpiBase = 0.50;
+    p.work.mpki = 25.0;
+    p.work.blockingFactor = 1.0; // fully serialized misses
+    p.work.bytesPerInstr = 1.6;
+    p.work.activity = 0.40;
+    p.activeThreads = 1;
+    return WorkloadProfile("pointer-chase", WorkloadClass::Micro, {p},
+                           0.05);
+}
+
+WorkloadProfile
+spinMicro()
+{
+    Phase p;
+    p.duration = 200 * kTicksPerMs;
+    p.work.cpiBase = 0.50;
+    p.work.mpki = 0.0;
+    p.work.blockingFactor = 0.0;
+    p.work.bytesPerInstr = 0.0;
+    p.work.activity = 0.95;
+    p.activeThreads = 1;
+    return WorkloadProfile("spin", WorkloadClass::Micro, {p}, 1.0);
+}
+
+} // namespace workloads
+} // namespace sysscale

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Microbenchmarks.
+ *
+ * The STREAM-like kernel exercises the peak memory bandwidth of DRAM
+ * (paper Sec. 3, Fig. 4: it isolates the impact of unoptimized MRC
+ * values on the memory subsystem). A pointer-chase kernel provides a
+ * pure-latency probe for tests and ablations.
+ */
+
+#ifndef SYSSCALE_WORKLOADS_MICRO_HH
+#define SYSSCALE_WORKLOADS_MICRO_HH
+
+#include "workloads/profile.hh"
+
+namespace sysscale {
+namespace workloads {
+
+/**
+ * Bandwidth saturator in the spirit of STREAM [McCalpin]: all
+ * hardware threads stream with high prefetch efficiency.
+ */
+WorkloadProfile streamMicro();
+
+/** Dependent-load latency probe: one thread, no MLP. */
+WorkloadProfile pointerChaseMicro();
+
+/** Fully core-bound spin kernel (no memory traffic). */
+WorkloadProfile spinMicro();
+
+} // namespace workloads
+} // namespace sysscale
+
+#endif // SYSSCALE_WORKLOADS_MICRO_HH

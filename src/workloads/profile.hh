@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Workload phase profiles.
+ *
+ * The paper evaluates real binaries (SPEC CPU2006, 3DMark, battery
+ * suites) on lab hardware; this repository substitutes calibrated
+ * phase profiles that encode each workload's *bottleneck structure*
+ * — base CPI, miss rate, memory-level parallelism, bandwidth demand,
+ * graphics frame work, and package idle residency per phase — which
+ * is the property every SysScale experiment actually depends on.
+ * Profiles loop: a benchmark's phase sequence repeats until the run
+ * window closes, so measurement windows of any length see the same
+ * phase mix.
+ */
+
+#ifndef SYSSCALE_WORKLOADS_PROFILE_HH
+#define SYSSCALE_WORKLOADS_PROFILE_HH
+
+#include <string>
+#include <vector>
+
+#include "soc/workload_agent.hh"
+
+namespace sysscale {
+namespace workloads {
+
+/** Workload taxonomy used by Fig. 6 and the evaluation sections. */
+enum class WorkloadClass
+{
+    CpuSingleThread,
+    CpuMultiThread,
+    Graphics,
+    BatteryLife,
+    Micro,
+};
+
+const char *workloadClassName(WorkloadClass c);
+
+/** One phase of a workload. */
+struct Phase
+{
+    Tick duration = 100 * kTicksPerMs;
+
+    /** Work per active hardware thread. */
+    compute::CoreWork work{};
+
+    /** Threads running this phase (1 = single-thread). */
+    std::size_t activeThreads = 1;
+
+    compute::GfxWork gfxWork{};
+
+    BytesPerSec ioBestEffort = 0.0;
+
+    compute::CStateResidency residency{};
+
+    /** OS/driver P-state requests (0 = maximum). */
+    Hertz coreFreqRequest = 0.0;
+    Hertz gfxFreqRequest = 0.0;
+};
+
+/**
+ * A named, phased workload.
+ */
+class WorkloadProfile
+{
+  public:
+    WorkloadProfile() = default;
+
+    WorkloadProfile(std::string name, WorkloadClass klass,
+                    std::vector<Phase> phases,
+                    double perf_scalability = 1.0);
+
+    const std::string &name() const { return name_; }
+    WorkloadClass klass() const { return klass_; }
+
+    /**
+     * Performance scalability with CPU frequency (Sec. 6): the
+     * fraction of a frequency increase that converts to performance.
+     */
+    double perfScalability() const { return perfScalability_; }
+
+    std::size_t numPhases() const { return phases_.size(); }
+    const Phase &phase(std::size_t i) const;
+    const std::vector<Phase> &phases() const { return phases_; }
+
+    /** Length of one pass through all phases. */
+    Tick period() const { return period_; }
+
+    /** Phase active at @p offset into the (cyclic) profile. */
+    const Phase &phaseAt(Tick offset) const;
+
+    /** Peak memory bandwidth demanded across phases (diagnostics). */
+    BytesPerSec peakBandwidthHint(double mem_latency_ns,
+                                  Hertz core_freq) const;
+
+  private:
+    std::string name_;
+    WorkloadClass klass_ = WorkloadClass::CpuSingleThread;
+    std::vector<Phase> phases_;
+    double perfScalability_ = 1.0;
+    Tick period_ = 0;
+};
+
+/**
+ * Adapter presenting a WorkloadProfile to the SoC.
+ */
+class ProfileAgent : public soc::WorkloadAgent
+{
+  public:
+    /**
+     * @param profile Profile to run (copied).
+     * @param repeats Passes through the profile before finishing;
+     *        0 means loop forever.
+     */
+    explicit ProfileAgent(WorkloadProfile profile,
+                          std::size_t repeats = 0);
+
+    void demandAt(Tick now, soc::IntervalDemand &demand) override;
+    bool finished(Tick now) const override;
+
+    const WorkloadProfile &profile() const { return profile_; }
+
+    /** Re-base the phase clock so the profile starts at @p now. */
+    void rebase(Tick now) { start_ = now; }
+
+  private:
+    WorkloadProfile profile_;
+    std::size_t repeats_;
+    Tick start_ = 0;
+};
+
+} // namespace workloads
+} // namespace sysscale
+
+#endif // SYSSCALE_WORKLOADS_PROFILE_HH

@@ -1,0 +1,119 @@
+#include "workloads/sweep.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+#include "sim/random.hh"
+
+namespace sysscale {
+namespace workloads {
+
+namespace {
+
+/** Log-uniform draw in [lo, hi]. */
+double
+logUniform(Rng &rng, double lo, double hi)
+{
+    return lo * std::exp(rng.uniform() * std::log(hi / lo));
+}
+
+WorkloadProfile
+cpuWorkload(Rng &rng, std::size_t index, bool multi_thread)
+{
+    Phase p;
+    p.duration = 100 * kTicksPerMs;
+    p.work.cpiBase = rng.uniform(0.45, 2.2);
+    p.work.mpki = logUniform(rng, 0.05, 24.0);
+    p.work.blockingFactor = rng.uniform(0.30, 0.90);
+
+    // Traffic correlates with the miss rate plus a prefetch factor;
+    // streaming codes move more bytes than their demand misses.
+    const double prefetch = rng.uniform(1.0, 3.0);
+    p.work.bytesPerInstr = p.work.mpki / 1000.0 * 64.0 * prefetch *
+                           rng.uniform(0.8, 1.3) * 10.0;
+    p.work.activity = rng.uniform(0.45, 0.90);
+    p.activeThreads = multi_thread
+                          ? static_cast<std::size_t>(
+                                rng.uniformInt(2, 4))
+                          : 1;
+
+    const char *cls = multi_thread ? "mt" : "st";
+    return WorkloadProfile(
+        "synth-" + std::string(cls) + "-" + std::to_string(index),
+        multi_thread ? WorkloadClass::CpuMultiThread
+                     : WorkloadClass::CpuSingleThread,
+        {p}, 1.0 - std::min(1.0, p.work.mpki / 24.0));
+}
+
+WorkloadProfile
+gfxWorkload(Rng &rng, std::size_t index)
+{
+    Phase p;
+    p.duration = 100 * kTicksPerMs;
+
+    // Light feeder thread.
+    p.work.cpiBase = rng.uniform(0.6, 1.1);
+    p.work.mpki = logUniform(rng, 0.2, 3.0);
+    p.work.blockingFactor = 0.5;
+    p.work.bytesPerInstr = p.work.mpki / 1000.0 * 64.0 * 8.0;
+    p.work.activity = 0.55;
+    p.activeThreads = 1;
+
+    p.gfxWork.cyclesPerFrame = logUniform(rng, 4e6, 40e6);
+    p.gfxWork.bytesPerFrame = logUniform(rng, 20e6, 400e6);
+    p.gfxWork.activity = rng.uniform(0.6, 0.9);
+
+    return WorkloadProfile("synth-gfx-" + std::to_string(index),
+                           WorkloadClass::Graphics, {p}, 0.15);
+}
+
+} // namespace
+
+std::vector<WorkloadProfile>
+SynthSweep::generateClass(WorkloadClass klass, std::size_t n,
+                          std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<WorkloadProfile> out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        switch (klass) {
+          case WorkloadClass::CpuSingleThread:
+            out.push_back(cpuWorkload(rng, i, false));
+            break;
+          case WorkloadClass::CpuMultiThread:
+            out.push_back(cpuWorkload(rng, i, true));
+            break;
+          case WorkloadClass::Graphics:
+            out.push_back(gfxWorkload(rng, i));
+            break;
+          default:
+            SYSSCALE_FATAL("SynthSweep: unsupported class %s",
+                           workloadClassName(klass));
+        }
+    }
+    return out;
+}
+
+std::vector<WorkloadProfile>
+SynthSweep::generate(const SweepSpec &spec)
+{
+    std::vector<WorkloadProfile> corpus;
+    corpus.reserve(spec.total());
+
+    auto append = [&corpus](std::vector<WorkloadProfile> part) {
+        for (auto &p : part)
+            corpus.push_back(std::move(p));
+    };
+
+    append(generateClass(WorkloadClass::CpuSingleThread,
+                         spec.cpuSingleThread, spec.seed ^ 0x1));
+    append(generateClass(WorkloadClass::CpuMultiThread,
+                         spec.cpuMultiThread, spec.seed ^ 0x2));
+    append(generateClass(WorkloadClass::Graphics, spec.graphics,
+                         spec.seed ^ 0x3));
+    return corpus;
+}
+
+} // namespace workloads
+} // namespace sysscale

@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Unit tests for the CPU cluster, graphics engine, LLC, and C-states.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compute/cpu.hh"
+#include "compute/cstates.hh"
+#include "compute/gfx.hh"
+#include "compute/llc.hh"
+#include "power/vf_curve.hh"
+#include "sim/sim_object.hh"
+
+namespace sysscale {
+namespace compute {
+namespace {
+
+power::PStateTable
+coreTable()
+{
+    return power::PStateTable(power::skylakeCoreCurve(), 1.05e-9,
+                              0.18, 50.0, 28);
+}
+
+power::PStateTable
+gfxTable()
+{
+    return power::PStateTable(power::skylakeGfxCurve(), 1.5e-9, 0.22,
+                              50.0, 28);
+}
+
+TEST(Cpu, IpcMatchesIntervalModel)
+{
+    Simulator sim;
+    CpuCluster cpu(sim, nullptr, 2, 2, coreTable());
+    cpu.setPState(power::PState{1.2 * kGHz, 0.70, 1.0});
+
+    CoreWork w;
+    w.cpiBase = 1.0;
+    w.mpki = 10.0;
+    w.blockingFactor = 0.5;
+
+    // 100ns at 1.2GHz = 120 cycles; mem CPI = .01*.5*120 = 0.6.
+    EXPECT_NEAR(cpu.ipcAt(w, 100.0), 1.0 / 1.6, 1e-9);
+    // Ideal memory: IPC = 1/cpiBase.
+    EXPECT_NEAR(cpu.ipcAt(w, 0.0), 1.0, 1e-9);
+}
+
+TEST(Cpu, MemoryLatencyHurtsBoundWorkloadsOnly)
+{
+    Simulator sim;
+    CpuCluster cpu(sim, nullptr, 2, 2, coreTable());
+    cpu.setPState(power::PState{1.2 * kGHz, 0.70, 1.0});
+
+    CoreWork compute_bound;
+    compute_bound.cpiBase = 0.6;
+    compute_bound.mpki = 0.1;
+    compute_bound.blockingFactor = 0.3;
+
+    CoreWork mem_bound = compute_bound;
+    mem_bound.mpki = 15.0;
+    mem_bound.blockingFactor = 0.8;
+
+    const double cb_drop = cpu.ipcAt(compute_bound, 130.0) /
+                           cpu.ipcAt(compute_bound, 100.0);
+    const double mb_drop = cpu.ipcAt(mem_bound, 130.0) /
+                           cpu.ipcAt(mem_bound, 100.0);
+    EXPECT_GT(cb_drop, 0.995); // < 0.5% loss
+    EXPECT_LT(mb_drop, 0.90);  // > 10% loss
+}
+
+TEST(Cpu, BandwidthClampLimitsRetirement)
+{
+    Simulator sim;
+    CpuCluster cpu(sim, nullptr, 2, 2, coreTable());
+    cpu.setPState(power::PState{2.0 * kGHz, 0.87, 1.0});
+
+    CoreWork w;
+    w.cpiBase = 0.6;
+    w.mpki = 30.0;
+    w.blockingFactor = 0.35;
+    w.bytesPerInstr = 40.0;
+
+    const CoreResult full = cpu.retire(w, 90.0, 1.0, kTicksPerMs);
+    const CoreResult half = cpu.retire(w, 90.0, 0.5, kTicksPerMs);
+    EXPECT_TRUE(half.bandwidthLimited);
+    EXPECT_NEAR(half.instructions, full.instructions * 0.5, 1e-3);
+}
+
+TEST(Cpu, RetireAccountsStallCycles)
+{
+    Simulator sim;
+    CpuCluster cpu(sim, nullptr, 2, 2, coreTable());
+    cpu.setPState(power::PState{1.0 * kGHz, 0.66, 1.0});
+
+    CoreWork w;
+    w.cpiBase = 1.0;
+    w.mpki = 5.0;
+    w.blockingFactor = 0.6;
+
+    const CoreResult r = cpu.retire(w, 100.0, 1.0, kTicksPerMs);
+    const double expected =
+        r.instructions * 0.005 * 0.6 * 100.0 * 1e-9 * 1.0e9;
+    EXPECT_NEAR(r.stallCycles, expected, expected * 1e-6);
+}
+
+TEST(Cpu, PowerGrowsWithThreadsAndSmtYieldsLess)
+{
+    Simulator sim;
+    CpuCluster cpu(sim, nullptr, 2, 2, coreTable());
+    cpu.setPState(power::PState{1.6 * kGHz, 0.78, 1.0});
+
+    const Watt one = cpu.power(1, 0.8);
+    const Watt two = cpu.power(2, 0.8);
+    const Watt four = cpu.power(4, 0.8);
+    EXPECT_GT(two, one);
+    EXPECT_GT(four, two);
+    // SMT sibling adds less than a full core.
+    EXPECT_LT(four - two, two - cpu.leakage());
+}
+
+TEST(Gfx, FpsIsMinOfShaderAndBandwidth)
+{
+    Simulator sim;
+    GfxEngine gfx(sim, nullptr, gfxTable());
+    gfx.setPState(power::PState{0.9 * kGHz, 0.92, 1.0});
+
+    GfxWork w;
+    w.cyclesPerFrame = 15e6; // shader-limited at 60 fps
+    w.bytesPerFrame = 100e6;
+
+    const GfxResult roomy = gfx.render(w, 20e9, kTicksPerMs);
+    EXPECT_NEAR(roomy.fps, 60.0, 1e-6);
+    EXPECT_FALSE(roomy.bandwidthLimited);
+
+    const GfxResult starved = gfx.render(w, 3e9, kTicksPerMs);
+    EXPECT_NEAR(starved.fps, 30.0, 1e-6);
+    EXPECT_TRUE(starved.bandwidthLimited);
+}
+
+TEST(Gfx, VsyncCapsFrameRate)
+{
+    Simulator sim;
+    GfxEngine gfx(sim, nullptr, gfxTable());
+    gfx.setPState(power::PState{1.05 * kGHz, 1.05, 1.0});
+
+    GfxWork w;
+    w.cyclesPerFrame = 5e6;
+    w.targetFps = 60.0;
+    EXPECT_NEAR(gfx.shaderLimitedFps(w), 60.0, 1e-9);
+}
+
+TEST(Gfx, IdleWorkDrawsLeakageOnly)
+{
+    Simulator sim;
+    GfxEngine gfx(sim, nullptr, gfxTable());
+    const GfxWork idle;
+    const GfxWork busy{15e6, 100e6, 0.0, 0.8};
+    EXPECT_LT(gfx.power(idle), gfx.power(busy));
+}
+
+TEST(Llc, MissScaleFollowsSquareRootRule)
+{
+    Simulator sim;
+    Llc llc(sim, nullptr, 1 * 1024 * 1024);
+    // Profile characterized at 4MB on a 1MB cache: misses x2.
+    EXPECT_NEAR(llc.missScale(4 * 1024 * 1024), 2.0, 1e-9);
+
+    Llc same(sim, nullptr, 4 * 1024 * 1024);
+    EXPECT_NEAR(same.missScale(4 * 1024 * 1024), 1.0, 1e-9);
+}
+
+TEST(Llc, RecordsCounterObservables)
+{
+    Simulator sim;
+    Llc llc(sim, nullptr, 4 * 1024 * 1024);
+    llc.recordInterval(100.0, 50.0, 2000.0, 7.5);
+    EXPECT_DOUBLE_EQ(llc.lastGfxMisses(), 50.0);
+    EXPECT_DOUBLE_EQ(llc.lastStallCycles(), 2000.0);
+    EXPECT_DOUBLE_EQ(llc.lastPendingOccupancy(), 7.5);
+}
+
+TEST(CStates, ResidencyMustSumToOne)
+{
+    std::array<double, kNumCStates> bad{};
+    bad[cstateIndex(CState::C0)] = 0.5;
+    EXPECT_DEATH(CStateResidency{bad}, "");
+}
+
+TEST(CStates, VideoPlaybackResidencyWeights)
+{
+    // Sec. 7.3: C0/C2/C8 = 10/5/85%; DRAM active only in C0+C2.
+    std::array<double, kNumCStates> f{};
+    f[cstateIndex(CState::C0)] = 0.10;
+    f[cstateIndex(CState::C2)] = 0.05;
+    f[cstateIndex(CState::C8)] = 0.85;
+    const CStateResidency r(f);
+    EXPECT_NEAR(r.dramActiveFraction(), 0.15, 1e-12);
+    EXPECT_NEAR(r.activeFraction(), 0.10, 1e-12);
+    EXPECT_NEAR(r.computeDynWeight(), 0.10, 1e-12);
+    EXPECT_LT(r.uncoreWeight(), 0.20);
+}
+
+TEST(CStates, DeeperStatesGateMorePower)
+{
+    EXPECT_GT(cstateTraits(CState::C2).uncoreFactor,
+              cstateTraits(CState::C6).uncoreFactor);
+    EXPECT_GT(cstateTraits(CState::C6).uncoreFactor,
+              cstateTraits(CState::C8).uncoreFactor);
+    EXPECT_TRUE(cstateTraits(CState::C2).dramActive);
+    EXPECT_FALSE(cstateTraits(CState::C8).dramActive);
+}
+
+TEST(Hdc, EngagesOnlyBelowThresholdTdp)
+{
+    EXPECT_DOUBLE_EQ(HardwareDutyCycle(7.0).dutyFactor(), 1.0);
+    EXPECT_DOUBLE_EQ(HardwareDutyCycle(15.0).dutyFactor(), 1.0);
+    const double duty35 = HardwareDutyCycle(3.5).dutyFactor();
+    EXPECT_LT(duty35, 1.0);
+    EXPECT_GE(duty35, HardwareDutyCycle::kMinDuty);
+    EXPECT_LT(HardwareDutyCycle(3.5).dutyFactor(),
+              HardwareDutyCycle(4.5).dutyFactor());
+}
+
+} // namespace
+} // namespace compute
+} // namespace sysscale

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Unit tests for the discrete-event kernel.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+namespace sysscale {
+namespace {
+
+TEST(EventQueue, StartsEmptyAtTickZero)
+{
+    EventQueue q;
+    EXPECT_EQ(q.now(), 0u);
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.pending(), 0u);
+}
+
+TEST(EventQueue, RunsEventsInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    EventFunctionWrapper a("a", [&] { order.push_back(1); });
+    EventFunctionWrapper b("b", [&] { order.push_back(2); });
+    EventFunctionWrapper c("c", [&] { order.push_back(3); });
+
+    q.schedule(&c, 300);
+    q.schedule(&a, 100);
+    q.schedule(&b, 200);
+
+    EXPECT_EQ(q.runUntil(1000), 3u);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), 1000u);
+}
+
+TEST(EventQueue, SameTickOrderedByPriorityThenInsertion)
+{
+    EventQueue q;
+    std::vector<int> order;
+    EventFunctionWrapper lo("lo", [&] { order.push_back(1); },
+                            Event::kPrioMinimum);
+    EventFunctionWrapper hi("hi", [&] { order.push_back(3); },
+                            Event::kPrioMaximum);
+    EventFunctionWrapper first("f", [&] { order.push_back(2); });
+    EventFunctionWrapper second("s", [&] { order.push_back(4); });
+
+    q.schedule(&second, 50);
+    q.schedule(&hi, 50);
+    q.schedule(&first, 50);
+    q.schedule(&lo, 50);
+
+    q.runUntil(100);
+    // Priority first; ties broken by insertion sequence.
+    EXPECT_EQ(order, (std::vector<int>{1, 4, 2, 3}));
+}
+
+TEST(EventQueue, RunUntilStopsAtLimit)
+{
+    EventQueue q;
+    int fired = 0;
+    EventFunctionWrapper late("late", [&] { ++fired; });
+    q.schedule(&late, 500);
+
+    EXPECT_EQ(q.runUntil(499), 0u);
+    EXPECT_EQ(fired, 0);
+    EXPECT_EQ(q.now(), 499u);
+    EXPECT_TRUE(late.scheduled());
+
+    q.runUntil(500);
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, DescheduleRemovesEvent)
+{
+    EventQueue q;
+    int fired = 0;
+    EventFunctionWrapper ev("ev", [&] { ++fired; });
+    q.schedule(&ev, 100);
+    EXPECT_TRUE(ev.scheduled());
+
+    q.deschedule(&ev);
+    EXPECT_FALSE(ev.scheduled());
+    q.runUntil(1000);
+    EXPECT_EQ(fired, 0);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, RescheduleMovesEvent)
+{
+    EventQueue q;
+    Tick fired_at = 0;
+    EventFunctionWrapper ev("ev", [&] { fired_at = q.now(); });
+    q.schedule(&ev, 100);
+    q.reschedule(&ev, 700);
+
+    q.runUntil(1000);
+    EXPECT_EQ(fired_at, 700u);
+}
+
+TEST(EventQueue, EventCanRescheduleItself)
+{
+    EventQueue q;
+    int count = 0;
+    EventFunctionWrapper *ptr = nullptr;
+    EventFunctionWrapper ev("tick", [&] {
+        if (++count < 5)
+            q.schedule(ptr, q.now() + 10);
+    });
+    ptr = &ev;
+    q.schedule(&ev, 10);
+
+    q.runUntil(1000);
+    EXPECT_EQ(count, 5);
+    EXPECT_EQ(q.processedCount(), 5u);
+}
+
+TEST(EventQueue, StepFiresOneEvent)
+{
+    EventQueue q;
+    int fired = 0;
+    EventFunctionWrapper a("a", [&] { ++fired; });
+    EventFunctionWrapper b("b", [&] { ++fired; });
+    q.schedule(&a, 10);
+    q.schedule(&b, 20);
+
+    EXPECT_TRUE(q.step());
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(q.now(), 10u);
+    EXPECT_TRUE(q.step());
+    EXPECT_FALSE(q.step());
+}
+
+TEST(EventQueueDeath, SchedulingInThePastPanics)
+{
+    EventQueue q;
+    EventFunctionWrapper a("a", [] {});
+    q.schedule(&a, 100);
+    q.runUntil(200);
+    EXPECT_DEATH(q.schedule(&a, 50), "");
+}
+
+TEST(EventQueueDeath, DoubleSchedulePanics)
+{
+    EventQueue q;
+    EventFunctionWrapper a("a", [] {});
+    q.schedule(&a, 100);
+    EXPECT_DEATH(q.schedule(&a, 200), "");
+    q.deschedule(&a); // leave the parent process clean
+}
+
+} // namespace
+} // namespace sysscale

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Unit tests for the IO fabric, CSR space, display, ISP, and DMA.
+ */
+
+#include <gtest/gtest.h>
+
+#include "interconnect/fabric.hh"
+#include "io/csr.hh"
+#include "io/display.hh"
+#include "io/dma.hh"
+#include "io/isp.hh"
+#include "sim/sim_object.hh"
+
+namespace sysscale {
+namespace {
+
+TEST(Fabric, CapacityIsWidthTimesClock)
+{
+    Simulator sim;
+    interconnect::IoFabric fab(sim, nullptr, 0.8 * kGHz, 0.8, 32);
+    EXPECT_NEAR(fab.capacity(), 32.0 * 0.8e9, 1.0);
+}
+
+TEST(Fabric, IsochronousPriority)
+{
+    Simulator sim;
+    interconnect::IoFabric fab(sim, nullptr, 0.8 * kGHz, 0.8);
+    interconnect::FabricDemand d;
+    d.isochronous = 20e9;
+    d.bestEffort = 20e9; // together oversubscribe 25.6 GB/s
+    const auto r = fab.service(d, kTicksPerMs);
+    EXPECT_NEAR(r.achievedIso, 20e9, 1.0);
+    EXPECT_LT(r.achievedBestEffort, d.bestEffort);
+    EXPECT_FALSE(r.qosViolation);
+}
+
+TEST(Fabric, QosViolationFlagged)
+{
+    Simulator sim;
+    interconnect::IoFabric fab(sim, nullptr, 0.4 * kGHz, 0.64);
+    interconnect::FabricDemand d;
+    d.isochronous = 20e9; // above the 12.8 GB/s link
+    const auto r = fab.service(d, kTicksPerMs);
+    EXPECT_TRUE(r.qosViolation);
+}
+
+TEST(Fabric, RetargetRequiresBlock)
+{
+    Simulator sim;
+    interconnect::IoFabric fab(sim, nullptr, 0.8 * kGHz, 0.8);
+    EXPECT_DEATH(fab.setFrequency(0.4 * kGHz), "");
+
+    const Tick drain = fab.blockAndDrain();
+    EXPECT_LT(drain, 2 * kTicksPerUs);
+    fab.setFrequency(0.4 * kGHz);
+    fab.release();
+    EXPECT_DOUBLE_EQ(fab.frequency(), 0.4 * kGHz);
+}
+
+TEST(Fabric, LatencyGrowsWhenClockDrops)
+{
+    Simulator sim;
+    interconnect::IoFabric hi(sim, nullptr, 0.8 * kGHz, 0.8);
+    interconnect::IoFabric lo(sim, nullptr, 0.4 * kGHz, 0.64);
+    EXPECT_GT(lo.baseLatencyNs(), hi.baseLatencyNs());
+}
+
+TEST(Fabric, PowerDropsWithVoltageAndClock)
+{
+    EXPECT_LT(interconnect::IoFabric::powerAt(0.64, 0.4e9, 0.3),
+              interconnect::IoFabric::powerAt(0.80, 0.8e9, 0.3));
+}
+
+TEST(Csr, DefineReadWriteReset)
+{
+    io::CsrSpace csr;
+    csr.define("a", 7);
+    EXPECT_TRUE(csr.defined("a"));
+    EXPECT_EQ(csr.read("a"), 7u);
+    csr.write("a", 9);
+    EXPECT_EQ(csr.read("a"), 9u);
+    csr.reset();
+    EXPECT_EQ(csr.read("a"), 7u);
+}
+
+TEST(Csr, UndefinedAccessFatal)
+{
+    io::CsrSpace csr;
+    EXPECT_DEATH((void)csr.read("nope"), "");
+    EXPECT_DEATH(csr.write("nope", 1), "");
+    csr.define("a");
+    EXPECT_DEATH(csr.define("a"), "");
+}
+
+TEST(Display, HdPanelNearSeventeenPercentOfPeak)
+{
+    // Fig. 3b: one HD panel consumes ~17% of the 25.6 GB/s peak.
+    const io::PanelConfig hd{io::PanelResolution::HD, 60.0, 4};
+    const double share =
+        io::DisplayEngine::panelBandwidth(hd) / 25.6e9;
+    EXPECT_NEAR(share, 0.17, 0.02);
+}
+
+TEST(Display, UhdPanelNearSeventyPercentOfPeak)
+{
+    // Fig. 3b: a single 4K panel consumes ~70% of the peak.
+    const io::PanelConfig uhd{io::PanelResolution::UHD4K, 60.0, 4};
+    const double share =
+        io::DisplayEngine::panelBandwidth(uhd) / 25.6e9;
+    EXPECT_NEAR(share, 0.70, 0.05);
+}
+
+TEST(Display, ThreePanelsTripleTheDemand)
+{
+    // Sec. 4.2: three identical panels demand nearly 3x one panel.
+    Simulator sim;
+    io::CsrSpace csr;
+    io::DisplayEngine disp(sim, nullptr, csr);
+    const io::PanelConfig hd{io::PanelResolution::HD, 60.0, 4};
+    disp.attachPanel(0, hd);
+    const BytesPerSec one = disp.bandwidthDemand();
+    disp.attachPanel(1, hd);
+    disp.attachPanel(2, hd);
+    EXPECT_NEAR(disp.bandwidthDemand(), 3.0 * one, 1.0);
+    EXPECT_EQ(disp.activePanels(), 3u);
+}
+
+TEST(Display, CsrsTrackConfiguration)
+{
+    Simulator sim;
+    io::CsrSpace csr;
+    io::DisplayEngine disp(sim, nullptr, csr);
+    EXPECT_EQ(csr.read(io::DisplayEngine::kCsrActivePanels), 0u);
+
+    disp.attachPanel(1, {io::PanelResolution::QHD, 120.0, 4});
+    EXPECT_EQ(csr.read(io::DisplayEngine::kCsrActivePanels), 1u);
+    EXPECT_EQ(csr.read(io::DisplayEngine::csrResolution(1)), 3u);
+    EXPECT_EQ(csr.read(io::DisplayEngine::csrRefresh(1)), 120u);
+
+    disp.detachPanel(1);
+    EXPECT_EQ(csr.read(io::DisplayEngine::kCsrActivePanels), 0u);
+    EXPECT_EQ(csr.read(io::DisplayEngine::csrResolution(1)), 0u);
+}
+
+TEST(Display, RefreshScalesDemand)
+{
+    const io::PanelConfig hd60{io::PanelResolution::HD, 60.0, 4};
+    const io::PanelConfig hd120{io::PanelResolution::HD, 120.0, 4};
+    // The composition term doubles; the per-pipe base does not.
+    EXPECT_GT(io::DisplayEngine::panelBandwidth(hd120),
+              io::DisplayEngine::panelBandwidth(hd60) * 1.35);
+}
+
+TEST(Isp, StreamDemandAndCsrs)
+{
+    Simulator sim;
+    io::CsrSpace csr;
+    io::IspEngine isp(sim, nullptr, csr);
+    EXPECT_DOUBLE_EQ(isp.bandwidthDemand(), 0.0);
+    EXPECT_EQ(csr.read(io::IspEngine::kCsrActive), 0u);
+
+    io::CameraConfig cam;
+    cam.width = 1280;
+    cam.height = 720;
+    cam.fps = 30.0;
+    cam.bytesPerPixel = 2;
+    isp.startCamera(cam);
+
+    const double pixel_rate = 1280.0 * 720.0 * 30.0;
+    EXPECT_NEAR(isp.bandwidthDemand(),
+                pixel_rate * 2.0 * io::IspEngine::kPassCount, 1.0);
+    EXPECT_EQ(csr.read(io::IspEngine::kCsrActive), 1u);
+
+    isp.stopCamera();
+    EXPECT_DOUBLE_EQ(isp.bandwidthDemand(), 0.0);
+}
+
+TEST(Dma, BacklogAccumulatesUnderBackpressure)
+{
+    Simulator sim;
+    io::DmaDevice dma(sim, nullptr, "dma", 10e9);
+    dma.recordService(4e9, kTicksPerMs); // 6 GB/s shortfall for 1 ms
+    EXPECT_NEAR(dma.backlogBytes(), 6e6, 1.0);
+
+    // Full service drains the backlog.
+    dma.setOfferedRate(0.0);
+    dma.recordService(10e9, kTicksPerMs);
+    EXPECT_NEAR(dma.backlogBytes(), 0.0, 1.0);
+}
+
+} // namespace
+} // namespace sysscale

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Unit tests for V/F curves, regulators, power primitives, P-states,
+ * the PBM, and the energy meter.
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/energy_meter.hh"
+#include "power/pbm.hh"
+#include "power/power_model.hh"
+#include "power/regulator.hh"
+#include "power/vf_curve.hh"
+
+namespace sysscale {
+namespace power {
+namespace {
+
+TEST(VfCurve, InterpolatesBetweenPoints)
+{
+    VfCurve c("t", {{1.0 * kGHz, 0.6}, {2.0 * kGHz, 1.0}});
+    EXPECT_DOUBLE_EQ(c.voltageAt(1.5 * kGHz), 0.8);
+}
+
+TEST(VfCurve, ClampsOutsideRange)
+{
+    VfCurve c("t", {{1.0 * kGHz, 0.6}, {2.0 * kGHz, 1.0}});
+    EXPECT_DOUBLE_EQ(c.voltageAt(0.5 * kGHz), 0.6);
+    EXPECT_DOUBLE_EQ(c.voltageAt(3.0 * kGHz), 1.0);
+}
+
+TEST(VfCurve, InverseLookupRoundTrips)
+{
+    VfCurve c = skylakeCoreCurve();
+    const Hertz f = 1.8 * kGHz;
+    EXPECT_NEAR(c.freqAt(c.voltageAt(f)), f, 1e6);
+}
+
+TEST(VfCurve, SkylakeIoCurveMatchesTable1Anchor)
+{
+    // Table 1: V_IO at the 1066MT/s bin is 0.85 of the boot 1.00V.
+    VfCurve c = skylakeIoCurve();
+    EXPECT_NEAR(c.voltageAt(0.53 * kGHz), 0.85, 1e-9);
+    EXPECT_NEAR(c.voltageAt(0.80 * kGHz), 1.00, 1e-9);
+}
+
+TEST(VfCurve, SaCurveFlattensBelowLowPoint)
+{
+    // Sec. 7.4: V_SA reaches Vmin at the 1066 pairing, so the 800
+    // bin frees no further voltage.
+    VfCurve c = skylakeSaCurve();
+    EXPECT_DOUBLE_EQ(c.voltageAt(0.40 * kGHz),
+                     c.voltageAt(0.30 * kGHz));
+}
+
+TEST(Regulator, RampLatencyMatchesSlewRate)
+{
+    // 50mV/us slew: a 100mV move takes 2us (paper Sec. 5).
+    Regulator r(Rail::VSA, 0.80, 50e-3 / 1e-6);
+    const Tick lat = r.rampTo(0.70, 0);
+    EXPECT_EQ(lat, 2 * kTicksPerUs);
+}
+
+TEST(Regulator, VoltageInterpolatesDuringRamp)
+{
+    Regulator r(Rail::VSA, 0.80, 50e-3 / 1e-6);
+    r.rampTo(0.70, 0);
+    EXPECT_NEAR(r.voltage(1 * kTicksPerUs), 0.75, 1e-9);
+    EXPECT_NEAR(r.voltage(2 * kTicksPerUs), 0.70, 1e-9);
+    EXPECT_FALSE(r.ramping(2 * kTicksPerUs));
+}
+
+TEST(Regulator, InputPowerIncludesConversionLoss)
+{
+    Regulator r(Rail::VSA, 0.8, 5e4, /*efficiency=*/0.8);
+    EXPECT_NEAR(r.inputPower(0.8), 1.0, 1e-9);
+}
+
+TEST(PowerModel, DynamicPowerFormula)
+{
+    // Cdyn V^2 f a = 1nF * 1V^2 * 1GHz * 0.5 = 0.5W.
+    EXPECT_NEAR(dynamicPower(1e-9, 1.0, 1e9, 0.5), 0.5, 1e-12);
+}
+
+TEST(PowerModel, LeakageGrowsWithVoltageAndTemperature)
+{
+    const Watt base = leakagePower(0.1, 0.8, 50.0);
+    EXPECT_GT(leakagePower(0.1, 0.9, 50.0), base);
+    EXPECT_GT(leakagePower(0.1, 0.8, 80.0), base);
+}
+
+TEST(PowerModel, EdpDefinition)
+{
+    EXPECT_DOUBLE_EQ(edp(2.0, 3.0), 6.0);
+    EXPECT_DOUBLE_EQ(ed2p(2.0, 3.0), 18.0);
+}
+
+TEST(PStateTable, StatesAreMonotonic)
+{
+    PStateTable t(skylakeCoreCurve(), 1e-9, 0.2, 50.0, 16);
+    ASSERT_EQ(t.states().size(), 16u);
+    for (std::size_t i = 1; i < t.states().size(); ++i) {
+        EXPECT_GT(t.states()[i].freq, t.states()[i - 1].freq);
+        EXPECT_GE(t.states()[i].voltage, t.states()[i - 1].voltage);
+        EXPECT_GT(t.states()[i].maxPower, t.states()[i - 1].maxPower);
+    }
+}
+
+TEST(PStateTable, HighestUnderRespectsBudget)
+{
+    PStateTable t(skylakeCoreCurve(), 1e-9, 0.2, 50.0, 16);
+    const Watt budget = t.states()[7].maxPower + 1e-6;
+    const PState &s = t.highestUnder(budget);
+    EXPECT_DOUBLE_EQ(s.freq, t.states()[7].freq);
+}
+
+TEST(PStateTable, LowestStateReturnedWhenNothingFits)
+{
+    PStateTable t(skylakeCoreCurve(), 1e-9, 0.2, 50.0, 16);
+    const PState &s = t.highestUnder(0.0);
+    EXPECT_DOUBLE_EQ(s.freq, t.min().freq);
+}
+
+TEST(Pbm, ComputeBudgetSubtractsDomains)
+{
+    PowerBudgetManager pbm(4.5, 0.25);
+    EXPECT_NEAR(pbm.computeBudget(1.0, 0.5), 2.75, 1e-12);
+    EXPECT_DOUBLE_EQ(pbm.computeBudget(5.0, 0.0), 0.0);
+}
+
+TEST(Pbm, SplitGivesCoresMinorShareUnderGraphics)
+{
+    PowerBudgetManager pbm(4.5);
+    const ComputeSplit s = pbm.split(2.0, /*gfx_active=*/true);
+    EXPECT_NEAR(s.coreBudget, 2.0 * 0.15, 1e-12);
+    EXPECT_NEAR(s.gfxBudget, 2.0 * 0.85, 1e-12);
+
+    const ComputeSplit cpu_only = pbm.split(2.0, false);
+    EXPECT_DOUBLE_EQ(cpu_only.coreBudget, 2.0);
+}
+
+TEST(Pbm, GrantDemotesOverBudgetRequests)
+{
+    PowerBudgetManager pbm(4.5);
+    PStateTable t(skylakeCoreCurve(), 1e-9, 0.2, 50.0, 16);
+    const PState &granted =
+        pbm.grant(t, t.max().freq, /*budget=*/0.3, /*activity=*/0.8);
+    EXPECT_LT(granted.freq, t.max().freq);
+    EXPECT_LE(t.powerAt(granted.freq, 0.8), 0.3 + 1e-9);
+}
+
+TEST(EnergyMeter, IntegratesPerRail)
+{
+    EnergyMeter m;
+    m.addPower(Rail::VSA, 2.0, kTicksPerSec);      // 2 J
+    m.addPower(Rail::VDDQ, 1.0, kTicksPerSec / 2); // 0.5 J
+    EXPECT_NEAR(m.railEnergy(Rail::VSA), 2.0, 1e-9);
+    EXPECT_NEAR(m.railEnergy(Rail::VDDQ), 0.5, 1e-9);
+    EXPECT_NEAR(m.totalEnergy(), 2.5, 1e-9);
+    EXPECT_NEAR(m.averagePower(kTicksPerSec), 2.5, 1e-9);
+}
+
+TEST(EnergyMeter, ResetMovesWindow)
+{
+    EnergyMeter m;
+    m.addPower(Rail::VSA, 2.0, kTicksPerSec);
+    m.reset(kTicksPerSec);
+    EXPECT_DOUBLE_EQ(m.totalEnergy(), 0.0);
+    m.addPower(Rail::VSA, 1.0, kTicksPerSec);
+    EXPECT_NEAR(m.averagePower(2 * kTicksPerSec), 1.0, 1e-9);
+}
+
+} // namespace
+} // namespace power
+} // namespace sysscale

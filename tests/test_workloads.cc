@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Unit tests for workload profiles and the synthetic sweep.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workloads/battery.hh"
+#include "workloads/graphics.hh"
+#include "workloads/micro.hh"
+#include "workloads/profile.hh"
+#include "workloads/spec.hh"
+#include "workloads/sweep.hh"
+
+namespace sysscale {
+namespace workloads {
+namespace {
+
+TEST(Spec, SuiteHasAll29Benchmarks)
+{
+    const auto suite = specSuite();
+    EXPECT_EQ(suite.size(), 29u);
+    std::set<std::string> names;
+    for (const auto &w : suite)
+        names.insert(w.name());
+    EXPECT_EQ(names.size(), 29u);
+    EXPECT_TRUE(names.count("470.lbm"));
+    EXPECT_TRUE(names.count("416.gamess"));
+}
+
+TEST(Spec, LookupByNameMatchesSuite)
+{
+    const WorkloadProfile lbm = specBenchmark("470.lbm");
+    EXPECT_EQ(lbm.name(), "470.lbm");
+    EXPECT_DEATH((void)specBenchmark("999.nope"), "");
+}
+
+TEST(Spec, MemoryBoundRowsHaveLowScalability)
+{
+    // Sec. 7.1: gains correlate with frequency scalability; lbm and
+    // bwaves are the canonical non-scalable workloads.
+    EXPECT_LT(specBenchmark("470.lbm").perfScalability(), 0.2);
+    EXPECT_LT(specBenchmark("410.bwaves").perfScalability(), 0.2);
+    EXPECT_GT(specBenchmark("416.gamess").perfScalability(), 0.9);
+}
+
+TEST(Spec, AstarAlternatesBandwidthPhases)
+{
+    const WorkloadProfile astar = specBenchmark("473.astar");
+    ASSERT_EQ(astar.numPhases(), 2u);
+    EXPECT_GT(astar.phase(1).work.bytesPerInstr,
+              astar.phase(0).work.bytesPerInstr * 5.0);
+}
+
+TEST(Profile, PhaseAtIsCyclic)
+{
+    const WorkloadProfile astar = specBenchmark("473.astar");
+    const Tick period = astar.period();
+    const Phase &p0 = astar.phaseAt(0);
+    const Phase &wrapped = astar.phaseAt(period);
+    EXPECT_DOUBLE_EQ(p0.work.mpki, wrapped.work.mpki);
+    const Phase &second = astar.phaseAt(p0.duration);
+    EXPECT_NE(p0.work.bytesPerInstr, second.work.bytesPerInstr);
+}
+
+TEST(Profile, AgentFillsDemand)
+{
+    ProfileAgent agent(specBenchmark("470.lbm"));
+    soc::IntervalDemand d;
+    agent.demandAt(0, d);
+    ASSERT_EQ(d.threadWork.size(), 1u);
+    EXPECT_DOUBLE_EQ(d.threadWork[0].mpki, 20.0);
+    EXPECT_FALSE(agent.finished(10 * kTicksPerSec));
+}
+
+TEST(Profile, BoundedRepeatsFinish)
+{
+    const WorkloadProfile spin = spinMicro();
+    ProfileAgent agent(spin, /*repeats=*/2);
+    EXPECT_FALSE(agent.finished(spin.period()));
+    EXPECT_TRUE(agent.finished(2 * spin.period()));
+}
+
+TEST(Graphics, SuiteMatchesFig8)
+{
+    const auto suite = graphicsSuite();
+    ASSERT_EQ(suite.size(), 3u);
+    EXPECT_EQ(suite[0].name(), "3DMark06");
+    EXPECT_EQ(suite[1].name(), "3DMark11");
+    EXPECT_EQ(suite[2].name(), "3DMarkVantage");
+    for (const auto &w : suite) {
+        EXPECT_EQ(w.klass(), WorkloadClass::Graphics);
+        EXPECT_FALSE(w.phase(0).gfxWork.idle());
+    }
+}
+
+TEST(Battery, SuiteMatchesFig9)
+{
+    const auto suite = batterySuite();
+    ASSERT_EQ(suite.size(), 4u);
+    for (const auto &w : suite) {
+        EXPECT_EQ(w.klass(), WorkloadClass::BatteryLife);
+        // Battery workloads request the efficient Pn frequency.
+        EXPECT_GT(w.phase(0).coreFreqRequest, 0.0);
+        // And they idle most of the time.
+        EXPECT_LT(w.phase(0).residency.activeFraction(), 0.45);
+    }
+}
+
+TEST(Battery, VideoPlaybackResidenciesMatchSec73)
+{
+    const WorkloadProfile vp = videoPlayback();
+    const auto &res = vp.phase(0).residency;
+    EXPECT_NEAR(res.activeFraction(), 0.10, 1e-9);
+    EXPECT_NEAR(res.dramActiveFraction(), 0.15, 1e-9);
+}
+
+TEST(Micro, StreamSaturatesBandwidth)
+{
+    const WorkloadProfile stream = streamMicro();
+    // Peak demand hint far above the 25.6 GB/s interface.
+    EXPECT_GT(stream.peakBandwidthHint(90.0, 1.2 * kGHz), 25.6e9);
+}
+
+TEST(Sweep, GeneratesRequestedCounts)
+{
+    SweepSpec spec;
+    spec.cpuSingleThread = 50;
+    spec.cpuMultiThread = 30;
+    spec.graphics = 20;
+    const auto corpus = SynthSweep::generate(spec);
+    EXPECT_EQ(corpus.size(), 100u);
+
+    std::size_t st = 0, mt = 0, gfx = 0;
+    for (const auto &w : corpus) {
+        st += w.klass() == WorkloadClass::CpuSingleThread;
+        mt += w.klass() == WorkloadClass::CpuMultiThread;
+        gfx += w.klass() == WorkloadClass::Graphics;
+    }
+    EXPECT_EQ(st, 50u);
+    EXPECT_EQ(mt, 30u);
+    EXPECT_EQ(gfx, 20u);
+}
+
+TEST(Sweep, DefaultCorpusExceeds1600Workloads)
+{
+    // Sec. 4.2: the predictor is validated on >1600 workloads.
+    EXPECT_GT(SweepSpec{}.total(), 1600u);
+}
+
+TEST(Sweep, DeterministicForSameSeed)
+{
+    SweepSpec spec;
+    spec.cpuSingleThread = 20;
+    spec.cpuMultiThread = 0;
+    spec.graphics = 0;
+    const auto a = SynthSweep::generate(spec);
+    const auto b = SynthSweep::generate(spec);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_DOUBLE_EQ(a[i].phase(0).work.mpki,
+                         b[i].phase(0).work.mpki);
+        EXPECT_DOUBLE_EQ(a[i].phase(0).work.cpiBase,
+                         b[i].phase(0).work.cpiBase);
+    }
+}
+
+TEST(Sweep, CoversWideMissRateRange)
+{
+    const auto corpus = SynthSweep::generateClass(
+        WorkloadClass::CpuSingleThread, 400, 99);
+    double lo = 1e9, hi = 0.0;
+    for (const auto &w : corpus) {
+        lo = std::min(lo, w.phase(0).work.mpki);
+        hi = std::max(hi, w.phase(0).work.mpki);
+    }
+    EXPECT_LT(lo, 0.2);
+    EXPECT_GT(hi, 15.0);
+}
+
+} // namespace
+} // namespace workloads
+} // namespace sysscale
