@@ -9,7 +9,16 @@
  *  - no fabric scaling (V_SA cannot drop; memory-domain-only)
  *  - no SRAM MRC       (firmware recompute on every transition)
  *  - no redistribution (power saved but not re-granted)
+ *
+ * Every knock-out variant is an independent governor instance, so
+ * the whole study — SPEC table, video-playback power column, and the
+ * no-redistribution check — runs as one ExperimentRunner batch with
+ * per-cell governor factories.
  */
+
+#include <algorithm>
+#include <iterator>
+#include <vector>
 
 #include "bench/harness.hh"
 #include "workloads/battery.hh"
@@ -51,6 +60,25 @@ knockout(int which)
     return opts;
 }
 
+exp::GovernorFactory
+variantFactory(int which)
+{
+    return [which] {
+        return std::unique_ptr<soc::PmuPolicy>(
+            new core::SysScaleGovernor(
+                core::SysScaleGovernor::defaultThresholds(), {},
+                knockout(which)));
+    };
+}
+
+exp::GovernorFactory
+noRedistFactory()
+{
+    return [] {
+        return std::unique_ptr<soc::PmuPolicy>(new NoRedistSysScale());
+    };
+}
+
 const char *kVariantNames[] = {
     "full sysscale", "no optimized MRC", "no V_IO scaling",
     "no fabric/V_SA", "no SRAM MRC",
@@ -65,70 +93,120 @@ main()
 
     const char *benches[] = {"416.gamess", "400.perlbench",
                              "473.astar"};
+    constexpr std::size_t kNumBenches = std::size(benches);
+    constexpr int kNumVariants = 5;
+
+    // One batch holds the whole study; record where each part of the
+    // report will find its cells.
+    std::vector<exp::ExperimentSpec> specs;
+
+    auto specRc = [](const workloads::WorkloadProfile &w) {
+        bench::RunConfig rc;
+        rc.window = std::max<Tick>(2 * kTicksPerSec, 2 * w.period());
+        return rc;
+    };
+
+    // [specBase + b]: FixedGovernor baseline per SPEC bench.
+    const std::size_t specBase = specs.size();
+    for (const char *name : benches) {
+        const auto w = workloads::specBenchmark(name);
+        exp::ExperimentSpec spec = bench::makeSpec(w, specRc(w));
+        spec.governor = "fixed";
+        spec.id = w.name() + "/fixed";
+        specs.push_back(std::move(spec));
+    }
+
+    // [variantBase + v * kNumBenches + b]: knock-out v on bench b.
+    const std::size_t variantBase = specs.size();
+    for (int v = 0; v < kNumVariants; ++v) {
+        for (const char *name : benches) {
+            const auto w = workloads::specBenchmark(name);
+            exp::ExperimentSpec spec = bench::makeSpec(w, specRc(w));
+            spec.governorFactory = variantFactory(v);
+            spec.id = w.name() + "/" + kVariantNames[v];
+            specs.push_back(std::move(spec));
+        }
+    }
+
+    // [vpBase]: video-playback Fixed baseline; then the five
+    // knock-outs and the no-redistribution variant.
+    const auto vp = workloads::videoPlayback();
+    bench::RunConfig vp_rc;
+    vp_rc.window = 3 * kTicksPerSec;
+
+    const std::size_t vpBase = specs.size();
+    {
+        exp::ExperimentSpec spec = bench::makeSpec(vp, vp_rc);
+        spec.governor = "fixed";
+        spec.id = vp.name() + "/fixed";
+        specs.push_back(std::move(spec));
+    }
+    for (int v = 0; v < kNumVariants; ++v) {
+        exp::ExperimentSpec spec = bench::makeSpec(vp, vp_rc);
+        spec.governorFactory = variantFactory(v);
+        spec.id = vp.name() + "/" + kVariantNames[v];
+        specs.push_back(std::move(spec));
+    }
+    {
+        exp::ExperimentSpec spec = bench::makeSpec(vp, vp_rc);
+        spec.governorFactory = noRedistFactory();
+        spec.id = vp.name() + "/no redistribution";
+        specs.push_back(std::move(spec));
+    }
+
+    // [checkBase], [checkBase + 1]: no-redistribution SPEC check.
+    const std::size_t checkBase = specs.size();
+    {
+        const auto w = workloads::specBenchmark("416.gamess");
+        exp::ExperimentSpec base = bench::makeSpec(w, {});
+        base.governor = "fixed";
+        base.id = w.name() + "/fixed/default-window";
+        specs.push_back(std::move(base));
+        exp::ExperimentSpec noredist = bench::makeSpec(w, {});
+        noredist.governorFactory = noRedistFactory();
+        noredist.id = w.name() + "/no redistribution/default-window";
+        specs.push_back(std::move(noredist));
+    }
+
+    const auto results = bench::runBatch(specs);
+    auto ips = [&](std::size_t i) {
+        return bench::checkResult(results[i]).metrics.ips;
+    };
+    auto watts = [&](std::size_t i) {
+        return bench::checkResult(results[i]).metrics.avgPower;
+    };
 
     std::printf("SPEC perf gain over baseline:\n%-18s", "variant");
     for (const char *b : benches)
         std::printf(" %16s", b);
     std::printf("\n");
 
-    for (int v = 0; v < 5; ++v) {
+    for (int v = 0; v < kNumVariants; ++v) {
         std::printf("%-18s", kVariantNames[v]);
-        for (const char *name : benches) {
-            const auto w = workloads::specBenchmark(name);
-            bench::RunConfig rc;
-            rc.window =
-                std::max<Tick>(2 * kTicksPerSec, 2 * w.period());
-
-            core::FixedGovernor base;
-            core::SysScaleGovernor gov(
-                core::SysScaleGovernor::defaultThresholds(), {},
-                knockout(v));
-            const double b =
-                bench::runExperiment(w, &base, rc).metrics.ips;
-            const double g =
-                pct(b, bench::runExperiment(w, &gov, rc).metrics.ips);
-            std::printf(" %+15.1f%%", g);
+        for (std::size_t b = 0; b < kNumBenches; ++b) {
+            std::printf(" %+15.1f%%",
+                        pct(ips(specBase + b),
+                            ips(variantBase + v * kNumBenches + b)));
         }
         std::printf("\n");
     }
 
     std::printf("\nvideo-playback average power reduction:\n");
     {
-        const auto vp = workloads::videoPlayback();
-        bench::RunConfig rc;
-        rc.window = 3 * kTicksPerSec;
-        core::FixedGovernor base;
-        const double b =
-            bench::runExperiment(vp, &base, rc).metrics.avgPower;
-
-        for (int v = 0; v < 5; ++v) {
-            core::SysScaleGovernor gov(
-                core::SysScaleGovernor::defaultThresholds(), {},
-                knockout(v));
-            const double p =
-                bench::runExperiment(vp, &gov, rc).metrics.avgPower;
+        const double base = watts(vpBase);
+        for (int v = 0; v < kNumVariants; ++v) {
             std::printf("%-18s %+6.1f%%\n", kVariantNames[v],
-                        (1.0 - p / b) * 100.0);
+                        (1.0 - watts(vpBase + 1 + v) / base) * 100.0);
         }
         // Redistribution does not change battery power (fixed
         // demand), but it is the entire SPEC story:
-        NoRedistSysScale noredist;
-        const double p =
-            bench::runExperiment(vp, &noredist, rc).metrics.avgPower;
         std::printf("%-18s %+6.1f%%\n", "no redistribution",
-                    (1.0 - p / b) * 100.0);
+                    (1.0 - watts(vpBase + 1 + kNumVariants) / base) *
+                        100.0);
     }
 
     std::printf("\nno-redistribution SPEC check (expect ~0%% gain):\n");
-    {
-        const auto w = workloads::specBenchmark("416.gamess");
-        core::FixedGovernor base;
-        NoRedistSysScale noredist;
-        const double b =
-            bench::runExperiment(w, &base, {}).metrics.ips;
-        std::printf("%-18s %+6.1f%%\n", "416.gamess",
-                    pct(b, bench::runExperiment(w, &noredist, {})
-                               .metrics.ips));
-    }
+    std::printf("%-18s %+6.1f%%\n", "416.gamess",
+                pct(ips(checkBase), ips(checkBase + 1)));
     return 0;
 }

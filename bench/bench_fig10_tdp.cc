@@ -3,6 +3,11 @@
  * Fig. 10: SysScale's SPEC CPU2006 benefit vs SoC TDP (violin in the
  * paper; rows of distribution statistics here). Paper: 19.1% average
  * (up to 33%) at 3.5W, shrinking as TDP grows.
+ *
+ * The TDP x workload x governor grid is embarrassingly parallel, so
+ * all cells go through the ExperimentRunner in one batch; results
+ * come back in spec order, keeping the aggregation identical to the
+ * old serial nest.
  */
 
 #include <algorithm>
@@ -20,27 +25,46 @@ main()
     bench::banner("Fig. 10", "SysScale benefit vs thermal design "
                              "power (SPEC CPU2006)");
 
-    const double tdps[] = {3.5, 4.5, 7.0, 15.0};
+    const std::vector<double> tdps = {3.5, 4.5, 7.0, 15.0};
     const auto suite = workloads::specSuite();
+    const char *governors[] = {"fixed", "sysscale"};
+
+    std::vector<exp::ExperimentSpec> specs;
+    specs.reserve(tdps.size() * suite.size() * 2);
+    for (const double tdp : tdps) {
+        for (const auto &w : suite) {
+            for (const char *gov : governors) {
+                bench::RunConfig rc;
+                rc.tdp = tdp;
+                rc.window =
+                    std::max<Tick>(2 * kTicksPerSec, 2 * w.period());
+                exp::ExperimentSpec spec = bench::makeSpec(w, rc);
+                spec.governor = gov;
+                char id[96];
+                std::snprintf(id, sizeof(id), "%s/%s/%.3gW",
+                              w.name().c_str(), gov, tdp);
+                spec.id = id;
+                specs.push_back(std::move(spec));
+            }
+        }
+    }
+
+    const auto results = bench::runBatch(specs);
 
     std::printf("%-8s %8s %8s %8s %8s\n", "TDP", "average", "median",
                 "max", "min");
 
+    std::size_t i = 0;
     for (const double tdp : tdps) {
         std::vector<double> gains;
         gains.reserve(suite.size());
-        for (const auto &w : suite) {
-            bench::RunConfig rc;
-            rc.tdp = tdp;
-            rc.window =
-                std::max<Tick>(2 * kTicksPerSec, 2 * w.period());
-
-            core::FixedGovernor base;
-            core::SysScaleGovernor ss;
-            const double b =
-                bench::runExperiment(w, &base, rc).metrics.ips;
-            gains.push_back(
-                pct(b, bench::runExperiment(w, &ss, rc).metrics.ips));
+        for (std::size_t w = 0; w < suite.size(); ++w) {
+            const double base =
+                bench::checkResult(results[i]).metrics.ips;
+            const double ss =
+                bench::checkResult(results[i + 1]).metrics.ips;
+            gains.push_back(pct(base, ss));
+            i += 2;
         }
         std::sort(gains.begin(), gains.end());
         double sum = 0.0;

@@ -9,17 +9,27 @@
  * uses: pinning an operating point (the ITP-forced motivation
  * experiments of Sec. 3) and collecting counter averages (predictor
  * training, Sec. 4.2).
+ *
+ * Execution itself lives in src/exp: runExperiment() wraps one
+ * exp::ExperimentSpec and runs it through exp::runCell(), the same
+ * path the parallel ExperimentRunner uses, so serial bench runs and
+ * grid sweeps are the identical computation. Benches that sweep a
+ * grid build the spec vector themselves and hand it to the runner
+ * (see bench_fig10_tdp.cc for the pattern).
  */
 
 #ifndef SYSSCALE_BENCH_HARNESS_HH
 #define SYSSCALE_BENCH_HARNESS_HH
 
 #include <cstdio>
+#include <cstdlib>
 #include <optional>
 #include <string>
 
 #include "core/governors.hh"
 #include "core/transition_flow.hh"
+#include "exp/experiment.hh"
+#include "exp/runner.hh"
 #include "sim/sim_object.hh"
 #include "soc/soc.hh"
 #include "workloads/profile.hh"
@@ -48,71 +58,44 @@ struct RunConfig
     std::optional<soc::SocConfig> socConfig;
 };
 
-/** Workload wrapper that overrides the OS core-frequency request. */
-class PinnedFreqAgent : public soc::WorkloadAgent
-{
-  public:
-    PinnedFreqAgent(soc::WorkloadAgent &inner, Hertz freq)
-        : inner_(inner), freq_(freq)
-    {}
-
-    void
-    demandAt(Tick now, soc::IntervalDemand &demand) override
-    {
-        inner_.demandAt(now, demand);
-        if (freq_ > 0.0)
-            demand.coreFreqRequest = freq_;
-    }
-
-    bool
-    finished(Tick now) const override
-    {
-        return inner_.finished(now);
-    }
-
-  private:
-    soc::WorkloadAgent &inner_;
-    Hertz freq_;
-};
-
-/** PMU policy that accumulates window-averaged counters. */
-class CollectPolicy : public soc::PmuPolicy
-{
-  public:
-    const char *name() const override { return "collect"; }
-
-    void
-    evaluate(soc::Soc &soc, const soc::CounterSnapshot &avg) override
-    {
-        (void)soc;
-        for (std::size_t i = 0; i < soc::kNumCounters; ++i)
-            sum_.values[i] += avg.values[i];
-        ++windows_;
-    }
-
-    soc::CounterSnapshot
-    average() const
-    {
-        soc::CounterSnapshot out;
-        if (windows_ == 0)
-            return out;
-        for (std::size_t i = 0; i < soc::kNumCounters; ++i)
-            out.values[i] = sum_.values[i] /
-                            static_cast<double>(windows_);
-        return out;
-    }
-
-  private:
-    soc::CounterSnapshot sum_;
-    std::size_t windows_ = 0;
-};
-
 /** Outcome of one measured experiment. */
 struct Outcome
 {
     soc::RunMetrics metrics;
     soc::CounterSnapshot counters; //!< Valid when collected.
 };
+
+/** Build the exp cell equivalent to (@p profile, @p rc). */
+inline exp::ExperimentSpec
+makeSpec(const workloads::WorkloadProfile &profile,
+         const RunConfig &rc = {})
+{
+    exp::ExperimentSpec spec;
+    spec.id = profile.name();
+    spec.soc = rc.socConfig ? *rc.socConfig
+                            : soc::skylakeConfig(rc.tdp);
+    spec.workload = profile;
+    spec.warmup = rc.warmup;
+    spec.window = rc.window;
+    spec.hdPanel = rc.hdPanel;
+    spec.camera = rc.camera;
+    spec.pinnedCoreFreq = rc.pinnedCoreFreq;
+    spec.pinnedOpPoint = rc.pinnedOpPoint;
+    spec.pinnedUnoptimizedMrc = rc.pinnedUnoptimizedMrc;
+    return spec;
+}
+
+/** Abort the bench on a failed cell (benches have no error path). */
+inline const exp::RunResult &
+checkResult(const exp::RunResult &res)
+{
+    if (!res.ok) {
+        std::fprintf(stderr, "bench cell \"%s\" failed: %s\n",
+                     res.id.c_str(), res.error.c_str());
+        std::exit(1);
+    }
+    return res;
+}
 
 /**
  * Run @p profile under @p policy (nullptr = pinned/no governor) and
@@ -122,40 +105,36 @@ inline Outcome
 runExperiment(const workloads::WorkloadProfile &profile,
               soc::PmuPolicy *policy, const RunConfig &rc = {})
 {
-    Simulator sim(1);
-    soc::Soc chip(sim, rc.socConfig ? *rc.socConfig
-                                    : soc::skylakeConfig(rc.tdp));
-    if (rc.hdPanel) {
-        chip.display().attachPanel(0, io::PanelConfig{
-            io::PanelResolution::HD, 60.0, 4});
-    }
-    if (rc.camera)
-        chip.isp().startCamera(io::CameraConfig{});
-
-    workloads::ProfileAgent agent(profile);
-    PinnedFreqAgent pinned(agent, rc.pinnedCoreFreq);
-    chip.setWorkload(&pinned);
-
-    CollectPolicy collector;
-    chip.pmu().setPolicy(policy ? policy : &collector);
-
-    if (rc.pinnedOpPoint) {
-        core::FlowOptions opts;
-        opts.useOptimizedMrc = !rc.pinnedUnoptimizedMrc;
-        core::TransitionFlow flow(chip, opts);
-        soc::OperatingPoint target = *rc.pinnedOpPoint;
-        if (rc.pinnedUnoptimizedMrc)
-            target.mrcTrainedBin = chip.opPoints().high().dramBin;
-        flow.execute(target);
-        chip.setComputeBudget(chip.pbm().computeBudget(
-            chip.ioMemBudget(chip.opPoints().high()), 0.0));
-    }
-
-    chip.run(rc.warmup);
+    exp::ExperimentSpec spec = makeSpec(profile, rc);
+    spec.borrowedPolicy = policy;
+    const exp::RunResult res = exp::runCell(spec);
+    checkResult(res);
     Outcome out;
-    out.metrics = chip.run(rc.window);
-    out.counters = collector.average();
+    out.metrics = res.metrics;
+    out.counters = res.counters;
     return out;
+}
+
+/**
+ * Experiment-runner job count for benches: all hardware threads, or
+ * the SYSSCALE_BENCH_JOBS override (0 = hardware concurrency).
+ */
+inline std::size_t
+benchJobs()
+{
+    const char *env = std::getenv("SYSSCALE_BENCH_JOBS");
+    if (!env)
+        return 0;
+    return static_cast<std::size_t>(std::strtoul(env, nullptr, 10));
+}
+
+/** Run a bench's spec batch on the shared runner configuration. */
+inline std::vector<exp::RunResult>
+runBatch(const std::vector<exp::ExperimentSpec> &specs)
+{
+    exp::RunnerOptions opts;
+    opts.jobs = benchJobs();
+    return exp::ExperimentRunner(opts).run(specs);
 }
 
 /** Percent delta helper: (b - a) / a in percent. */

@@ -1,0 +1,297 @@
+#include "exp/experiment.hh"
+
+#include <chrono>
+#include <cstdio>
+#include <stdexcept>
+
+#include "core/governors.hh"
+#include "core/transition_flow.hh"
+#include "io/display.hh"
+#include "io/isp.hh"
+#include "sim/sim_object.hh"
+
+namespace sysscale {
+namespace exp {
+
+namespace {
+
+/** PMU policy that accumulates window-averaged counters. */
+class CollectPolicy : public soc::PmuPolicy
+{
+  public:
+    const char *name() const override { return "collect"; }
+
+    void
+    evaluate(soc::Soc &soc, const soc::CounterSnapshot &avg) override
+    {
+        (void)soc;
+        for (std::size_t i = 0; i < soc::kNumCounters; ++i)
+            sum_.values[i] += avg.values[i];
+        ++windows_;
+    }
+
+    soc::CounterSnapshot
+    average() const
+    {
+        soc::CounterSnapshot out;
+        if (windows_ == 0)
+            return out;
+        for (std::size_t i = 0; i < soc::kNumCounters; ++i)
+            out.values[i] =
+                sum_.values[i] / static_cast<double>(windows_);
+        return out;
+    }
+
+  private:
+    soc::CounterSnapshot sum_;
+    std::size_t windows_ = 0;
+};
+
+/** Workload wrapper that overrides the OS core-frequency request. */
+class PinnedFreqAgent : public soc::WorkloadAgent
+{
+  public:
+    PinnedFreqAgent(soc::WorkloadAgent &inner, Hertz freq)
+        : inner_(inner), freq_(freq)
+    {}
+
+    void
+    demandAt(Tick now, soc::IntervalDemand &demand) override
+    {
+        inner_.demandAt(now, demand);
+        if (freq_ > 0.0)
+            demand.coreFreqRequest = freq_;
+    }
+
+    bool
+    finished(Tick now) const override
+    {
+        return inner_.finished(now);
+    }
+
+  private:
+    soc::WorkloadAgent &inner_;
+    Hertz freq_;
+};
+
+} // anonymous namespace
+
+const std::vector<std::string> &
+governorNames()
+{
+    static const std::vector<std::string> names = {
+        "fixed",     "sysscale", "memscale", "memscale-r",
+        "coscale",   "coscale-r", "collect",
+    };
+    return names;
+}
+
+bool
+isGovernorName(const std::string &name)
+{
+    if (name.empty())
+        return true;
+    for (const auto &n : governorNames()) {
+        if (n == name)
+            return true;
+    }
+    return false;
+}
+
+GovernorFactory
+governorFactory(const std::string &name)
+{
+    using Policy = std::unique_ptr<soc::PmuPolicy>;
+    if (name.empty() || name == "collect")
+        return [] { return Policy(); };
+    if (name == "fixed")
+        return [] {
+            return Policy(new core::FixedGovernor());
+        };
+    if (name == "sysscale")
+        return [] {
+            return Policy(new core::SysScaleGovernor());
+        };
+    if (name == "memscale")
+        return [] {
+            return Policy(new core::MemScaleGovernor(false));
+        };
+    if (name == "memscale-r")
+        return [] {
+            return Policy(new core::MemScaleGovernor(true));
+        };
+    if (name == "coscale")
+        return [] {
+            return Policy(new core::CoScaleGovernor(false));
+        };
+    if (name == "coscale-r")
+        return [] {
+            return Policy(new core::CoScaleGovernor(true));
+        };
+    throw std::invalid_argument("unknown governor \"" + name + "\"");
+}
+
+void
+validateSpec(const ExperimentSpec &spec)
+{
+    if (spec.workload.numPhases() == 0)
+        throw std::invalid_argument(
+            "cell \"" + spec.id + "\": workload has no phases");
+    if (spec.window == 0)
+        throw std::invalid_argument(
+            "cell \"" + spec.id + "\": zero measurement window");
+    if (!spec.governorFactory && !spec.borrowedPolicy &&
+        !isGovernorName(spec.governor)) {
+        throw std::invalid_argument(
+            "cell \"" + spec.id + "\": unknown governor \"" +
+            spec.governor + "\"");
+    }
+    // Catchable mirror of every SocConfig::validate() invariant:
+    // cfg.validate() is fatal (process exit), which from a worker
+    // thread would take the whole grid down instead of producing an
+    // ok=false row for just this cell.
+    const soc::SocConfig &cfg = spec.soc;
+    if (cfg.tdp <= 0.0)
+        throw std::invalid_argument(
+            "cell \"" + spec.id + "\": non-positive TDP");
+    if (cfg.cores == 0 || cfg.threadsPerCore == 0)
+        throw std::invalid_argument(
+            "cell \"" + spec.id + "\": zero cores/threads");
+    if (cfg.pbmReserve < 0.0 || cfg.pbmReserve >= cfg.tdp)
+        throw std::invalid_argument(
+            "cell \"" + spec.id + "\": PBM reserve outside [0, TDP)");
+    if (cfg.vSaBoot <= 0.0 || cfg.vIoBoot <= 0.0 || cfg.vddq <= 0.0)
+        throw std::invalid_argument(
+            "cell \"" + spec.id + "\": non-positive rail voltage");
+    if (cfg.fabricFreqLow > cfg.fabricFreqHigh)
+        throw std::invalid_argument(
+            "cell \"" + spec.id +
+            "\": fabric low clock above high clock");
+    if (cfg.sampleInterval == 0 || cfg.evaluationInterval == 0 ||
+        cfg.stepInterval == 0) {
+        throw std::invalid_argument(
+            "cell \"" + spec.id + "\": zero PM cadence interval");
+    }
+    if (cfg.sampleInterval % cfg.stepInterval != 0 ||
+        cfg.evaluationInterval % cfg.sampleInterval != 0) {
+        throw std::invalid_argument(
+            "cell \"" + spec.id + "\": PM cadence intervals are not "
+            "multiples of each other");
+    }
+    if (cfg.budgetUtilization <= 0.0 || cfg.budgetUtilization > 1.0)
+        throw std::invalid_argument(
+            "cell \"" + spec.id +
+            "\": budget utilization out of (0,1]");
+}
+
+RunResult
+runCell(const ExperimentSpec &spec)
+{
+    RunResult res;
+    res.id = spec.id;
+    res.workload = spec.workload.name();
+    res.labels = spec.labels;
+
+    const auto host_start = std::chrono::steady_clock::now();
+    try {
+        validateSpec(spec);
+
+        std::unique_ptr<soc::PmuPolicy> owned;
+        soc::PmuPolicy *policy = spec.borrowedPolicy;
+        if (!policy) {
+            const GovernorFactory factory =
+                spec.governorFactory ? spec.governorFactory
+                                     : governorFactory(spec.governor);
+            owned = factory();
+            policy = owned.get();
+        }
+
+        Simulator sim(spec.seed);
+        soc::Soc chip(sim, spec.soc);
+        if (spec.hdPanel) {
+            chip.display().attachPanel(0, io::PanelConfig{
+                io::PanelResolution::HD, 60.0, 4});
+        }
+        if (spec.camera)
+            chip.isp().startCamera(io::CameraConfig{});
+
+        workloads::ProfileAgent agent(spec.workload);
+        PinnedFreqAgent pinned(agent, spec.pinnedCoreFreq);
+        chip.setWorkload(&pinned);
+
+        CollectPolicy collector;
+        chip.pmu().setPolicy(policy ? policy : &collector);
+        res.governor = policy ? policy->name() : collector.name();
+
+        if (spec.pinnedOpPoint) {
+            core::FlowOptions opts;
+            opts.useOptimizedMrc = !spec.pinnedUnoptimizedMrc;
+            core::TransitionFlow flow(chip, opts);
+            soc::OperatingPoint target = *spec.pinnedOpPoint;
+            if (spec.pinnedUnoptimizedMrc)
+                target.mrcTrainedBin = chip.opPoints().high().dramBin;
+            flow.execute(target);
+            chip.setComputeBudget(chip.pbm().computeBudget(
+                chip.ioMemBudget(chip.opPoints().high()), 0.0));
+        }
+
+        chip.run(spec.warmup);
+        res.metrics = chip.run(spec.window);
+        res.counters = collector.average();
+        res.ok = true;
+    } catch (const std::exception &e) {
+        res.ok = false;
+        res.error = e.what();
+    } catch (...) {
+        res.ok = false;
+        res.error = "unknown exception";
+    }
+    res.hostSeconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - host_start)
+            .count();
+    return res;
+}
+
+std::vector<ExperimentSpec>
+expandGrid(const GridSpec &grid)
+{
+    std::vector<ExperimentSpec> cells;
+    cells.reserve(grid.workloads.size() * grid.governors.size() *
+                  grid.tdps.size() * grid.seeds.size());
+
+    for (const auto &w : grid.workloads) {
+        for (const auto &gov : grid.governors) {
+            for (const Watt tdp : grid.tdps) {
+                for (const std::uint64_t seed : grid.seeds) {
+                    ExperimentSpec cell;
+                    cell.soc = grid.base;
+                    cell.soc.tdp = tdp;
+                    cell.workload = w;
+                    cell.governor = gov;
+                    cell.seed = seed;
+                    cell.warmup = grid.warmup;
+                    cell.window = grid.window;
+                    cell.hdPanel = grid.hdPanel;
+                    cell.camera = grid.camera;
+
+                    char tdp_s[32];
+                    std::snprintf(tdp_s, sizeof(tdp_s), "%.3gW", tdp);
+                    cell.id = w.name() + "/" + gov + "/" + tdp_s +
+                              "/seed" + std::to_string(seed);
+                    cell.labels = {
+                        {"workload", w.name()},
+                        {"governor", gov},
+                        {"tdp", tdp_s},
+                        {"seed", std::to_string(seed)},
+                    };
+                    cells.push_back(std::move(cell));
+                }
+            }
+        }
+    }
+    return cells;
+}
+
+} // namespace exp
+} // namespace sysscale

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Declarative experiment cells.
+ *
+ * An ExperimentSpec pins everything one simulation run depends on —
+ * SoC configuration, workload profile, governor, measurement window,
+ * pinning overrides, and RNG seed — so a run can execute anywhere
+ * (serial loop, worker thread, remote host) and produce the same
+ * RunResult. runCell() is the single execution path: it owns an
+ * isolated Simulator and Soc per call, which is what makes grid
+ * execution embarrassingly parallel and bit-identical to a serial
+ * sweep of the same cells.
+ *
+ * Governors are resolved by registry name ("fixed", "sysscale",
+ * "memscale[-r]", "coscale[-r]", "collect") so grids serialize to
+ * plain strings; a custom factory hook covers ablation variants.
+ */
+
+#ifndef SYSSCALE_EXP_EXPERIMENT_HH
+#define SYSSCALE_EXP_EXPERIMENT_HH
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "soc/config.hh"
+#include "soc/op_point.hh"
+#include "soc/pmu.hh"
+#include "soc/soc.hh"
+#include "workloads/profile.hh"
+
+namespace sysscale {
+namespace exp {
+
+/** Builds a fresh governor instance for one cell (thread isolation). */
+using GovernorFactory =
+    std::function<std::unique_ptr<soc::PmuPolicy>()>;
+
+/** Key=value annotations carried through to result rows. */
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/**
+ * One grid cell: a fully-specified simulation run.
+ */
+struct ExperimentSpec
+{
+    /** Unique cell identifier (grids derive it from the axes). */
+    std::string id;
+
+    soc::SocConfig soc = soc::skylakeConfig();
+    workloads::WorkloadProfile workload;
+
+    /**
+     * Registry name of the governor ("collect" or empty = no
+     * governor, counter collection only).
+     */
+    std::string governor = "collect";
+
+    /** Overrides @ref governor when set (ablation variants). */
+    GovernorFactory governorFactory;
+
+    /**
+     * Non-owning policy instance to run instead of building one —
+     * lets callers inspect governor state after the run. Only legal
+     * on serial execution paths; the parallel runner rejects it.
+     */
+    soc::PmuPolicy *borrowedPolicy = nullptr;
+
+    /** Simulator root-RNG seed. */
+    std::uint64_t seed = 1;
+
+    Tick warmup = 200 * kTicksPerMs;
+    Tick window = 2 * kTicksPerSec;
+
+    bool hdPanel = true;
+    bool camera = false;
+
+    /** Pin the CPU cores to this frequency (0 = PBM-controlled). */
+    Hertz pinnedCoreFreq = 0.0;
+
+    /** Pin the IO/memory domains to this operating point. */
+    std::optional<soc::OperatingPoint> pinnedOpPoint;
+
+    /** Apply unoptimized (boot-trained) MRC at the pinned point. */
+    bool pinnedUnoptimizedMrc = false;
+
+    Labels labels;
+};
+
+/**
+ * Outcome of one cell.
+ */
+struct RunResult
+{
+    std::string id;
+    std::string governor;
+    std::string workload;
+
+    /** False when the cell failed; @ref error holds the reason. */
+    bool ok = false;
+    std::string error;
+
+    soc::RunMetrics metrics{};
+    soc::CounterSnapshot counters{};
+
+    /** Host wall-clock the cell took on its worker (seconds). */
+    double hostSeconds = 0.0;
+
+    Labels labels;
+};
+
+/** @name Governor registry. @{ */
+
+/** Registered governor names, in presentation order. */
+const std::vector<std::string> &governorNames();
+
+/** Whether @p name resolves (including "collect"/""). */
+bool isGovernorName(const std::string &name);
+
+/**
+ * Factory for registered governor @p name; returns a factory
+ * producing nullptr for "collect"/"". Throws std::invalid_argument
+ * on unknown names.
+ */
+GovernorFactory governorFactory(const std::string &name);
+/** @} */
+
+/**
+ * Throw std::invalid_argument if @p spec cannot run (empty workload,
+ * zero window, unknown governor). runCell() folds the message into
+ * an error result instead of propagating.
+ */
+void validateSpec(const ExperimentSpec &spec);
+
+/**
+ * Execute one cell on the calling thread. Never throws: failures
+ * (bad spec, exceptions out of the model) come back as ok=false
+ * results so one cell cannot poison its siblings.
+ */
+RunResult runCell(const ExperimentSpec &spec);
+
+/**
+ * Declarative governor x workload x TDP x seed grid with shared
+ * measurement settings; expandGrid() produces the cross product in a
+ * deterministic order (workload-major, then governor, TDP, seed).
+ */
+struct GridSpec
+{
+    soc::SocConfig base = soc::skylakeConfig();
+    std::vector<workloads::WorkloadProfile> workloads;
+    std::vector<std::string> governors{"sysscale"};
+    std::vector<Watt> tdps{4.5};
+    std::vector<std::uint64_t> seeds{1};
+
+    Tick warmup = 200 * kTicksPerMs;
+    Tick window = 2 * kTicksPerSec;
+    bool hdPanel = true;
+    bool camera = false;
+};
+
+std::vector<ExperimentSpec> expandGrid(const GridSpec &grid);
+
+} // namespace exp
+} // namespace sysscale
+
+#endif // SYSSCALE_EXP_EXPERIMENT_HH

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * RunResult serialization.
+ *
+ * CSV and JSON emitters for experiment-grid results. Numbers are
+ * formatted with round-trip precision ("%.17g") so two result sets
+ * compare byte-identical exactly when the underlying doubles are
+ * bit-identical — the property the determinism tests assert across
+ * serial and parallel grid executions.
+ */
+
+#ifndef SYSSCALE_EXP_REPORT_HH
+#define SYSSCALE_EXP_REPORT_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "exp/experiment.hh"
+
+namespace sysscale {
+namespace exp {
+
+/** One result as a CSV row (no trailing newline, no header). */
+std::string csvRow(const RunResult &res);
+
+/** The header matching csvRow(). */
+std::string csvHeader();
+
+/** Write header + one row per result. */
+void writeCsv(std::ostream &os,
+              const std::vector<RunResult> &results);
+
+/** One result as a JSON object. */
+std::string jsonObject(const RunResult &res);
+
+/** Write the full result set as a JSON array. */
+void writeJson(std::ostream &os,
+               const std::vector<RunResult> &results);
+
+} // namespace exp
+} // namespace sysscale
+
+#endif // SYSSCALE_EXP_REPORT_HH

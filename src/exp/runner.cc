@@ -1,0 +1,83 @@
+#include "exp/runner.hh"
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+namespace sysscale {
+namespace exp {
+
+ExperimentRunner::ExperimentRunner(RunnerOptions opts)
+    : opts_(std::move(opts))
+{}
+
+std::size_t
+ExperimentRunner::jobsFor(std::size_t cells) const
+{
+    std::size_t jobs = opts_.jobs;
+    if (jobs == 0) {
+        jobs = std::thread::hardware_concurrency();
+        if (jobs == 0)
+            jobs = 1;
+    }
+    if (jobs > cells)
+        jobs = cells;
+    return jobs == 0 ? 1 : jobs;
+}
+
+std::vector<RunResult>
+ExperimentRunner::run(const std::vector<ExperimentSpec> &specs) const
+{
+    std::vector<RunResult> results(specs.size());
+    if (specs.empty())
+        return results;
+
+    const std::size_t jobs = jobsFor(specs.size());
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::mutex progress_mutex;
+
+    auto worker = [&] {
+        for (;;) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= specs.size())
+                return;
+
+            const ExperimentSpec &spec = specs[i];
+            if (spec.borrowedPolicy && jobs > 1) {
+                RunResult &res = results[i];
+                res.id = spec.id;
+                res.workload = spec.workload.name();
+                res.labels = spec.labels;
+                res.ok = false;
+                res.error = "borrowed policy requires jobs == 1";
+            } else {
+                results[i] = runCell(spec);
+            }
+
+            const std::size_t finished =
+                done.fetch_add(1, std::memory_order_relaxed) + 1;
+            if (opts_.onResult) {
+                std::lock_guard<std::mutex> lock(progress_mutex);
+                opts_.onResult(results[i], finished, specs.size());
+            }
+        }
+    };
+
+    if (jobs == 1) {
+        worker();
+        return results;
+    }
+
+    std::vector<std::thread> pool;
+    pool.reserve(jobs);
+    for (std::size_t t = 0; t < jobs; ++t)
+        pool.emplace_back(worker);
+    for (auto &t : pool)
+        t.join();
+    return results;
+}
+
+} // namespace exp
+} // namespace sysscale

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Parallel experiment-grid execution.
+ *
+ * ExperimentRunner fans a vector of ExperimentSpec cells out across
+ * a pool of worker threads. Each cell runs through exp::runCell(),
+ * which owns an isolated Simulator + Soc, so cells share no mutable
+ * state and the result vector is bit-identical to a serial sweep of
+ * the same specs regardless of the job count or scheduling order —
+ * results land at the index of their spec, never in completion
+ * order. A cell that fails (bad spec, model exception) produces an
+ * ok=false RunResult and leaves its siblings untouched.
+ */
+
+#ifndef SYSSCALE_EXP_RUNNER_HH
+#define SYSSCALE_EXP_RUNNER_HH
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "exp/experiment.hh"
+
+namespace sysscale {
+namespace exp {
+
+/** Progress hook: one finished cell plus completion counters. */
+using ProgressFn = std::function<void(
+    const RunResult &result, std::size_t done, std::size_t total)>;
+
+struct RunnerOptions
+{
+    /** Worker threads; 0 = hardware concurrency. */
+    std::size_t jobs = 0;
+
+    /**
+     * Invoked after each cell completes (serialized by the runner;
+     * the callback never needs its own locking). Called in
+     * completion order, which is nondeterministic for jobs > 1.
+     */
+    ProgressFn onResult;
+};
+
+class ExperimentRunner
+{
+  public:
+    explicit ExperimentRunner(RunnerOptions opts = {});
+
+    /**
+     * Execute every cell and return results in spec order.
+     *
+     * Cells with a borrowedPolicy are only legal at jobs == 1 (a
+     * borrowed instance cannot be shared across workers); with more
+     * jobs they come back as ok=false results.
+     */
+    std::vector<RunResult> run(
+        const std::vector<ExperimentSpec> &specs) const;
+
+    /** Worker count used for @p cells cells. */
+    std::size_t jobsFor(std::size_t cells) const;
+
+  private:
+    RunnerOptions opts_;
+};
+
+} // namespace exp
+} // namespace sysscale
+
+#endif // SYSSCALE_EXP_RUNNER_HH

@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Shared gtest entry point.
+ *
+ * The default "fast" death-test style forks from a process that may
+ * already own experiment-runner worker threads; the threadsafe style
+ * re-executes the binary instead, which is the only fork semantics
+ * that is correct in a multithreaded test process.
+ */
+
+#include <gtest/gtest.h>
+
+int
+main(int argc, char **argv)
+{
+    ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    ::testing::InitGoogleTest(&argc, argv);
+    return RUN_ALL_TESTS();
+}

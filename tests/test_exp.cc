@@ -1,0 +1,423 @@
+/**
+ * @file
+ * Experiment-runner subsystem tests: grid expansion, the governor
+ * registry, parallel-vs-serial determinism, failure isolation, and
+ * result serialization.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "bench/harness.hh"
+#include "exp/experiment.hh"
+#include "exp/report.hh"
+#include "exp/runner.hh"
+#include "workloads/micro.hh"
+
+using namespace sysscale;
+
+namespace {
+
+/** Small, fast grid shared by the determinism tests. */
+exp::GridSpec
+smallGrid()
+{
+    exp::GridSpec grid;
+    grid.workloads = {workloads::streamMicro(),
+                      workloads::spinMicro()};
+    grid.governors = {"fixed", "sysscale"};
+    grid.tdps = {3.5, 4.5};
+    grid.seeds = {1, 7};
+    grid.warmup = 10 * kTicksPerMs;
+    grid.window = 60 * kTicksPerMs;
+    return grid;
+}
+
+/** Serialize a result with the host-timing column neutralized. */
+std::string
+stableRow(exp::RunResult res)
+{
+    res.hostSeconds = 0.0;
+    return exp::csvRow(res);
+}
+
+} // anonymous namespace
+
+TEST(GovernorRegistry, AllNamesResolve)
+{
+    for (const auto &name : exp::governorNames()) {
+        EXPECT_TRUE(exp::isGovernorName(name)) << name;
+        EXPECT_NO_THROW((void)exp::governorFactory(name)) << name;
+    }
+}
+
+TEST(GovernorRegistry, FactoriesProduceFreshInstances)
+{
+    const auto factory = exp::governorFactory("sysscale");
+    const auto a = factory();
+    const auto b = factory();
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+    EXPECT_NE(a.get(), b.get());
+    EXPECT_STREQ(a->name(), "sysscale");
+}
+
+TEST(GovernorRegistry, CollectProducesNoGovernor)
+{
+    EXPECT_EQ(exp::governorFactory("collect")(), nullptr);
+    EXPECT_EQ(exp::governorFactory("")(), nullptr);
+}
+
+TEST(GovernorRegistry, UnknownNameThrows)
+{
+    EXPECT_FALSE(exp::isGovernorName("turbo9000"));
+    EXPECT_THROW((void)exp::governorFactory("turbo9000"),
+                 std::invalid_argument);
+}
+
+TEST(GridExpansion, CrossProductSizeAndUniqueIds)
+{
+    const auto specs = exp::expandGrid(smallGrid());
+    EXPECT_EQ(specs.size(), 2u * 2u * 2u * 2u);
+
+    std::set<std::string> ids;
+    for (const auto &spec : specs)
+        ids.insert(spec.id);
+    EXPECT_EQ(ids.size(), specs.size());
+}
+
+TEST(GridExpansion, CellsInheritSharedSettings)
+{
+    exp::GridSpec grid = smallGrid();
+    grid.camera = true;
+    const auto specs = exp::expandGrid(grid);
+    for (const auto &spec : specs) {
+        EXPECT_EQ(spec.warmup, grid.warmup);
+        EXPECT_EQ(spec.window, grid.window);
+        EXPECT_TRUE(spec.camera);
+        EXPECT_EQ(spec.labels.size(), 4u);
+    }
+}
+
+TEST(GridExpansion, TdpAxisLandsInSocConfig)
+{
+    const auto specs = exp::expandGrid(smallGrid());
+    std::set<double> tdps;
+    for (const auto &spec : specs)
+        tdps.insert(spec.soc.tdp);
+    EXPECT_EQ(tdps, (std::set<double>{3.5, 4.5}));
+}
+
+TEST(SpecValidation, RejectsBadCells)
+{
+    exp::ExperimentSpec spec;
+    spec.workload = workloads::streamMicro();
+    EXPECT_NO_THROW(exp::validateSpec(spec));
+
+    exp::ExperimentSpec no_workload = spec;
+    no_workload.workload = workloads::WorkloadProfile();
+    EXPECT_THROW(exp::validateSpec(no_workload),
+                 std::invalid_argument);
+
+    exp::ExperimentSpec no_window = spec;
+    no_window.window = 0;
+    EXPECT_THROW(exp::validateSpec(no_window), std::invalid_argument);
+
+    exp::ExperimentSpec bad_gov = spec;
+    bad_gov.governor = "turbo9000";
+    EXPECT_THROW(exp::validateSpec(bad_gov), std::invalid_argument);
+
+    exp::ExperimentSpec bad_tdp = spec;
+    bad_tdp.soc.tdp = -1.0;
+    EXPECT_THROW(exp::validateSpec(bad_tdp), std::invalid_argument);
+
+    // TDP below the PBM reserve would otherwise reach the fatal
+    // (process-exiting) SocConfig::validate() from a worker thread.
+    exp::ExperimentSpec tiny_tdp = spec;
+    tiny_tdp.soc.tdp = 0.2;
+    EXPECT_THROW(exp::validateSpec(tiny_tdp), std::invalid_argument);
+
+    exp::ExperimentSpec bad_cadence = spec;
+    bad_cadence.soc.sampleInterval = 3 * kTicksPerUs;
+    EXPECT_THROW(exp::validateSpec(bad_cadence),
+                 std::invalid_argument);
+}
+
+TEST(SpecValidation, SubReserveTdpCellFailsWithoutKillingGrid)
+{
+    exp::GridSpec grid;
+    grid.workloads = {workloads::spinMicro()};
+    grid.governors = {"fixed"};
+    grid.tdps = {0.2, 4.5};
+    grid.warmup = 5 * kTicksPerMs;
+    grid.window = 30 * kTicksPerMs;
+
+    exp::RunnerOptions opts;
+    opts.jobs = 2;
+    const auto results =
+        exp::ExperimentRunner(opts).run(exp::expandGrid(grid));
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_FALSE(results[0].ok);
+    EXPECT_NE(results[0].error.find("reserve"), std::string::npos);
+    EXPECT_TRUE(results[1].ok) << results[1].error;
+}
+
+TEST(RunCell, ProducesMetricsAndCounters)
+{
+    exp::ExperimentSpec spec;
+    spec.id = "unit";
+    spec.workload = workloads::streamMicro();
+    spec.governor = "collect";
+    spec.warmup = 10 * kTicksPerMs;
+    spec.window = 60 * kTicksPerMs;
+
+    const exp::RunResult res = exp::runCell(spec);
+    ASSERT_TRUE(res.ok) << res.error;
+    EXPECT_EQ(res.id, "unit");
+    EXPECT_EQ(res.workload, "stream");
+    EXPECT_GT(res.metrics.ips, 0.0);
+    EXPECT_GT(res.metrics.avgPower, 0.0);
+    EXPECT_GT(res.hostSeconds, 0.0);
+    // The collect policy accumulated real counter traffic.
+    EXPECT_GT(res.counters[soc::Counter::LlcStalls], 0.0);
+}
+
+TEST(RunCell, BadSpecBecomesErrorResultNotThrow)
+{
+    exp::ExperimentSpec spec;
+    spec.id = "broken";
+    spec.window = 0;
+
+    exp::RunResult res;
+    EXPECT_NO_THROW(res = exp::runCell(spec));
+    EXPECT_FALSE(res.ok);
+    EXPECT_NE(res.error.find("broken"), std::string::npos);
+}
+
+TEST(RunCell, MatchesBenchHarness)
+{
+    const auto w = workloads::streamMicro();
+    bench::RunConfig rc;
+    rc.warmup = 10 * kTicksPerMs;
+    rc.window = 60 * kTicksPerMs;
+
+    core::SysScaleGovernor gov;
+    const auto outcome = bench::runExperiment(w, &gov, rc);
+
+    exp::ExperimentSpec spec = bench::makeSpec(w, rc);
+    spec.governor = "sysscale";
+    const exp::RunResult res = exp::runCell(spec);
+    ASSERT_TRUE(res.ok) << res.error;
+
+    EXPECT_EQ(res.metrics.ips, outcome.metrics.ips);
+    EXPECT_EQ(res.metrics.energy, outcome.metrics.energy);
+    EXPECT_EQ(res.metrics.transitions, outcome.metrics.transitions);
+}
+
+TEST(Runner, ParallelGridIsByteIdenticalToSerial)
+{
+    const auto specs = exp::expandGrid(smallGrid());
+
+    exp::RunnerOptions serial_opts;
+    serial_opts.jobs = 1;
+    const auto serial = exp::ExperimentRunner(serial_opts).run(specs);
+
+    exp::RunnerOptions parallel_opts;
+    parallel_opts.jobs = 4;
+    const auto parallel =
+        exp::ExperimentRunner(parallel_opts).run(specs);
+
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        ASSERT_TRUE(serial[i].ok) << serial[i].error;
+        ASSERT_TRUE(parallel[i].ok) << parallel[i].error;
+        // Byte-identical serialized rows (host timing neutralized;
+        // everything else, including every double, must match to
+        // the last bit for "%.17g" round-trip formatting to agree).
+        EXPECT_EQ(stableRow(serial[i]), stableRow(parallel[i]))
+            << specs[i].id;
+    }
+}
+
+TEST(Runner, RepeatedParallelRunsAreIdentical)
+{
+    const auto specs = exp::expandGrid(smallGrid());
+    exp::RunnerOptions opts;
+    opts.jobs = 3;
+    const exp::ExperimentRunner runner(opts);
+    const auto a = runner.run(specs);
+    const auto b = runner.run(specs);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(stableRow(a[i]), stableRow(b[i]));
+}
+
+TEST(Runner, FailingCellDoesNotPoisonSiblings)
+{
+    auto specs = exp::expandGrid(smallGrid());
+    ASSERT_GE(specs.size(), 3u);
+
+    // Reference run of the healthy specs.
+    exp::RunnerOptions opts;
+    opts.jobs = 4;
+    const auto reference = exp::ExperimentRunner(opts).run(specs);
+
+    // Poison two cells in different ways: a throwing governor
+    // factory and an invalid spec.
+    const std::size_t bad_a = 1, bad_b = specs.size() - 1;
+    specs[bad_a].governorFactory =
+        []() -> std::unique_ptr<soc::PmuPolicy> {
+        throw std::runtime_error("factory exploded");
+    };
+    specs[bad_b].window = 0;
+
+    const auto results = exp::ExperimentRunner(opts).run(specs);
+    ASSERT_EQ(results.size(), specs.size());
+
+    EXPECT_FALSE(results[bad_a].ok);
+    EXPECT_NE(results[bad_a].error.find("factory exploded"),
+              std::string::npos);
+    EXPECT_FALSE(results[bad_b].ok);
+
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        if (i == bad_a || i == bad_b)
+            continue;
+        ASSERT_TRUE(results[i].ok) << results[i].error;
+        EXPECT_EQ(stableRow(results[i]), stableRow(reference[i]));
+    }
+}
+
+TEST(Runner, ProgressCallbackSeesEveryCell)
+{
+    const auto specs = exp::expandGrid(smallGrid());
+    std::size_t calls = 0;
+    std::size_t last_done = 0;
+    exp::RunnerOptions opts;
+    opts.jobs = 2;
+    opts.onResult = [&](const exp::RunResult &, std::size_t done,
+                        std::size_t total) {
+        ++calls;
+        EXPECT_EQ(total, specs.size());
+        EXPECT_GE(done, 1u);
+        last_done = std::max(last_done, done);
+    };
+    (void)exp::ExperimentRunner(opts).run(specs);
+    EXPECT_EQ(calls, specs.size());
+    EXPECT_EQ(last_done, specs.size());
+}
+
+TEST(Runner, BorrowedPolicyRequiresSerialExecution)
+{
+    core::FixedGovernor gov;
+    exp::ExperimentSpec spec;
+    spec.id = "borrowed";
+    spec.workload = workloads::spinMicro();
+    spec.warmup = 5 * kTicksPerMs;
+    spec.window = 30 * kTicksPerMs;
+    spec.borrowedPolicy = &gov;
+
+    std::vector<exp::ExperimentSpec> specs(2, spec);
+
+    exp::RunnerOptions serial_opts;
+    serial_opts.jobs = 1;
+    for (const auto &res :
+         exp::ExperimentRunner(serial_opts).run(specs))
+        EXPECT_TRUE(res.ok) << res.error;
+
+    exp::RunnerOptions parallel_opts;
+    parallel_opts.jobs = 2;
+    for (const auto &res :
+         exp::ExperimentRunner(parallel_opts).run(specs)) {
+        EXPECT_FALSE(res.ok);
+        EXPECT_NE(res.error.find("jobs == 1"), std::string::npos);
+    }
+}
+
+TEST(Runner, JobsClampToCellCount)
+{
+    exp::RunnerOptions opts;
+    opts.jobs = 64;
+    const exp::ExperimentRunner runner(opts);
+    EXPECT_EQ(runner.jobsFor(3), 3u);
+    EXPECT_EQ(runner.jobsFor(100), 64u);
+    EXPECT_GE(exp::ExperimentRunner().jobsFor(8), 1u);
+}
+
+TEST(Report, CsvRowMatchesHeaderArity)
+{
+    exp::ExperimentSpec spec;
+    spec.id = "csv";
+    spec.workload = workloads::spinMicro();
+    spec.warmup = 5 * kTicksPerMs;
+    spec.window = 30 * kTicksPerMs;
+    spec.labels = {{"governor", "fixed"}, {"tdp", "4.5W"}};
+    const exp::RunResult res = exp::runCell(spec);
+    ASSERT_TRUE(res.ok) << res.error;
+
+    // Quoted fields in the row contain no embedded commas here, so
+    // comma counting is a valid arity check.
+    const std::string header = exp::csvHeader();
+    const std::string row = exp::csvRow(res);
+    const auto commas = [](const std::string &s) {
+        return std::count(s.begin(), s.end(), ',');
+    };
+    EXPECT_EQ(commas(header), commas(row));
+}
+
+TEST(Report, CsvEscapesQuotes)
+{
+    exp::RunResult res;
+    res.id = "he said \"hi\"";
+    const std::string row = exp::csvRow(res);
+    EXPECT_NE(row.find("\"he said \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Report, JsonIsStructurallySound)
+{
+    exp::ExperimentSpec spec;
+    spec.id = "json \"quoted\"";
+    spec.workload = workloads::spinMicro();
+    spec.warmup = 5 * kTicksPerMs;
+    spec.window = 30 * kTicksPerMs;
+    spec.labels = {{"k", "v"}};
+    const exp::RunResult res = exp::runCell(spec);
+    ASSERT_TRUE(res.ok) << res.error;
+
+    std::ostringstream os;
+    exp::writeJson(os, {res, res});
+    const std::string doc = os.str();
+
+    // Balanced braces/brackets outside of strings.
+    int depth = 0;
+    bool in_string = false;
+    bool escaped = false;
+    for (char c : doc) {
+        if (escaped) {
+            escaped = false;
+            continue;
+        }
+        if (c == '\\') {
+            escaped = true;
+            continue;
+        }
+        if (c == '"') {
+            in_string = !in_string;
+            continue;
+        }
+        if (in_string)
+            continue;
+        if (c == '{' || c == '[')
+            ++depth;
+        if (c == '}' || c == ']') {
+            --depth;
+            ASSERT_GE(depth, 0);
+        }
+    }
+    EXPECT_EQ(depth, 0);
+    EXPECT_FALSE(in_string);
+    EXPECT_NE(doc.find("\"json \\\"quoted\\\"\""),
+              std::string::npos);
+}

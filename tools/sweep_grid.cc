@@ -1,0 +1,300 @@
+/**
+ * @file
+ * sweep_grid: run a declarative governor x workload x TDP x seed
+ * grid on the parallel ExperimentRunner and emit CSV/JSON.
+ *
+ * The driver mirrors how the paper sweeps its experiments (one
+ * simulated setup per grid cell, every cell independent) and batches
+ * the cells across worker threads; results are deterministic and
+ * identical for any --jobs value.
+ *
+ * Examples:
+ *   sweep_grid --workloads battery --governors fixed,sysscale \
+ *              --tdps 3.5,4.5,7,15 --jobs 8 --csv results.csv
+ *   sweep_grid --workloads spec:416.gamess,video-playback \
+ *              --window-ms 500 --json -
+ *   sweep_grid --list
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exp/experiment.hh"
+#include "exp/report.hh"
+#include "exp/runner.hh"
+#include "workloads/battery.hh"
+#include "workloads/graphics.hh"
+#include "workloads/micro.hh"
+#include "workloads/spec.hh"
+
+using namespace sysscale;
+
+namespace {
+
+std::vector<std::string>
+splitList(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::stringstream ss(s);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+        if (!item.empty())
+            out.push_back(item);
+    }
+    return out;
+}
+
+/** Every individually addressable profile, for --list and lookup. */
+std::vector<workloads::WorkloadProfile>
+allProfiles()
+{
+    std::vector<workloads::WorkloadProfile> all;
+    for (auto &w : workloads::specSuite())
+        all.push_back(std::move(w));
+    for (auto &w : workloads::batterySuite())
+        all.push_back(std::move(w));
+    for (auto &w : workloads::graphicsSuite())
+        all.push_back(std::move(w));
+    all.push_back(workloads::streamMicro());
+    all.push_back(workloads::pointerChaseMicro());
+    all.push_back(workloads::spinMicro());
+    return all;
+}
+
+/**
+ * Resolve one --workloads token: a suite keyword ("spec",
+ * "battery", "graphics", "micro"), "spec:NAME", or a profile name.
+ */
+std::vector<workloads::WorkloadProfile>
+resolveWorkloads(const std::string &token)
+{
+    if (token == "spec")
+        return workloads::specSuite();
+    if (token == "battery")
+        return workloads::batterySuite();
+    if (token == "graphics")
+        return workloads::graphicsSuite();
+    if (token == "micro") {
+        return {workloads::streamMicro(),
+                workloads::pointerChaseMicro(),
+                workloads::spinMicro()};
+    }
+    if (token.rfind("spec:", 0) == 0)
+        return {workloads::specBenchmark(token.substr(5))};
+    for (auto &w : allProfiles()) {
+        if (w.name() == token)
+            return {std::move(w)};
+    }
+    std::fprintf(stderr, "sweep_grid: unknown workload \"%s\" "
+                         "(try --list)\n",
+                 token.c_str());
+    std::exit(2);
+}
+
+void
+listRegistry()
+{
+    std::printf("governors:\n");
+    for (const auto &g : exp::governorNames())
+        std::printf("  %s\n", g.c_str());
+    std::printf("workload suites: spec battery graphics micro\n");
+    std::printf("workloads:\n");
+    for (const auto &w : allProfiles())
+        std::printf("  %s\n", w.name().c_str());
+}
+
+void
+usage()
+{
+    std::printf(
+        "usage: sweep_grid [options]\n"
+        "  --workloads LIST   suites/names (default: battery)\n"
+        "  --governors LIST   governor names (default: "
+        "fixed,sysscale)\n"
+        "  --tdps LIST        TDP watts (default: 4.5)\n"
+        "  --seeds LIST       RNG seeds (default: 1)\n"
+        "  --warmup-ms N      warm-up per cell (default: 200)\n"
+        "  --window-ms N      measured window per cell (default: "
+        "2000)\n"
+        "  --jobs N           worker threads (default: hardware)\n"
+        "  --ddr4             use the DDR4 SoC population\n"
+        "  --csv FILE         write CSV ('-' = stdout)\n"
+        "  --json FILE        write JSON ('-' = stdout)\n"
+        "  --quiet            no per-cell progress\n"
+        "  --list             list governors and workloads\n");
+}
+
+void
+emit(const std::string &path, bool json,
+     const std::vector<exp::RunResult> &results)
+{
+    if (path == "-") {
+        if (json)
+            exp::writeJson(std::cout, results);
+        else
+            exp::writeCsv(std::cout, results);
+        return;
+    }
+    std::ofstream os(path);
+    if (!os) {
+        std::fprintf(stderr, "sweep_grid: cannot write %s\n",
+                     path.c_str());
+        std::exit(2);
+    }
+    if (json)
+        exp::writeJson(os, results);
+    else
+        exp::writeCsv(os, results);
+    std::fprintf(stderr, "wrote %s (%zu rows)\n", path.c_str(),
+                 results.size());
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string workloads_arg = "battery";
+    std::string governors_arg = "fixed,sysscale";
+    std::string tdps_arg = "4.5";
+    std::string seeds_arg = "1";
+    double warmup_ms = 200.0;
+    double window_ms = 2000.0;
+    std::size_t jobs = 0;
+    bool ddr4 = false;
+    bool quiet = false;
+    std::string csv_path, json_path;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "sweep_grid: %s needs a value\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--workloads") {
+            workloads_arg = value();
+        } else if (arg == "--governors") {
+            governors_arg = value();
+        } else if (arg == "--tdps") {
+            tdps_arg = value();
+        } else if (arg == "--seeds") {
+            seeds_arg = value();
+        } else if (arg == "--warmup-ms") {
+            warmup_ms = std::atof(value().c_str());
+        } else if (arg == "--window-ms") {
+            window_ms = std::atof(value().c_str());
+        } else if (arg == "--jobs") {
+            jobs = static_cast<std::size_t>(
+                std::atol(value().c_str()));
+        } else if (arg == "--ddr4") {
+            ddr4 = true;
+        } else if (arg == "--csv") {
+            csv_path = value();
+        } else if (arg == "--json") {
+            json_path = value();
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else if (arg == "--list") {
+            listRegistry();
+            return 0;
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else {
+            std::fprintf(stderr, "sweep_grid: unknown option %s\n",
+                         arg.c_str());
+            usage();
+            return 2;
+        }
+    }
+
+    exp::GridSpec grid;
+    grid.base = ddr4 ? soc::skylakeDdr4Config() : soc::skylakeConfig();
+    for (const auto &token : splitList(workloads_arg)) {
+        for (auto &w : resolveWorkloads(token))
+            grid.workloads.push_back(std::move(w));
+    }
+    grid.governors = splitList(governors_arg);
+    grid.tdps.clear();
+    for (const auto &t : splitList(tdps_arg))
+        grid.tdps.push_back(std::atof(t.c_str()));
+    grid.seeds.clear();
+    for (const auto &s : splitList(seeds_arg))
+        grid.seeds.push_back(
+            static_cast<std::uint64_t>(std::atoll(s.c_str())));
+    grid.warmup = ticksFromMs(warmup_ms);
+    grid.window = ticksFromMs(window_ms);
+
+    for (const auto &gov : grid.governors) {
+        if (!exp::isGovernorName(gov)) {
+            std::fprintf(stderr,
+                         "sweep_grid: unknown governor \"%s\" "
+                         "(try --list)\n",
+                         gov.c_str());
+            return 2;
+        }
+    }
+
+    const auto specs = exp::expandGrid(grid);
+    if (specs.empty()) {
+        std::fprintf(stderr, "sweep_grid: empty grid\n");
+        return 2;
+    }
+
+    exp::RunnerOptions opts;
+    opts.jobs = jobs;
+    if (!quiet) {
+        opts.onResult = [](const exp::RunResult &res,
+                           std::size_t done, std::size_t total) {
+            std::fprintf(stderr, "[%zu/%zu] %-40s %s (%.2fs)\n",
+                         done, total, res.id.c_str(),
+                         res.ok ? "ok" : res.error.c_str(),
+                         res.hostSeconds);
+        };
+    }
+
+    const exp::ExperimentRunner runner(opts);
+    std::fprintf(stderr,
+                 "sweep_grid: %zu cells on %zu worker thread(s)\n",
+                 specs.size(), runner.jobsFor(specs.size()));
+
+    const auto wall_start = std::chrono::steady_clock::now();
+    const auto results = runner.run(specs);
+    const double wall =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - wall_start)
+            .count();
+
+    std::size_t failures = 0;
+    double cell_seconds = 0.0;
+    for (const auto &res : results) {
+        if (!res.ok)
+            ++failures;
+        cell_seconds += res.hostSeconds;
+    }
+    std::fprintf(stderr,
+                 "sweep_grid: %zu cells in %.2fs wall "
+                 "(%.2fs of cell work, %zu failed)\n",
+                 results.size(), wall, cell_seconds, failures);
+
+    if (!csv_path.empty())
+        emit(csv_path, false, results);
+    if (!json_path.empty())
+        emit(json_path, true, results);
+    if (csv_path.empty() && json_path.empty())
+        exp::writeCsv(std::cout, results);
+
+    return failures == 0 ? 0 : 1;
+}
