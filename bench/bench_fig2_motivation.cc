@@ -8,13 +8,19 @@
  *     point.
  * (b) Bottleneck decomposition of the same workloads.
  * (c) Memory bandwidth demand statistics.
+ *
+ * Grid-shaped: one cell per (workload, setup) where setup is
+ * "base" (default point), "md" (pinned low point), or "redist"
+ * (low point with the 100MHz core budget redistribution), run
+ * through the parallel runner and reduced with exp::agg baseline
+ * deltas against the base setup.
  */
 
 #include "bench/harness.hh"
+#include "exp/agg.hh"
 #include "workloads/spec.hh"
 
 using namespace sysscale;
-using bench::pct;
 
 namespace {
 
@@ -31,6 +37,28 @@ pinnedSetup(bool low_point, Hertz core_freq)
     return rc;
 }
 
+/** Percent delta of @p setup vs the base setup (throws if absent). */
+double
+deltaPct(const exp::agg::Group &g, const std::string &setup,
+         const exp::agg::Metric &m)
+{
+    return exp::agg::deltaVs(g, "setup", setup, "base", m);
+}
+
+/** The group's base-setup row; exits loudly when it went missing. */
+const exp::RunResult &
+baseRow(const exp::agg::Group &g)
+{
+    const exp::RunResult *base =
+        exp::agg::findRow(g.rows, "setup", "base");
+    if (!base) {
+        std::fprintf(stderr, "fig2: no base setup for %s\n",
+                     g.key.c_str());
+        std::exit(1);
+    }
+    return *base;
+}
+
 } // namespace
 
 int
@@ -40,6 +68,47 @@ main()
 
     const char *names[] = {"400.perlbench", "436.cactusADM",
                            "470.lbm"};
+    struct Setup
+    {
+        const char *name;
+        bool lowPoint;
+        Hertz coreFreq;
+    };
+    const Setup setups[] = {
+        {"base", false, 1.2 * kGHz},
+        {"md", true, 1.2 * kGHz},
+        {"redist", true, 1.3 * kGHz},
+    };
+
+    std::vector<exp::ExperimentSpec> specs;
+    for (const char *name : names) {
+        const auto w = workloads::specBenchmark(name);
+        for (const Setup &s : setups) {
+            exp::ExperimentSpec spec = bench::makeSpec(
+                w, pinnedSetup(s.lowPoint, s.coreFreq));
+            spec.id = std::string(name) + "/" + s.name;
+            spec.labels = {{"workload", name}, {"setup", s.name}};
+            specs.push_back(std::move(spec));
+        }
+    }
+
+    const auto results = bench::runBatch(specs);
+    for (const auto &res : results)
+        bench::checkResult(res);
+    const auto groups = exp::agg::groupBy(results, "workload");
+
+    const exp::agg::Metric power = [](const exp::RunResult &r) {
+        return r.metrics.avgPower;
+    };
+    const exp::agg::Metric energy = [](const exp::RunResult &r) {
+        return r.metrics.energy;
+    };
+    const exp::agg::Metric perf = [](const exp::RunResult &r) {
+        return r.metrics.ips;
+    };
+    const exp::agg::Metric edp_per_ips = [](const exp::RunResult &r) {
+        return r.metrics.edp / r.metrics.ips;
+    };
 
     std::printf("(a) MD-DVFS at fixed 1.2GHz cores vs baseline "
                 "(paper: power -10..-11%%; cactusADM/lbm perf loss "
@@ -47,41 +116,27 @@ main()
     std::printf("%-16s %8s %8s %8s %8s %12s\n", "workload", "power",
                 "energy", "perf", "EDP", "perf@1.3GHz");
 
-    for (const char *name : names) {
-        const auto w = workloads::specBenchmark(name);
-        const auto base =
-            bench::runExperiment(w, nullptr,
-                                 pinnedSetup(false, 1.2 * kGHz));
-        const auto md =
-            bench::runExperiment(w, nullptr,
-                                 pinnedSetup(true, 1.2 * kGHz));
-        const auto redist =
-            bench::runExperiment(w, nullptr,
-                                 pinnedSetup(true, 1.3 * kGHz));
-
+    for (const exp::agg::Group &g : groups) {
         std::printf("%-16s %+7.1f%% %+7.1f%% %+7.1f%% %+7.1f%% "
                     "%+11.1f%%\n",
-                    name,
-                    pct(base.metrics.avgPower, md.metrics.avgPower),
-                    pct(base.metrics.energy, md.metrics.energy),
-                    pct(base.metrics.ips, md.metrics.ips),
-                    pct(base.metrics.edp / base.metrics.ips,
-                        md.metrics.edp / md.metrics.ips),
-                    pct(base.metrics.ips, redist.metrics.ips));
+                    g.key.c_str(), deltaPct(g, "md", power),
+                    deltaPct(g, "md", energy),
+                    deltaPct(g, "md", perf),
+                    deltaPct(g, "md", edp_per_ips),
+                    deltaPct(g, "redist", perf));
     }
 
     std::printf("\n(b) bottleneck decomposition (fraction of "
                 "execution bound by each)\n");
     std::printf("%-16s %10s %10s %12s\n", "workload", "mem-lat",
                 "mem-bw", "non-memory");
-    for (const char *name : names) {
-        const auto w = workloads::specBenchmark(name);
+    for (const exp::agg::Group &g : groups) {
+        const exp::RunResult &base = baseRow(g);
+        const auto w = workloads::specBenchmark(g.key);
         const auto &work = w.phase(0).work;
         // Decompose CPI at the baseline point: latency share is the
         // exposed-miss CPI; bandwidth share is flagged when the
         // demand saturates the interface.
-        const auto base = bench::runExperiment(
-            w, nullptr, pinnedSetup(false, 1.2 * kGHz));
         const double lat_cycles =
             base.metrics.avgMemLatencyNs * 1e-9 * 1.2e9;
         const double mem_cpi =
@@ -94,20 +149,18 @@ main()
                 : 0.0;
         const double lat_share =
             (mem_cpi / cpi) * (1.0 - bw_bound);
-        std::printf("%-16s %9.0f%% %9.0f%% %11.0f%%\n", name,
-                    lat_share * 100.0, bw_bound * 100.0,
+        std::printf("%-16s %9.0f%% %9.0f%% %11.0f%%\n",
+                    g.key.c_str(), lat_share * 100.0,
+                    bw_bound * 100.0,
                     (1.0 - lat_share - bw_bound) * 100.0);
     }
 
     std::printf("\n(c) memory bandwidth demand (paper: perlbench "
                 "low w/ spikes, cactusADM moderate, lbm ~10GB/s)\n");
     std::printf("%-16s %12s\n", "workload", "avg BW");
-    for (const char *name : names) {
-        const auto w = workloads::specBenchmark(name);
-        const auto base = bench::runExperiment(
-            w, nullptr, pinnedSetup(false, 1.2 * kGHz));
-        std::printf("%-16s %9.2f GB/s\n", name,
-                    base.metrics.avgMemBandwidth / 1e9);
+    for (const exp::agg::Group &g : groups) {
+        std::printf("%-16s %9.2f GB/s\n", g.key.c_str(),
+                    baseRow(g).metrics.avgMemBandwidth / 1e9);
     }
     return 0;
 }

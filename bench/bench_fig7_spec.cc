@@ -3,15 +3,21 @@
  * Fig. 7: SPEC CPU2006 performance improvement of MemScale-Redist,
  * CoScale-Redist, and SysScale over the fixed baseline at 4.5W TDP
  * (paper averages: 1.7%, 3.8%, 9.2%; SysScale up to 16%).
+ *
+ * Grid-shaped: one cell per (benchmark, governor), run through the
+ * parallel ExperimentRunner and reduced with the exp::agg helpers —
+ * group by workload, delta each governor against the fixed baseline
+ * of the same benchmark, then average the per-governor columns.
  */
 
 #include <algorithm>
+#include <map>
 
 #include "bench/harness.hh"
+#include "exp/agg.hh"
 #include "workloads/spec.hh"
 
 using namespace sysscale;
-using bench::pct;
 
 int
 main()
@@ -20,42 +26,59 @@ main()
                             "@ 4.5W TDP");
 
     const auto suite = workloads::specSuite();
+    const std::vector<std::string> governors = {
+        "fixed", "memscale-r", "coscale-r", "sysscale"};
+
+    std::vector<exp::ExperimentSpec> specs;
+    for (const auto &w : suite) {
+        for (const auto &gov : governors) {
+            exp::ExperimentSpec spec = bench::makeSpec(w);
+            // Cover at least two full phase periods of phased
+            // profiles.
+            spec.window =
+                std::max<Tick>(2 * kTicksPerSec, 2 * w.period());
+            spec.governor = gov;
+            spec.id = w.name() + "/" + gov;
+            spec.labels = {{"workload", w.name()},
+                           {"governor", gov}};
+            specs.push_back(std::move(spec));
+        }
+    }
+
+    const auto results = bench::runBatch(specs);
+    for (const auto &res : results)
+        bench::checkResult(res);
+
+    const exp::agg::Metric ips = [](const exp::RunResult &r) {
+        return r.metrics.ips;
+    };
+
     std::printf("%-18s %10s %10s %10s\n", "benchmark", "MemScale-R",
                 "CoScale-R", "SysScale");
 
-    double sum_ms = 0.0, sum_cs = 0.0, sum_ss = 0.0, max_ss = 0.0;
-    for (const auto &w : suite) {
-        bench::RunConfig rc;
-        // Cover at least two full phase periods of phased profiles.
-        rc.window = std::max<Tick>(2 * kTicksPerSec, 2 * w.period());
-
-        core::FixedGovernor base;
-        core::MemScaleGovernor ms(/*redistribute=*/true);
-        core::CoScaleGovernor cs(/*redistribute=*/true);
-        core::SysScaleGovernor ss;
-
-        const double b =
-            bench::runExperiment(w, &base, rc).metrics.ips;
-        const double m =
-            pct(b, bench::runExperiment(w, &ms, rc).metrics.ips);
-        const double c =
-            pct(b, bench::runExperiment(w, &cs, rc).metrics.ips);
-        const double s =
-            pct(b, bench::runExperiment(w, &ss, rc).metrics.ips);
-
-        sum_ms += m;
-        sum_cs += c;
-        sum_ss += s;
-        max_ss = std::max(max_ss, s);
+    std::map<std::string, std::vector<double>> columns;
+    for (const exp::agg::Group &g :
+         exp::agg::groupBy(results, "workload")) {
+        // deltaVs throws on a missing axis value: the figure fails
+        // loudly rather than printing a silent +0.0% column.
+        std::map<std::string, double> row;
+        for (const char *gov :
+             {"memscale-r", "coscale-r", "sysscale"}) {
+            row[gov] = exp::agg::deltaVs(g, "governor", gov,
+                                         "fixed", ips);
+            columns[gov].push_back(row[gov]);
+        }
         std::printf("%-18s %+9.1f%% %+9.1f%% %+9.1f%%\n",
-                    w.name().c_str(), m, c, s);
+                    g.key.c_str(), row["memscale-r"],
+                    row["coscale-r"], row["sysscale"]);
     }
 
-    const double n = static_cast<double>(suite.size());
     std::printf("%-18s %+9.1f%% %+9.1f%% %+9.1f%%\n", "AVERAGE",
-                sum_ms / n, sum_cs / n, sum_ss / n);
+                exp::agg::mean(columns["memscale-r"]),
+                exp::agg::mean(columns["coscale-r"]),
+                exp::agg::mean(columns["sysscale"]));
     std::printf("%-18s %10s %10s %+9.1f%%\n", "MAX (SysScale)", "",
-                "", max_ss);
+                "", exp::agg::percentile(columns["sysscale"], 100.0));
     std::printf("\npaper: MemScale-R +1.7%%, CoScale-R +3.8%%, "
                 "SysScale +9.2%% avg / +16%% max\n");
     return 0;

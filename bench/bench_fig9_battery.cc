@@ -3,9 +3,16 @@
  * Fig. 9: average power reduction on the battery-life suite with one
  * HD panel active (paper: web 6.4%, light gaming 9.5%, video
  * conferencing 7.6%, video playback 10.7%; prior work 1.3-2.1%).
+ *
+ * Grid-shaped: one cell per (workload, governor) through the
+ * parallel runner; the per-workload power reductions are the
+ * negated exp::agg baseline deltas against the fixed governor.
  */
 
+#include <map>
+
 #include "bench/harness.hh"
+#include "exp/agg.hh"
 #include "workloads/battery.hh"
 
 using namespace sysscale;
@@ -15,36 +22,63 @@ main()
 {
     bench::banner("Fig. 9", "battery-life average power reduction");
 
-    const double paper_ss[] = {6.4, 9.5, 7.6, 10.7};
     const auto suite = workloads::batterySuite();
+    const std::vector<std::string> governors = {
+        "fixed", "memscale-r", "coscale-r", "sysscale"};
+    std::map<std::string, double> paper_ss;
+    paper_ss["web-browsing"] = 6.4;
+    paper_ss["light-gaming"] = 9.5;
+    paper_ss["video-conferencing"] = 7.6;
+    paper_ss["video-playback"] = 10.7;
+
+    std::vector<exp::ExperimentSpec> specs;
+    for (const auto &w : suite) {
+        for (const auto &gov : governors) {
+            bench::RunConfig rc;
+            rc.camera = w.name() == "video-conferencing";
+            rc.window = 3 * kTicksPerSec;
+            exp::ExperimentSpec spec = bench::makeSpec(w, rc);
+            spec.governor = gov;
+            spec.id = w.name() + "/" + gov;
+            spec.labels = {{"workload", w.name()},
+                           {"governor", gov}};
+            specs.push_back(std::move(spec));
+        }
+    }
+
+    const auto results = bench::runBatch(specs);
+    for (const auto &res : results)
+        bench::checkResult(res);
+
+    const exp::agg::Metric avg_power = [](const exp::RunResult &r) {
+        return r.metrics.avgPower;
+    };
 
     std::printf("%-20s %8s %10s %10s %10s %8s\n", "workload",
                 "base W", "MemScale-R", "CoScale-R", "SysScale",
                 "paper");
 
-    for (std::size_t i = 0; i < suite.size(); ++i) {
-        const auto &w = suite[i];
-        bench::RunConfig rc;
-        rc.camera = w.name() == "video-conferencing";
-        rc.window = 3 * kTicksPerSec;
-
-        core::FixedGovernor base;
-        core::MemScaleGovernor ms(true);
-        core::CoScaleGovernor cs(true);
-        core::SysScaleGovernor ss;
-
-        const double b =
-            bench::runExperiment(w, &base, rc).metrics.avgPower;
-        auto reduction = [&](soc::PmuPolicy &pol) {
-            return (1.0 - bench::runExperiment(w, &pol, rc)
-                              .metrics.avgPower /
-                              b) *
-                   100.0;
+    for (const exp::agg::Group &g :
+         exp::agg::groupBy(results, "workload")) {
+        const exp::RunResult *base =
+            exp::agg::findRow(g.rows, "governor", "fixed");
+        if (!base) {
+            std::fprintf(stderr, "fig9: no fixed baseline for %s\n",
+                         g.key.c_str());
+            return 1;
+        }
+        // A power *reduction* is the negated baseline delta; deltaVs
+        // throws if a governor column went missing from the grid.
+        const auto reduction = [&](const char *gov) {
+            return -exp::agg::deltaVs(g, "governor", gov, "fixed",
+                                      avg_power);
         };
-
-        std::printf("%-20s %8.3f %+9.1f%% %+9.1f%% %+9.1f%% %+7.1f%%\n",
-                    w.name().c_str(), b, reduction(ms), reduction(cs),
-                    reduction(ss), paper_ss[i]);
+        std::printf(
+            "%-20s %8.3f %+9.1f%% %+9.1f%% %+9.1f%% %+7.1f%%\n",
+            g.key.c_str(), base->metrics.avgPower,
+            reduction("memscale-r"), reduction("coscale-r"),
+            reduction("sysscale"),
+            paper_ss.at(g.key)); // .at: unknown workload fails loudly
     }
     std::printf("\npaper: fixed performance demands; SysScale saves "
                 "power only while DRAM is active (C0/C2)\n");

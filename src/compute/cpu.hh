@@ -48,6 +48,15 @@ struct CoreWork
 
     /** Switching activity factor for the power model. */
     double activity = 0.7;
+
+    bool
+    operator==(const CoreWork &o) const
+    {
+        return cpiBase == o.cpiBase && mpki == o.mpki &&
+               blockingFactor == o.blockingFactor &&
+               bytesPerInstr == o.bytesPerInstr &&
+               activity == o.activity;
+    }
 };
 
 /** Outcome of one interval on one thread. */

@@ -107,6 +107,12 @@ class CStateResidency
     /** Weighted uncore power factor across states. */
     double uncoreWeight() const;
 
+    bool
+    operator==(const CStateResidency &o) const
+    {
+        return fractions_ == o.fractions_;
+    }
+
   private:
     std::array<double, kNumCStates> fractions_;
 };

@@ -36,6 +36,14 @@ struct GfxWork
     double activity = 0.8;
 
     bool idle() const { return cyclesPerFrame <= 0.0; }
+
+    bool
+    operator==(const GfxWork &o) const
+    {
+        return cyclesPerFrame == o.cyclesPerFrame &&
+               bytesPerFrame == o.bytesPerFrame &&
+               targetFps == o.targetFps && activity == o.activity;
+    }
 };
 
 /** Outcome of one interval of rendering. */

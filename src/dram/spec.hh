@@ -40,6 +40,12 @@ struct FreqBin
 
     /** Data-rate expressed as Hertz of transfers. */
     Hertz transferRate() const { return dataRateMTs * kMHz; }
+
+    bool
+    operator==(const FreqBin &o) const
+    {
+        return dataRateMTs == o.dataRateMTs;
+    }
 };
 
 /**
@@ -77,6 +83,17 @@ class DramSpec
 
     /** Theoretical peak bandwidth at @p bin across all channels. */
     BytesPerSec peakBandwidth(std::size_t bin_index) const;
+
+    bool
+    operator==(const DramSpec &o) const
+    {
+        return type_ == o.type_ && bins_ == o.bins_ &&
+               channels_ == o.channels_ &&
+               bytesPerChannel_ == o.bytesPerChannel_ &&
+               ranksPerChannel_ == o.ranksPerChannel_ &&
+               devicesPerRank_ == o.devicesPerRank_ &&
+               banks_ == o.banks_;
+    }
 
   private:
     DramType type_;

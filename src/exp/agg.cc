@@ -1,0 +1,144 @@
+#include "exp/agg.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace sysscale {
+namespace exp {
+namespace agg {
+
+const std::string *
+findLabel(const RunResult &res, const std::string &key)
+{
+    for (const auto &kv : res.labels) {
+        if (kv.first == key)
+            return &kv.second;
+    }
+    return nullptr;
+}
+
+std::vector<Group>
+groupBy(const std::vector<RunResult> &results,
+        const std::string &label)
+{
+    std::vector<Group> groups;
+    for (const RunResult &res : results) {
+        const std::string *value = findLabel(res, label);
+        const std::string key = value ? *value : std::string();
+        Group *group = nullptr;
+        for (Group &g : groups) {
+            if (g.key == key) {
+                group = &g;
+                break;
+            }
+        }
+        if (!group) {
+            groups.push_back(Group{key, {}});
+            group = &groups.back();
+        }
+        group->rows.push_back(&res);
+    }
+    return groups;
+}
+
+const RunResult *
+findRow(const std::vector<const RunResult *> &rows,
+        const std::string &label, const std::string &value)
+{
+    for (const RunResult *row : rows) {
+        const std::string *v = findLabel(*row, label);
+        if (v && *v == value)
+            return row;
+    }
+    return nullptr;
+}
+
+std::vector<double>
+collect(const std::vector<const RunResult *> &rows, const Metric &m)
+{
+    std::vector<double> out;
+    out.reserve(rows.size());
+    for (const RunResult *row : rows)
+        out.push_back(m(*row));
+    return out;
+}
+
+double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return std::numeric_limits<double>::quiet_NaN();
+    double sum = 0.0;
+    for (const double x : xs)
+        sum += x;
+    return sum / static_cast<double>(xs.size());
+}
+
+double
+median(std::vector<double> xs)
+{
+    return percentile(std::move(xs), 50.0);
+}
+
+double
+percentile(std::vector<double> xs, double p)
+{
+    if (xs.empty())
+        return std::numeric_limits<double>::quiet_NaN();
+    std::sort(xs.begin(), xs.end());
+    if (p <= 0.0)
+        return xs.front();
+    if (p >= 100.0)
+        return xs.back();
+    const double rank =
+        p / 100.0 * static_cast<double>(xs.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(rank);
+    const double frac = rank - static_cast<double>(lo);
+    if (lo + 1 >= xs.size())
+        return xs.back();
+    return xs[lo] + (xs[lo + 1] - xs[lo]) * frac;
+}
+
+std::vector<Delta>
+deltasVsBaseline(const Group &g, const std::string &label,
+                 const std::string &baseline_value, const Metric &m)
+{
+    const RunResult *baseline =
+        findRow(g.rows, label, baseline_value);
+    if (!baseline)
+        return {};
+    const double base = m(*baseline);
+    std::vector<Delta> out;
+    for (const RunResult *row : g.rows) {
+        if (row == baseline)
+            continue;
+        out.push_back(Delta{row, baseline,
+                            (m(*row) / base - 1.0) * 100.0});
+    }
+    return out;
+}
+
+double
+deltaVs(const Group &g, const std::string &label,
+        const std::string &value, const std::string &baseline_value,
+        const Metric &m)
+{
+    const RunResult *row = findRow(g.rows, label, value);
+    if (!row)
+        throw std::invalid_argument(
+            "agg::deltaVs: no row with " + label + "=" + value +
+            " in group \"" + g.key + "\"");
+    const RunResult *baseline =
+        findRow(g.rows, label, baseline_value);
+    if (!baseline)
+        throw std::invalid_argument(
+            "agg::deltaVs: no baseline row with " + label + "=" +
+            baseline_value + " in group \"" + g.key + "\"");
+    return (m(*row) / m(*baseline) - 1.0) * 100.0;
+}
+
+} // namespace agg
+} // namespace exp
+} // namespace sysscale

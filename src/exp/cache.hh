@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Content-addressed on-disk result cache.
+ *
+ * One file per cell, named <cache_dir>/<specKey(spec)>.json, holding
+ * the full serialized spec (for auditability and hash-collision
+ * detection) plus the RunResult JSON exactly as report.cc emits it.
+ * Because the key covers everything the simulation depends on and
+ * numbers are stored with round-trip precision, replaying a hit is
+ * byte-identical to rerunning the cell — including the recorded
+ * hostSeconds of the original execution.
+ *
+ * Rules:
+ *  - only ok results are stored; error rows are never cached,
+ *  - specs carrying a governorFactory or borrowedPolicy are not
+ *    content-addressable and bypass the cache entirely,
+ *  - a corrupt, unparsable, or key-mismatched file is a miss (and is
+ *    overwritten by the next store),
+ *  - the id and labels of a hit are taken from the querying spec,
+ *    not the stored one: cells that differ only in presentation
+ *    share one entry.
+ *
+ * Writes go through a temp file + atomic rename, so concurrent
+ * workers (or concurrent sweeps sharing a directory) never expose a
+ * partially written entry.
+ */
+
+#ifndef SYSSCALE_EXP_CACHE_HH
+#define SYSSCALE_EXP_CACHE_HH
+
+#include <atomic>
+#include <cstddef>
+#include <string>
+
+#include "exp/experiment.hh"
+
+namespace sysscale {
+namespace exp {
+
+/** Counters for one ResultCache instance (monotonic). */
+struct CacheStats
+{
+    std::size_t hits = 0;        //!< Lookups served from disk.
+    std::size_t misses = 0;      //!< Lookups with no usable entry.
+    std::size_t stores = 0;      //!< Entries written.
+    std::size_t corrupt = 0;     //!< Files rejected while looking up.
+    std::size_t uncacheable = 0; //!< Specs outside content addressing.
+};
+
+class ResultCache
+{
+  public:
+    /**
+     * @param dir Cache directory; created (recursively) if absent.
+     *        Throws std::runtime_error when it cannot be created.
+     */
+    explicit ResultCache(std::string dir);
+
+    const std::string &dir() const { return dir_; }
+
+    /** Whether @p spec can be content-addressed at all. */
+    static bool cacheable(const ExperimentSpec &spec);
+
+    /** File an entry for @p spec lives at (whether or not present). */
+    std::string pathFor(const ExperimentSpec &spec) const;
+
+    /**
+     * Try to serve @p spec from disk. On a hit fills @p out (with
+     * @p spec's own id and labels) and returns true. Never throws:
+     * unreadable or mismatched entries are misses.
+     */
+    bool lookup(const ExperimentSpec &spec, RunResult &out);
+
+    /**
+     * Persist @p res for @p spec. No-op for error rows and
+     * uncacheable specs. Write failures are swallowed (a cache must
+     * never fail a sweep); the entry is simply absent next time.
+     */
+    void store(const ExperimentSpec &spec, const RunResult &res);
+
+    CacheStats stats() const;
+
+  private:
+    std::string dir_;
+    std::atomic<std::size_t> hits_{0};
+    std::atomic<std::size_t> misses_{0};
+    std::atomic<std::size_t> stores_{0};
+    std::atomic<std::size_t> corrupt_{0};
+    std::atomic<std::size_t> uncacheable_{0};
+    std::atomic<std::size_t> tmpSerial_{0};
+};
+
+} // namespace exp
+} // namespace sysscale
+
+#endif // SYSSCALE_EXP_CACHE_HH

@@ -88,6 +88,26 @@ struct ExperimentSpec
     bool pinnedUnoptimizedMrc = false;
 
     Labels labels;
+
+    /**
+     * Compares the serializable content only: governorFactory and
+     * borrowedPolicy are runtime-local hooks, invisible to
+     * serializeSpec()/specKey(), and are deliberately excluded here
+     * so the spec_codec round-trip invariant
+     * parseSpec(serializeSpec(s)) == s can hold.
+     */
+    bool
+    operator==(const ExperimentSpec &o) const
+    {
+        return id == o.id && soc == o.soc && workload == o.workload &&
+               governor == o.governor && seed == o.seed &&
+               warmup == o.warmup && window == o.window &&
+               hdPanel == o.hdPanel && camera == o.camera &&
+               pinnedCoreFreq == o.pinnedCoreFreq &&
+               pinnedOpPoint == o.pinnedOpPoint &&
+               pinnedUnoptimizedMrc == o.pinnedUnoptimizedMrc &&
+               labels == o.labels;
+    }
 };
 
 /**

@@ -8,29 +8,12 @@
 namespace sysscale {
 namespace exp {
 
-namespace {
-
-/** Round-trip double formatting (deterministic, locale-free). */
 std::string
-num(double v)
+formatDouble(double v)
 {
     char buf[40];
     std::snprintf(buf, sizeof(buf), "%.17g", v);
     return buf;
-}
-
-std::string
-csvQuote(const std::string &s)
-{
-    std::string out = "\"";
-    for (char c : s) {
-        if (c == '"')
-            out += "\"\"";
-        else
-            out += c;
-    }
-    out += "\"";
-    return out;
 }
 
 std::string
@@ -52,6 +35,29 @@ jsonQuote(const std::string &s)
                 out += c;
             }
         }
+    }
+    out += "\"";
+    return out;
+}
+
+namespace {
+
+/** Local alias keeping the emitter bodies readable. */
+std::string
+num(double v)
+{
+    return formatDouble(v);
+}
+
+std::string
+csvQuote(const std::string &s)
+{
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"')
+            out += "\"\"";
+        else
+            out += c;
     }
     out += "\"";
     return out;

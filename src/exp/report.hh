@@ -21,6 +21,16 @@
 namespace sysscale {
 namespace exp {
 
+/**
+ * Round-trip double formatting ("%.17g", locale-free) — the one
+ * number format shared by the reporters, the spec codec, and the
+ * result cache, so writer and reader can never drift apart.
+ */
+std::string formatDouble(double v);
+
+/** JSON string literal for @p s, surrounding quotes included. */
+std::string jsonQuote(const std::string &s);
+
 /** One result as a CSV row (no trailing newline, no header). */
 std::string csvRow(const RunResult &res);
 

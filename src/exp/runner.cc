@@ -4,6 +4,8 @@
 #include <mutex>
 #include <thread>
 
+#include "exp/cache.hh"
+
 namespace sysscale {
 namespace exp {
 
@@ -32,17 +34,36 @@ ExperimentRunner::run(const std::vector<ExperimentSpec> &specs) const
     if (specs.empty())
         return results;
 
-    const std::size_t jobs = jobsFor(specs.size());
+    // Serve cache hits up front, in spec order; only the remaining
+    // cells are dispatched to workers.
+    std::vector<std::size_t> pending;
+    pending.reserve(specs.size());
+    std::size_t prefilled = 0;
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        if (opts_.cache &&
+            opts_.cache->lookup(specs[i], results[i])) {
+            ++prefilled;
+            if (opts_.onResult)
+                opts_.onResult(results[i], prefilled, specs.size());
+        } else {
+            pending.push_back(i);
+        }
+    }
+    if (pending.empty())
+        return results;
+
+    const std::size_t jobs = jobsFor(pending.size());
     std::atomic<std::size_t> next{0};
-    std::atomic<std::size_t> done{0};
+    std::atomic<std::size_t> done{prefilled};
     std::mutex progress_mutex;
 
     auto worker = [&] {
         for (;;) {
-            const std::size_t i =
+            const std::size_t slot =
                 next.fetch_add(1, std::memory_order_relaxed);
-            if (i >= specs.size())
+            if (slot >= pending.size())
                 return;
+            const std::size_t i = pending[slot];
 
             const ExperimentSpec &spec = specs[i];
             if (spec.borrowedPolicy && jobs > 1) {
@@ -54,6 +75,8 @@ ExperimentRunner::run(const std::vector<ExperimentSpec> &specs) const
                 res.error = "borrowed policy requires jobs == 1";
             } else {
                 results[i] = runCell(spec);
+                if (opts_.cache)
+                    opts_.cache->store(spec, results[i]);
             }
 
             const std::size_t finished =

@@ -24,6 +24,8 @@
 namespace sysscale {
 namespace exp {
 
+class ResultCache;
+
 /** Progress hook: one finished cell plus completion counters. */
 using ProgressFn = std::function<void(
     const RunResult &result, std::size_t done, std::size_t total)>;
@@ -37,8 +39,18 @@ struct RunnerOptions
      * Invoked after each cell completes (serialized by the runner;
      * the callback never needs its own locking). Called in
      * completion order, which is nondeterministic for jobs > 1.
+     * Cache hits report first, in spec order, before any simulated
+     * cell.
      */
     ProgressFn onResult;
+
+    /**
+     * Content-addressed result cache, consulted before dispatch:
+     * hits become results without touching the simulator, and every
+     * ok result of a cacheable cell is stored after it runs. Error
+     * rows are never cached. Not owned; may be null.
+     */
+    ResultCache *cache = nullptr;
 };
 
 class ExperimentRunner
@@ -52,11 +64,19 @@ class ExperimentRunner
      * Cells with a borrowedPolicy are only legal at jobs == 1 (a
      * borrowed instance cannot be shared across workers); with more
      * jobs they come back as ok=false results.
+     *
+     * With a cache configured, cells served from disk never reach a
+     * worker, and the pool is sized to the cells that remain — a
+     * fully warm cache spawns no threads at all.
      */
     std::vector<RunResult> run(
         const std::vector<ExperimentSpec> &specs) const;
 
-    /** Worker count used for @p cells cells. */
+    /**
+     * Worker count used for @p cells dispatched cells (clamped so a
+     * --jobs value above the cell count cannot spin up idle
+     * threads).
+     */
     std::size_t jobsFor(std::size_t cells) const;
 
   private:

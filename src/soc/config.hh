@@ -101,6 +101,34 @@ struct SocConfig
 
     /** Sanity-check invariants (fatal on violation). */
     void validate() const;
+
+    // Every field participates: a new config knob must be added here
+    // AND to the exp/spec_codec encoding, or cached results keyed on
+    // the old encoding would silently alias the new configuration.
+    bool
+    operator==(const SocConfig &o) const
+    {
+        return name == o.name && cores == o.cores &&
+               threadsPerCore == o.threadsPerCore &&
+               coreBaseFreq == o.coreBaseFreq &&
+               gfxBaseFreq == o.gfxBaseFreq &&
+               llcBytes == o.llcBytes && tdp == o.tdp &&
+               pbmReserve == o.pbmReserve &&
+               budgetUtilization == o.budgetUtilization &&
+               vSaBoot == o.vSaBoot && vIoBoot == o.vIoBoot &&
+               vddq == o.vddq && vrSlewRate == o.vrSlewRate &&
+               platformFloor == o.platformFloor &&
+               coreCdyn == o.coreCdyn && coreLeakK == o.coreLeakK &&
+               gfxCdyn == o.gfxCdyn && gfxLeakK == o.gfxLeakK &&
+               temperature == o.temperature &&
+               pstateSteps == o.pstateSteps &&
+               dramSpec == o.dramSpec &&
+               fabricFreqHigh == o.fabricFreqHigh &&
+               fabricFreqLow == o.fabricFreqLow &&
+               evaluationInterval == o.evaluationInterval &&
+               sampleInterval == o.sampleInterval &&
+               stepInterval == o.stepInterval;
+    }
 };
 
 /** The Skylake M-6Y75 mobile SoC (Table 2), 4.5W TDP default. */

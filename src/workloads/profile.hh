@@ -56,6 +56,18 @@ struct Phase
     /** OS/driver P-state requests (0 = maximum). */
     Hertz coreFreqRequest = 0.0;
     Hertz gfxFreqRequest = 0.0;
+
+    bool
+    operator==(const Phase &o) const
+    {
+        return duration == o.duration && work == o.work &&
+               activeThreads == o.activeThreads &&
+               gfxWork == o.gfxWork &&
+               ioBestEffort == o.ioBestEffort &&
+               residency == o.residency &&
+               coreFreqRequest == o.coreFreqRequest &&
+               gfxFreqRequest == o.gfxFreqRequest;
+    }
 };
 
 /**
@@ -92,6 +104,14 @@ class WorkloadProfile
     /** Peak memory bandwidth demanded across phases (diagnostics). */
     BytesPerSec peakBandwidthHint(double mem_latency_ns,
                                   Hertz core_freq) const;
+
+    bool
+    operator==(const WorkloadProfile &o) const
+    {
+        return name_ == o.name_ && klass_ == o.klass_ &&
+               phases_ == o.phases_ &&
+               perfScalability_ == o.perfScalability_;
+    }
 
   private:
     std::string name_;

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Aggregation-helper tests: label lookup, group-by slicing,
+ * statistics (including the empty-sample and single-element edge
+ * cases), and baseline-relative deltas.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "exp/agg.hh"
+
+using namespace sysscale;
+using namespace sysscale::exp;
+
+namespace {
+
+RunResult
+row(const std::string &workload, const std::string &governor,
+    double ips, double power)
+{
+    RunResult res;
+    res.id = workload + "/" + governor;
+    res.ok = true;
+    res.metrics.ips = ips;
+    res.metrics.avgPower = power;
+    res.labels = {{"workload", workload}, {"governor", governor}};
+    return res;
+}
+
+const agg::Metric kIps = [](const RunResult &r) {
+    return r.metrics.ips;
+};
+
+/** workload x governor grid with known values. */
+std::vector<RunResult>
+sampleResults()
+{
+    return {
+        row("stream", "fixed", 100.0, 4.0),
+        row("stream", "sysscale", 110.0, 3.6),
+        row("spin", "fixed", 200.0, 4.0),
+        row("spin", "sysscale", 190.0, 3.0),
+    };
+}
+
+} // anonymous namespace
+
+TEST(AggLabels, FindLabel)
+{
+    const RunResult r = row("stream", "fixed", 1.0, 1.0);
+    ASSERT_NE(agg::findLabel(r, "workload"), nullptr);
+    EXPECT_EQ(*agg::findLabel(r, "workload"), "stream");
+    EXPECT_EQ(agg::findLabel(r, "missing"), nullptr);
+}
+
+TEST(AggGroupBy, SlicesInFirstSeenOrder)
+{
+    const auto results = sampleResults();
+    const auto groups = agg::groupBy(results, "workload");
+    ASSERT_EQ(groups.size(), 2u);
+    EXPECT_EQ(groups[0].key, "stream");
+    EXPECT_EQ(groups[1].key, "spin");
+    EXPECT_EQ(groups[0].rows.size(), 2u);
+    EXPECT_EQ(groups[1].rows.size(), 2u);
+
+    const auto by_gov = agg::groupBy(results, "governor");
+    ASSERT_EQ(by_gov.size(), 2u);
+    EXPECT_EQ(by_gov[0].key, "fixed");
+    EXPECT_EQ(by_gov[0].rows.size(), 2u);
+}
+
+TEST(AggGroupBy, MissingLabelCollectsUnderEmptyKey)
+{
+    auto results = sampleResults();
+    results.push_back(RunResult{});
+    const auto groups = agg::groupBy(results, "workload");
+    ASSERT_EQ(groups.size(), 3u);
+    EXPECT_EQ(groups[2].key, "");
+    EXPECT_EQ(groups[2].rows.size(), 1u);
+}
+
+TEST(AggGroupBy, EmptyInputYieldsNoGroups)
+{
+    EXPECT_TRUE(agg::groupBy({}, "workload").empty());
+}
+
+TEST(AggFindRow, LocatesBaselineCell)
+{
+    const auto results = sampleResults();
+    const auto groups = agg::groupBy(results, "workload");
+    const RunResult *base =
+        agg::findRow(groups[0].rows, "governor", "fixed");
+    ASSERT_NE(base, nullptr);
+    EXPECT_EQ(base->id, "stream/fixed");
+    EXPECT_EQ(agg::findRow(groups[0].rows, "governor", "turbo"),
+              nullptr);
+}
+
+TEST(AggStats, MeanMedianBasics)
+{
+    EXPECT_DOUBLE_EQ(agg::mean({1.0, 2.0, 6.0}), 3.0);
+    EXPECT_DOUBLE_EQ(agg::median({5.0, 1.0, 3.0}), 3.0);
+    EXPECT_DOUBLE_EQ(agg::median({4.0, 1.0, 3.0, 2.0}), 2.5);
+}
+
+TEST(AggStats, EmptySampleIsNaN)
+{
+    EXPECT_TRUE(std::isnan(agg::mean({})));
+    EXPECT_TRUE(std::isnan(agg::median({})));
+    EXPECT_TRUE(std::isnan(agg::percentile({}, 50.0)));
+}
+
+TEST(AggStats, SingleElementIsEveryPercentile)
+{
+    for (const double p : {0.0, 25.0, 50.0, 99.0, 100.0})
+        EXPECT_DOUBLE_EQ(agg::percentile({7.5}, p), 7.5);
+    EXPECT_DOUBLE_EQ(agg::mean({7.5}), 7.5);
+    EXPECT_DOUBLE_EQ(agg::median({7.5}), 7.5);
+}
+
+TEST(AggStats, PercentileInterpolatesAndClamps)
+{
+    const std::vector<double> xs = {10.0, 20.0, 30.0, 40.0};
+    EXPECT_DOUBLE_EQ(agg::percentile(xs, 0.0), 10.0);
+    EXPECT_DOUBLE_EQ(agg::percentile(xs, 100.0), 40.0);
+    EXPECT_DOUBLE_EQ(agg::percentile(xs, 50.0), 25.0);
+    EXPECT_DOUBLE_EQ(agg::percentile(xs, 75.0), 32.5);
+    // Out-of-range p clamps to the extremes.
+    EXPECT_DOUBLE_EQ(agg::percentile(xs, -10.0), 10.0);
+    EXPECT_DOUBLE_EQ(agg::percentile(xs, 400.0), 40.0);
+}
+
+TEST(AggStats, CollectExtractsInRowOrder)
+{
+    const auto results = sampleResults();
+    const auto groups = agg::groupBy(results, "workload");
+    const std::vector<double> ips =
+        agg::collect(groups[0].rows, kIps);
+    ASSERT_EQ(ips.size(), 2u);
+    EXPECT_DOUBLE_EQ(ips[0], 100.0);
+    EXPECT_DOUBLE_EQ(ips[1], 110.0);
+}
+
+TEST(AggDeltas, BaselineRelativePercent)
+{
+    const auto results = sampleResults();
+    const auto groups = agg::groupBy(results, "workload");
+
+    const auto stream =
+        agg::deltasVsBaseline(groups[0], "governor", "fixed", kIps);
+    ASSERT_EQ(stream.size(), 1u);
+    EXPECT_EQ(stream[0].row->id, "stream/sysscale");
+    EXPECT_EQ(stream[0].baseline->id, "stream/fixed");
+    EXPECT_NEAR(stream[0].pct, 10.0, 1e-12);
+
+    const auto spin =
+        agg::deltasVsBaseline(groups[1], "governor", "fixed", kIps);
+    ASSERT_EQ(spin.size(), 1u);
+    EXPECT_NEAR(spin[0].pct, -5.0, 1e-12);
+}
+
+TEST(AggDeltas, DeltaVsSingleCell)
+{
+    const auto results = sampleResults();
+    const auto groups = agg::groupBy(results, "workload");
+    EXPECT_NEAR(agg::deltaVs(groups[0], "governor", "sysscale",
+                             "fixed", kIps),
+                10.0, 1e-12);
+    // Missing axis values must fail loudly, never read as 0%.
+    EXPECT_THROW((void)agg::deltaVs(groups[0], "governor", "turbo",
+                                    "fixed", kIps),
+                 std::invalid_argument);
+    EXPECT_THROW((void)agg::deltaVs(groups[0], "governor",
+                                    "sysscale", "turbo", kIps),
+                 std::invalid_argument);
+}
+
+TEST(AggDeltas, MissingBaselineYieldsEmpty)
+{
+    const auto results = sampleResults();
+    const auto groups = agg::groupBy(results, "workload");
+    EXPECT_TRUE(
+        agg::deltasVsBaseline(groups[0], "governor", "turbo", kIps)
+            .empty());
+}

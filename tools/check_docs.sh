@@ -1,0 +1,70 @@
+#!/bin/sh
+# Documentation consistency checks, run by the CI docs job and as a
+# ctest (from the repository root):
+#
+#   1. every intra-repo markdown link resolves to an existing file
+#      (external http(s)/mailto links and pure #anchors are skipped),
+#   2. every bench/bench_*.cc binary is mentioned in the README's
+#      "Reproducing paper figures" table.
+#
+# POSIX sh + grep/sed only, so it runs anywhere the build does.
+
+set -u
+
+repo_root=$(dirname "$0")/..
+cd "$repo_root" || exit 2
+
+errors=0
+
+# --- 1. intra-repo markdown links -----------------------------------
+md_files=$(find . -name '*.md' -not -path './build/*' \
+                -not -path './.git/*' | sort)
+
+old_ifs=$IFS
+for f in $md_files; do
+    # Inline links: capture the (...) target of ](...), ignoring
+    # fenced code blocks (C++ lambdas look like markdown links) and
+    # stripping optional link titles ([x](path "Title")).
+    targets=$(awk '/^[[:space:]]*```/ { fence = !fence; next }
+                   !fence' "$f" |
+              grep -o ']([^)]*)' |
+              sed 's/^](//; s/)$//; s/ "[^"]*"$//')
+    [ -z "$targets" ] && continue
+    # Newline-only splitting so paths containing spaces stay whole.
+    IFS='
+'
+    for target in $targets; do
+        case "$target" in
+          http://*|https://*|mailto:*|'#'*) continue ;;
+        esac
+        # Strip an anchor suffix and ignore empty remainders.
+        path=${target%%#*}
+        [ -z "$path" ] && continue
+        # Resolve relative to the linking file's directory only —
+        # that is GitHub's semantic; a repo-root fallback would let
+        # links that 404 on GitHub pass the check.
+        dir=$(dirname "$f")
+        if [ ! -e "$dir/$path" ]; then
+            echo "check_docs: broken link in $f -> $target"
+            errors=$((errors + 1))
+        fi
+    done
+    IFS=$old_ifs
+done
+
+# --- 2. README covers every bench binary ----------------------------
+for b in bench/bench_*.cc; do
+    name=$(basename "$b" .cc)
+    if ! grep -q "$name" README.md; then
+        echo "check_docs: README.md does not mention $name" \
+             "(add it to the 'Reproducing paper figures' table)"
+        errors=$((errors + 1))
+    fi
+done
+
+if [ "$errors" -ne 0 ]; then
+    echo "check_docs: $errors problem(s) found"
+    exit 1
+fi
+echo "check_docs: OK"
+exit 0

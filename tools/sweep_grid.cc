@@ -13,7 +13,14 @@
  *              --tdps 3.5,4.5,7,15 --jobs 8 --csv results.csv
  *   sweep_grid --workloads spec:416.gamess,video-playback \
  *              --window-ms 500 --json -
+ *   sweep_grid --workloads battery --cache-dir .sweep-cache \
+ *              --cache-stats --csv results.csv
  *   sweep_grid --list
+ *
+ * With --cache-dir (or SYSSCALE_CACHE_DIR), finished cells are
+ * content-addressed on disk and reused: rerunning the same grid
+ * reruns zero simulator cells and an interrupted sweep resumes from
+ * the cells it already completed. See docs/EXPERIMENTS.md.
  */
 
 #include <chrono>
@@ -22,10 +29,12 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "exp/cache.hh"
 #include "exp/experiment.hh"
 #include "exp/report.hh"
 #include "exp/runner.hh"
@@ -127,6 +136,10 @@ usage()
         "  --ddr4             use the DDR4 SoC population\n"
         "  --csv FILE         write CSV ('-' = stdout)\n"
         "  --json FILE        write JSON ('-' = stdout)\n"
+        "  --cache-dir DIR    reuse finished cells from DIR\n"
+        "                     (default: $SYSSCALE_CACHE_DIR)\n"
+        "  --no-cache         disable the cell cache entirely\n"
+        "  --cache-stats      report hit/miss/store counts\n"
         "  --quiet            no per-cell progress\n"
         "  --list             list governors and workloads\n");
 }
@@ -170,6 +183,9 @@ main(int argc, char **argv)
     std::size_t jobs = 0;
     bool ddr4 = false;
     bool quiet = false;
+    bool no_cache = false;
+    bool cache_stats = false;
+    std::string cache_dir;
     std::string csv_path, json_path;
 
     for (int i = 1; i < argc; ++i) {
@@ -204,6 +220,12 @@ main(int argc, char **argv)
             csv_path = value();
         } else if (arg == "--json") {
             json_path = value();
+        } else if (arg == "--cache-dir") {
+            cache_dir = value();
+        } else if (arg == "--no-cache") {
+            no_cache = true;
+        } else if (arg == "--cache-stats") {
+            cache_stats = true;
         } else if (arg == "--quiet") {
             quiet = true;
         } else if (arg == "--list") {
@@ -253,8 +275,23 @@ main(int argc, char **argv)
         return 2;
     }
 
+    if (cache_dir.empty() && !no_cache) {
+        if (const char *env = std::getenv("SYSSCALE_CACHE_DIR"))
+            cache_dir = env;
+    }
+    std::unique_ptr<exp::ResultCache> cache;
+    if (!no_cache && !cache_dir.empty()) {
+        try {
+            cache.reset(new exp::ResultCache(cache_dir));
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "sweep_grid: %s\n", e.what());
+            return 2;
+        }
+    }
+
     exp::RunnerOptions opts;
     opts.jobs = jobs;
+    opts.cache = cache.get();
     if (!quiet) {
         opts.onResult = [](const exp::RunResult &res,
                            std::size_t done, std::size_t total) {
@@ -265,9 +302,12 @@ main(int argc, char **argv)
         };
     }
 
+    // The actual pool is sized to the cells the cache cannot serve,
+    // which is only known after lookup — report an upper bound.
     const exp::ExperimentRunner runner(opts);
     std::fprintf(stderr,
-                 "sweep_grid: %zu cells on %zu worker thread(s)\n",
+                 "sweep_grid: %zu cells on up to %zu worker "
+                 "thread(s)\n",
                  specs.size(), runner.jobsFor(specs.size()));
 
     const auto wall_start = std::chrono::steady_clock::now();
@@ -284,10 +324,28 @@ main(int argc, char **argv)
             ++failures;
         cell_seconds += res.hostSeconds;
     }
+    // Cache hits replay the hostSeconds of their original run, so
+    // cell_seconds is *recorded* work; say how much was simulated
+    // here versus served from disk.
+    const std::size_t cached = cache ? cache->stats().hits : 0;
     std::fprintf(stderr,
-                 "sweep_grid: %zu cells in %.2fs wall "
-                 "(%.2fs of cell work, %zu failed)\n",
-                 results.size(), wall, cell_seconds, failures);
+                 "sweep_grid: %zu cells (%zu simulated, %zu from "
+                 "cache) in %.2fs wall (%.2fs of recorded cell "
+                 "work, %zu failed)\n",
+                 results.size(), results.size() - cached, cached,
+                 wall, cell_seconds, failures);
+    if (cache && cache_stats) {
+        const exp::CacheStats cs = cache->stats();
+        std::fprintf(stderr,
+                     "sweep_grid: cache %s: %zu hit(s), %zu "
+                     "miss(es), %zu store(s), %zu corrupt, %zu "
+                     "uncacheable\n",
+                     cache->dir().c_str(), cs.hits, cs.misses,
+                     cs.stores, cs.corrupt, cs.uncacheable);
+    } else if (cache_stats) {
+        std::fprintf(stderr, "sweep_grid: cache disabled (use "
+                             "--cache-dir or SYSSCALE_CACHE_DIR)\n");
+    }
 
     if (!csv_path.empty())
         emit(csv_path, false, results);
