@@ -13,7 +13,11 @@
  * Every knock-out variant is an independent governor instance, so
  * the whole study — SPEC table, video-playback power column, and the
  * no-redistribution check — runs as one ExperimentRunner batch with
- * per-cell governor factories.
+ * per-cell governor factories, and the report reduces through
+ * exp::agg (group by workload, delta each variant against the fixed
+ * baseline of the same group). Knock-out cells carry runtime
+ * factories and always simulate; the fixed baselines are cacheable
+ * via --cache-dir.
  */
 
 #include <algorithm>
@@ -21,11 +25,11 @@
 #include <vector>
 
 #include "bench/harness.hh"
+#include "exp/agg.hh"
 #include "workloads/battery.hh"
 #include "workloads/spec.hh"
 
 using namespace sysscale;
-using bench::pct;
 
 namespace {
 
@@ -84,20 +88,37 @@ const char *kVariantNames[] = {
     "no fabric/V_SA", "no SRAM MRC",
 };
 
+/** Group with key @p name, or abort: a dropped axis must be loud. */
+const exp::agg::Group &
+groupNamed(const std::vector<exp::agg::Group> &groups,
+           const std::string &name)
+{
+    for (const exp::agg::Group &g : groups) {
+        if (g.key == name)
+            return g;
+    }
+    std::fprintf(stderr, "ablation: no result group \"%s\"\n",
+                 name.c_str());
+    std::exit(1);
+}
+
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto cache = bench::benchCache(argc, argv);
     bench::banner("Ablation", "SysScale feature knock-outs");
 
     const char *benches[] = {"416.gamess", "400.perlbench",
                              "473.astar"};
-    constexpr std::size_t kNumBenches = std::size(benches);
     constexpr int kNumVariants = 5;
 
-    // One batch holds the whole study; record where each part of the
-    // report will find its cells.
+    // One batch holds the whole study; every cell is labeled with
+    // its (workload, variant) coordinates for the reduction. The
+    // default-window no-redistribution check runs under a distinct
+    // workload label so it cannot collide with the long-window
+    // 416.gamess group of the main table.
     std::vector<exp::ExperimentSpec> specs;
 
     auto specRc = [](const workloads::WorkloadProfile &w) {
@@ -105,76 +126,75 @@ main()
         rc.window = std::max<Tick>(2 * kTicksPerSec, 2 * w.period());
         return rc;
     };
+    auto label = [](exp::ExperimentSpec spec, std::string workload,
+                    std::string variant) {
+        spec.id = workload + "/" + variant;
+        spec.labels = {{"workload", std::move(workload)},
+                       {"variant", std::move(variant)}};
+        return spec;
+    };
 
-    // [specBase + b]: FixedGovernor baseline per SPEC bench.
-    const std::size_t specBase = specs.size();
+    // Fixed baseline plus every knock-out, per SPEC bench.
     for (const char *name : benches) {
         const auto w = workloads::specBenchmark(name);
-        exp::ExperimentSpec spec = bench::makeSpec(w, specRc(w));
-        spec.governor = "fixed";
-        spec.id = w.name() + "/fixed";
-        specs.push_back(std::move(spec));
-    }
-
-    // [variantBase + v * kNumBenches + b]: knock-out v on bench b.
-    const std::size_t variantBase = specs.size();
-    for (int v = 0; v < kNumVariants; ++v) {
-        for (const char *name : benches) {
-            const auto w = workloads::specBenchmark(name);
+        exp::ExperimentSpec base = bench::makeSpec(w, specRc(w));
+        base.governor = "fixed";
+        specs.push_back(label(std::move(base), w.name(), "fixed"));
+        for (int v = 0; v < kNumVariants; ++v) {
             exp::ExperimentSpec spec = bench::makeSpec(w, specRc(w));
             spec.governorFactory = variantFactory(v);
-            spec.id = w.name() + "/" + kVariantNames[v];
-            specs.push_back(std::move(spec));
+            specs.push_back(
+                label(std::move(spec), w.name(), kVariantNames[v]));
         }
     }
 
-    // [vpBase]: video-playback Fixed baseline; then the five
-    // knock-outs and the no-redistribution variant.
+    // Video playback: Fixed baseline, the five knock-outs, and the
+    // no-redistribution variant.
     const auto vp = workloads::videoPlayback();
     bench::RunConfig vp_rc;
     vp_rc.window = 3 * kTicksPerSec;
-
-    const std::size_t vpBase = specs.size();
     {
         exp::ExperimentSpec spec = bench::makeSpec(vp, vp_rc);
         spec.governor = "fixed";
-        spec.id = vp.name() + "/fixed";
-        specs.push_back(std::move(spec));
+        specs.push_back(label(std::move(spec), vp.name(), "fixed"));
     }
     for (int v = 0; v < kNumVariants; ++v) {
         exp::ExperimentSpec spec = bench::makeSpec(vp, vp_rc);
         spec.governorFactory = variantFactory(v);
-        spec.id = vp.name() + "/" + kVariantNames[v];
-        specs.push_back(std::move(spec));
+        specs.push_back(
+            label(std::move(spec), vp.name(), kVariantNames[v]));
     }
     {
         exp::ExperimentSpec spec = bench::makeSpec(vp, vp_rc);
         spec.governorFactory = noRedistFactory();
-        spec.id = vp.name() + "/no redistribution";
-        specs.push_back(std::move(spec));
+        specs.push_back(
+            label(std::move(spec), vp.name(), "no redistribution"));
     }
 
-    // [checkBase], [checkBase + 1]: no-redistribution SPEC check.
-    const std::size_t checkBase = specs.size();
+    // No-redistribution SPEC check at the default window.
     {
         const auto w = workloads::specBenchmark("416.gamess");
+        const std::string key = w.name() + "@default-window";
         exp::ExperimentSpec base = bench::makeSpec(w, {});
         base.governor = "fixed";
-        base.id = w.name() + "/fixed/default-window";
-        specs.push_back(std::move(base));
+        specs.push_back(label(std::move(base), key, "fixed"));
         exp::ExperimentSpec noredist = bench::makeSpec(w, {});
         noredist.governorFactory = noRedistFactory();
-        noredist.id = w.name() + "/no redistribution/default-window";
-        specs.push_back(std::move(noredist));
+        specs.push_back(
+            label(std::move(noredist), key, "no redistribution"));
     }
 
-    const auto results = bench::runBatch(specs);
-    auto ips = [&](std::size_t i) {
-        return bench::checkResult(results[i]).metrics.ips;
+    const auto results = bench::runBatch(specs, cache.get());
+    for (const auto &res : results)
+        bench::checkResult(res);
+
+    const exp::agg::Metric ips = [](const exp::RunResult &r) {
+        return r.metrics.ips;
     };
-    auto watts = [&](std::size_t i) {
-        return bench::checkResult(results[i]).metrics.avgPower;
+    const exp::agg::Metric watts = [](const exp::RunResult &r) {
+        return r.metrics.avgPower;
     };
+    const auto groups = exp::agg::groupBy(results, "workload");
 
     std::printf("SPEC perf gain over baseline:\n%-18s", "variant");
     for (const char *b : benches)
@@ -183,30 +203,36 @@ main()
 
     for (int v = 0; v < kNumVariants; ++v) {
         std::printf("%-18s", kVariantNames[v]);
-        for (std::size_t b = 0; b < kNumBenches; ++b) {
+        for (const char *b : benches) {
             std::printf(" %+15.1f%%",
-                        pct(ips(specBase + b),
-                            ips(variantBase + v * kNumBenches + b)));
+                        exp::agg::deltaVs(groupNamed(groups, b),
+                                          "variant", kVariantNames[v],
+                                          "fixed", ips));
         }
         std::printf("\n");
     }
 
     std::printf("\nvideo-playback average power reduction:\n");
     {
-        const double base = watts(vpBase);
+        const exp::agg::Group &g = groupNamed(groups, vp.name());
         for (int v = 0; v < kNumVariants; ++v) {
             std::printf("%-18s %+6.1f%%\n", kVariantNames[v],
-                        (1.0 - watts(vpBase + 1 + v) / base) * 100.0);
+                        -exp::agg::deltaVs(g, "variant",
+                                           kVariantNames[v], "fixed",
+                                           watts));
         }
         // Redistribution does not change battery power (fixed
         // demand), but it is the entire SPEC story:
         std::printf("%-18s %+6.1f%%\n", "no redistribution",
-                    (1.0 - watts(vpBase + 1 + kNumVariants) / base) *
-                        100.0);
+                    -exp::agg::deltaVs(g, "variant",
+                                       "no redistribution", "fixed",
+                                       watts));
     }
 
     std::printf("\nno-redistribution SPEC check (expect ~0%% gain):\n");
     std::printf("%-18s %+6.1f%%\n", "416.gamess",
-                pct(ips(checkBase), ips(checkBase + 1)));
+                exp::agg::deltaVs(
+                    groupNamed(groups, "416.gamess@default-window"),
+                    "variant", "no redistribution", "fixed", ips));
     return 0;
 }

@@ -3,17 +3,25 @@
  * Fig. 3: (a) memory bandwidth demand over time for three SPEC
  * benchmarks and 3DMark; (b) static bandwidth demand of the display
  * engine, ISP, and graphics engines per configuration.
+ *
+ * Part (a)'s time series runs as a grid: one cell per (workload,
+ * 200ms window), each cell warming up to its window's start — the
+ * model is deterministic, so the windows are exactly the successive
+ * windows of one long run, but the cells parallelize and cache
+ * (--cache-dir). Rows reduce with exp::agg::groupBy per workload.
  */
 
 #include "bench/harness.hh"
+#include "exp/agg.hh"
 #include "workloads/graphics.hh"
 #include "workloads/spec.hh"
 
 using namespace sysscale;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto cache = bench::benchCache(argc, argv);
     bench::banner("Fig. 3", "bandwidth demand over time and by "
                             "configuration");
 
@@ -26,19 +34,29 @@ main()
         workloads::threeDMark06(),
     };
 
+    constexpr int kWindows = 12;
+    std::vector<exp::ExperimentSpec> specs;
     for (const auto &w : profiles) {
-        Simulator sim(1);
-        soc::Soc chip(sim, soc::skylakeConfig());
-        chip.display().attachPanel(0, io::PanelConfig{
-            io::PanelResolution::HD, 60.0, 4});
-        workloads::ProfileAgent agent(w);
-        chip.setWorkload(&agent);
-        chip.run(100 * kTicksPerMs);
+        for (int i = 0; i < kWindows; ++i) {
+            bench::RunConfig rc;
+            rc.warmup = 100 * kTicksPerMs +
+                        static_cast<Tick>(i) * 200 * kTicksPerMs;
+            rc.window = 200 * kTicksPerMs;
+            exp::ExperimentSpec spec = bench::makeSpec(w, rc);
+            spec.id = w.name() + "/t" + std::to_string(i);
+            spec.labels = {{"workload", w.name()},
+                           {"window", std::to_string(i)}};
+            specs.push_back(std::move(spec));
+        }
+    }
+    const auto series = bench::runBatch(specs, cache.get());
 
-        std::printf("%-16s", w.name().c_str());
-        for (int i = 0; i < 12; ++i) {
-            const auto m = chip.run(200 * kTicksPerMs);
-            std::printf(" %5.1f", m.avgMemBandwidth / 1e9);
+    for (const exp::agg::Group &g :
+         exp::agg::groupBy(series, "workload")) {
+        std::printf("%-16s", g.key.c_str());
+        for (const exp::RunResult *r : g.rows) {
+            bench::checkResult(*r);
+            std::printf(" %5.1f", r->metrics.avgMemBandwidth / 1e9);
         }
         std::printf("\n");
     }
@@ -85,12 +103,19 @@ main()
                     chip.isp().bandwidthDemand() / 1e9,
                     chip.isp().bandwidthDemand() / 25.6e9 * 100.0);
     }
-    for (const auto &w : workloads::graphicsSuite()) {
-        const auto out = bench::runExperiment(w, nullptr, {});
+
+    // Graphics-engine demand: one measured cell per suite entry,
+    // batched like any other grid.
+    std::vector<exp::ExperimentSpec> gfx_specs;
+    for (const auto &w : workloads::graphicsSuite())
+        gfx_specs.push_back(bench::makeSpec(w));
+    const auto gfx = bench::runBatch(gfx_specs, cache.get());
+    for (const auto &res : gfx) {
+        bench::checkResult(res);
         std::printf("GFX %-18s %6.2f GB/s  (%4.1f%%)\n",
-                    w.name().c_str(),
-                    out.metrics.avgMemBandwidth / 1e9,
-                    out.metrics.avgMemBandwidth / 25.6e9 * 100.0);
+                    res.workload.c_str(),
+                    res.metrics.avgMemBandwidth / 1e9,
+                    res.metrics.avgMemBandwidth / 25.6e9 * 100.0);
     }
     return 0;
 }

@@ -3,17 +3,22 @@
  * Fig. 4: impact of unoptimized MRC values on power and performance
  * for a memory-bandwidth-intensive microbenchmark (paper: average
  * power +22%, performance -10% vs optimized values).
+ *
+ * Both pinned cells run as one ExperimentRunner batch (cacheable via
+ * --cache-dir); the figure's deltas reduce through exp::agg against
+ * the optimized-MRC baseline cell.
  */
 
 #include "bench/harness.hh"
+#include "exp/agg.hh"
 #include "workloads/micro.hh"
 
 using namespace sysscale;
-using bench::pct;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto cache = bench::benchCache(argc, argv);
     bench::banner("Fig. 4", "unoptimized MRC penalty on a STREAM-like "
                             "microbenchmark");
 
@@ -21,23 +26,40 @@ main()
     const soc::SocConfig cfg = soc::skylakeConfig();
     const soc::OpPointTable table(cfg);
 
-    auto run_at_low = [&](bool unoptimized) {
+    std::vector<exp::ExperimentSpec> specs;
+    for (const bool unoptimized : {false, true}) {
         bench::RunConfig rc;
         rc.pinnedCoreFreq = 1.2 * kGHz;
         rc.pinnedOpPoint = table.low();
         rc.pinnedUnoptimizedMrc = unoptimized;
-        return bench::runExperiment(stream, nullptr, rc);
-    };
+        exp::ExperimentSpec spec = bench::makeSpec(stream, rc);
+        spec.id = stream.name() +
+                  (unoptimized ? "/unoptimized" : "/optimized");
+        spec.labels = {{"bench", "fig4"},
+                       {"mrc", unoptimized ? "unoptimized"
+                                           : "optimized"}};
+        specs.push_back(std::move(spec));
+    }
 
-    const auto optimized = run_at_low(false);
-    const auto unopt = run_at_low(true);
+    const auto results = bench::runBatch(specs, cache.get());
+    const exp::RunResult &optimized = bench::checkResult(results[0]);
+    const exp::RunResult &unopt = bench::checkResult(results[1]);
+
+    // Both cells share the "bench" label, so they reduce as one
+    // group with the optimized cell as baseline.
+    const auto groups = exp::agg::groupBy(results, "bench");
+    const exp::agg::Group &g = groups.front();
+    auto delta = [&](const exp::agg::Metric &m) {
+        return exp::agg::deltaVs(g, "mrc", "unoptimized", "optimized",
+                                 m);
+    };
 
     // Isolate the memory subsystem: the paper measures total average
     // power and benchmark performance.
-    const double power_inc =
-        pct(optimized.metrics.avgPower, unopt.metrics.avgPower);
-    const double perf_deg =
-        -pct(optimized.metrics.ips, unopt.metrics.ips);
+    const double power_inc = delta(
+        [](const exp::RunResult &r) { return r.metrics.avgPower; });
+    const double perf_deg = -delta(
+        [](const exp::RunResult &r) { return r.metrics.ips; });
 
     std::printf("%-28s %10s %10s\n", "metric", "measured", "paper");
     std::printf("%-28s %+9.1f%% %10s\n", "average power increase",
@@ -59,6 +81,10 @@ main()
         unopt.metrics.railEnergy[power::railIndex(power::Rail::VDDQ)];
     std::printf("VDDQ rail energy: optimized %.3f J, unoptimized "
                 "%.3f J (%+.1f%%)\n",
-                vddq_opt, vddq_unopt, pct(vddq_opt, vddq_unopt));
+                vddq_opt, vddq_unopt,
+                delta([](const exp::RunResult &r) {
+                    return r.metrics.railEnergy[power::railIndex(
+                        power::Rail::VDDQ)];
+                }));
     return 0;
 }

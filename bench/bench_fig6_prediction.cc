@@ -10,12 +10,18 @@
  * linear impact model (Sec. 4.2), and reports prediction accuracy,
  * the actual-vs-predicted correlation coefficient, and the false
  * positive count (the paper reports zero).
+ *
+ * The measurement sample is the hot path: every (workload, point)
+ * pair is an independent pinned cell, so each panel runs as one
+ * ExperimentRunner batch (cacheable via --cache-dir) and the
+ * (hi, lo) pairs reduce through exp::agg::groupBy per workload.
  */
 
 #include <algorithm>
 
 #include "bench/harness.hh"
 #include "core/threshold_trainer.hh"
+#include "exp/agg.hh"
 #include "workloads/sweep.hh"
 
 using namespace sysscale;
@@ -41,18 +47,19 @@ configFor(const Pair &pair)
 }
 
 double
-perfOf(const bench::Outcome &o, workloads::WorkloadClass klass)
+perfOf(const exp::RunResult &r, workloads::WorkloadClass klass)
 {
     return klass == workloads::WorkloadClass::Graphics
-               ? o.metrics.fps
-               : o.metrics.ips;
+               ? r.metrics.fps
+               : r.metrics.ips;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto cache = bench::benchCache(argc, argv);
     bench::banner("Fig. 6", "actual vs predicted impact of DRAM "
                             "frequency scaling (>1600 workloads)");
 
@@ -88,8 +95,8 @@ main()
             const soc::SocConfig cfg = configFor(pairs[p]);
             const soc::OpPointTable table(cfg);
 
-            std::vector<core::TrainingSample> samples;
-            samples.reserve(corpus.size());
+            std::vector<exp::ExperimentSpec> specs;
+            specs.reserve(corpus.size() * 2);
             for (const auto &w : corpus) {
                 bench::RunConfig rc;
                 rc.socConfig = cfg;
@@ -99,16 +106,41 @@ main()
                     workloads::WorkloadClass::Graphics) {
                     rc.pinnedCoreFreq = 1.2 * kGHz;
                 }
+                for (const bool low : {false, true}) {
+                    rc.pinnedOpPoint =
+                        low ? table.low() : table.high();
+                    exp::ExperimentSpec spec = bench::makeSpec(w, rc);
+                    spec.id =
+                        w.name() + (low ? "/lo" : "/hi");
+                    spec.labels = {{"workload", w.name()},
+                                   {"point", low ? "lo" : "hi"}};
+                    specs.push_back(std::move(spec));
+                }
+            }
 
-                rc.pinnedOpPoint = table.high();
-                const auto hi = bench::runExperiment(w, nullptr, rc);
-                rc.pinnedOpPoint = table.low();
-                const auto lo = bench::runExperiment(w, nullptr, rc);
+            const auto results = bench::runBatch(specs, cache.get());
+
+            std::vector<core::TrainingSample> samples;
+            samples.reserve(corpus.size());
+            for (const exp::agg::Group &g :
+                 exp::agg::groupBy(results, "workload")) {
+                const exp::RunResult *hi =
+                    exp::agg::findRow(g.rows, "point", "hi");
+                const exp::RunResult *lo =
+                    exp::agg::findRow(g.rows, "point", "lo");
+                if (!hi || !lo) {
+                    std::fprintf(stderr,
+                                 "fig6: missing point for %s\n",
+                                 g.key.c_str());
+                    return 1;
+                }
+                bench::checkResult(*hi);
+                bench::checkResult(*lo);
 
                 core::TrainingSample s;
-                s.counters = hi.counters;
-                const double ph = perfOf(hi, classes[c].klass);
-                const double pl = perfOf(lo, classes[c].klass);
+                s.counters = hi->counters;
+                const double ph = perfOf(*hi, classes[c].klass);
+                const double pl = perfOf(*lo, classes[c].klass);
                 s.normPerf = ph > 0.0 ? std::min(pl / ph, 1.0) : 1.0;
                 samples.push_back(s);
             }

@@ -3,43 +3,72 @@
  * Fig. 8: 3DMark performance improvement of MemScale-R, CoScale-R,
  * and SysScale over the fixed baseline (paper: SysScale +8.9%,
  * +6.7%, +8.1%; prior work ~1.3-1.8%).
+ *
+ * Grid-shaped: one cell per (benchmark, governor), run through the
+ * parallel ExperimentRunner (cacheable via --cache-dir) and reduced
+ * with exp::agg — group by workload, delta each governor against the
+ * fixed baseline of the same benchmark.
  */
 
 #include "bench/harness.hh"
+#include "exp/agg.hh"
 #include "workloads/graphics.hh"
 
 using namespace sysscale;
-using bench::pct;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto cache = bench::benchCache(argc, argv);
     bench::banner("Fig. 8", "3DMark graphics improvement @ 4.5W TDP");
 
     const double paper_ss[] = {8.9, 6.7, 8.1};
     const auto suite = workloads::graphicsSuite();
+    const std::vector<std::string> governors = {
+        "fixed", "memscale-r", "coscale-r", "sysscale"};
+
+    std::vector<exp::ExperimentSpec> specs;
+    for (const auto &w : suite) {
+        for (const auto &gov : governors) {
+            exp::ExperimentSpec spec = bench::makeSpec(w);
+            spec.governor = gov;
+            spec.id = w.name() + "/" + gov;
+            spec.labels = {{"workload", w.name()},
+                           {"governor", gov}};
+            specs.push_back(std::move(spec));
+        }
+    }
+
+    const auto results = bench::runBatch(specs, cache.get());
+    for (const auto &res : results)
+        bench::checkResult(res);
+
+    const exp::agg::Metric fps = [](const exp::RunResult &r) {
+        return r.metrics.fps;
+    };
 
     std::printf("%-16s %9s %10s %10s %10s %8s\n", "benchmark",
                 "base fps", "MemScale-R", "CoScale-R", "SysScale",
                 "paper");
 
-    for (std::size_t i = 0; i < suite.size(); ++i) {
-        const auto &w = suite[i];
-        core::FixedGovernor base;
-        core::MemScaleGovernor ms(true);
-        core::CoScaleGovernor cs(true);
-        core::SysScaleGovernor ss;
-
-        const double b =
-            bench::runExperiment(w, &base, {}).metrics.fps;
+    const auto groups = exp::agg::groupBy(results, "workload");
+    for (std::size_t i = 0; i < groups.size(); ++i) {
+        const exp::agg::Group &g = groups[i];
+        const exp::RunResult *base =
+            exp::agg::findRow(g.rows, "governor", "fixed");
+        if (!base) {
+            std::fprintf(stderr, "fig8: no fixed baseline for %s\n",
+                         g.key.c_str());
+            return 1;
+        }
         std::printf("%-16s %9.1f %+9.1f%% %+9.1f%% %+9.1f%% %+7.1f%%\n",
-                    w.name().c_str(), b,
-                    pct(b, bench::runExperiment(w, &ms, {})
-                               .metrics.fps),
-                    pct(b, bench::runExperiment(w, &cs, {})
-                               .metrics.fps),
-                    pct(b, bench::runExperiment(w, &ss, {})
-                               .metrics.fps),
+                    g.key.c_str(), base->metrics.fps,
+                    exp::agg::deltaVs(g, "governor", "memscale-r",
+                                      "fixed", fps),
+                    exp::agg::deltaVs(g, "governor", "coscale-r",
+                                      "fixed", fps),
+                    exp::agg::deltaVs(g, "governor", "sysscale",
+                                      "fixed", fps),
                     paper_ss[i]);
     }
     std::printf("\npaper: SysScale gains ~5x MemScale-R/CoScale-R; "

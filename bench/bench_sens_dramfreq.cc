@@ -8,19 +8,23 @@
  *
  * The 120-workload x 3-operating-point degradation sample is the hot
  * path here; every (workload, point) pair is an independent pinned
- * cell, so the whole sample runs as one ExperimentRunner batch.
+ * cell, so the whole sample runs as one ExperimentRunner batch
+ * (cacheable via --cache-dir) and the per-workload losses reduce
+ * through exp::agg (group by workload, collect, mean).
  */
 
 #include <vector>
 
 #include "bench/harness.hh"
+#include "exp/agg.hh"
 #include "workloads/sweep.hh"
 
 using namespace sysscale;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto cache = bench::benchCache(argc, argv);
     bench::banner("Sec. 7.4", "DRAM frequency sensitivity");
 
     // Budget freed by each DVFS pair.
@@ -62,8 +66,13 @@ main()
     // 1600->1066).
     const auto sample = workloads::SynthSweep::generateClass(
         workloads::WorkloadClass::CpuSingleThread, 120, 0xfeed);
-    const soc::OperatingPoint points[] = {
-        lp_table.high(), lp_table.point(1), lp_table.point(2)};
+    const struct
+    {
+        const char *label;
+        const soc::OperatingPoint &point;
+    } points[] = {{"hi", lp_table.high()},
+                  {"p1066", lp_table.point(1)},
+                  {"p800", lp_table.point(2)}};
 
     std::vector<exp::ExperimentSpec> specs;
     specs.reserve(sample.size() * 3);
@@ -73,28 +82,41 @@ main()
             rc.pinnedCoreFreq = 1.2 * kGHz;
             rc.warmup = 60 * kTicksPerMs;
             rc.window = 200 * kTicksPerMs;
-            rc.pinnedOpPoint = point;
+            rc.pinnedOpPoint = point.point;
             exp::ExperimentSpec spec = bench::makeSpec(w, rc);
-            spec.id = w.name() + "/pinned-" + point.name;
+            spec.id = w.name() + "/pinned-" + point.point.name;
+            spec.labels = {{"workload", w.name()},
+                           {"point", point.label}};
             specs.push_back(std::move(spec));
         }
     }
 
-    const auto results = bench::runBatch(specs);
+    const auto results = bench::runBatch(specs, cache.get());
+    for (const auto &res : results)
+        bench::checkResult(res);
 
-    double loss_1066 = 0.0, loss_800 = 0.0;
-    for (std::size_t i = 0; i < sample.size(); ++i) {
-        const double hi =
-            bench::checkResult(results[i * 3]).metrics.ips;
-        const double lo1066 =
-            bench::checkResult(results[i * 3 + 1]).metrics.ips;
-        const double lo800 =
-            bench::checkResult(results[i * 3 + 2]).metrics.ips;
-        loss_1066 += 1.0 - lo1066 / hi;
-        loss_800 += 1.0 - lo800 / hi;
+    std::vector<double> losses_1066, losses_800;
+    for (const exp::agg::Group &g :
+         exp::agg::groupBy(results, "workload")) {
+        const exp::RunResult *hi =
+            exp::agg::findRow(g.rows, "point", "hi");
+        const exp::RunResult *lo1066 =
+            exp::agg::findRow(g.rows, "point", "p1066");
+        const exp::RunResult *lo800 =
+            exp::agg::findRow(g.rows, "point", "p800");
+        if (!hi || !lo1066 || !lo800) {
+            // Fail loudly rather than averaging a partial sample.
+            std::fprintf(stderr, "sens: missing point for %s\n",
+                         g.key.c_str());
+            return 1;
+        }
+        losses_1066.push_back(1.0 - lo1066->metrics.ips /
+                                        hi->metrics.ips);
+        losses_800.push_back(1.0 -
+                             lo800->metrics.ips / hi->metrics.ips);
     }
-    loss_1066 /= sample.size();
-    loss_800 /= sample.size();
+    const double loss_1066 = exp::agg::mean(losses_1066);
+    const double loss_800 = exp::agg::mean(losses_800);
 
     std::printf("\navg degradation 1600->1066: %.2f%%\n",
                 loss_1066 * 100.0);

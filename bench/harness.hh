@@ -23,11 +23,13 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <optional>
 #include <string>
 
 #include "core/governors.hh"
 #include "core/transition_flow.hh"
+#include "exp/cache.hh"
 #include "exp/experiment.hh"
 #include "exp/runner.hh"
 #include "sim/sim_object.hh"
@@ -128,13 +130,68 @@ benchJobs()
     return static_cast<std::size_t>(std::strtoul(env, nullptr, 10));
 }
 
-/** Run a bench's spec batch on the shared runner configuration. */
+/**
+ * Result cache for grid-shaped benches, resolved exactly like
+ * sweep_grid: --cache-dir DIR on the command line, the
+ * SYSSCALE_CACHE_DIR environment variable as the fallback, and
+ * --no-cache to disable both. Returns null when caching is off.
+ * Unknown options abort: a typo must not silently run uncached.
+ */
+inline std::unique_ptr<exp::ResultCache>
+benchCache(int argc, char **argv)
+{
+    std::string dir;
+    bool no_cache = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--cache-dir") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s: --cache-dir needs a value\n",
+                             argv[0]);
+                std::exit(2);
+            }
+            dir = argv[++i];
+        } else if (arg == "--no-cache") {
+            no_cache = true;
+        } else {
+            std::fprintf(stderr,
+                         "%s: unknown option %s (supported: "
+                         "--cache-dir DIR, --no-cache)\n",
+                         argv[0], arg.c_str());
+            std::exit(2);
+        }
+    }
+    try {
+        return exp::resolveCache(std::move(dir), no_cache);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+        std::exit(2);
+    }
+}
+
+/**
+ * Run a bench's spec batch on the shared runner configuration.
+ * With a cache, finished cells are served from disk; the
+ * simulated-vs-cached split goes to stderr (stdout stays
+ * byte-identical to an uncached run).
+ */
 inline std::vector<exp::RunResult>
-runBatch(const std::vector<exp::ExperimentSpec> &specs)
+runBatch(const std::vector<exp::ExperimentSpec> &specs,
+         exp::ResultCache *cache = nullptr)
 {
     exp::RunnerOptions opts;
     opts.jobs = benchJobs();
-    return exp::ExperimentRunner(opts).run(specs);
+    opts.cache = cache;
+    const std::size_t hits_before = cache ? cache->stats().hits : 0;
+    auto results = exp::ExperimentRunner(opts).run(specs);
+    if (cache) {
+        const std::size_t hits = cache->stats().hits - hits_before;
+        std::fprintf(stderr,
+                     "bench cache: %zu cells (%zu simulated, %zu "
+                     "from cache)\n",
+                     specs.size(), specs.size() - hits, hits);
+    }
+    return results;
 }
 
 /** Percent delta helper: (b - a) / a in percent. */

@@ -88,6 +88,29 @@ CStateResidency::uncoreWeight() const
     return w;
 }
 
+CStateResidency
+overlayResidency(const CStateResidency &a, const CStateResidency &b)
+{
+    // Walk the states shallow-to-deep keeping P(deeper than s) for
+    // each occupant; the combined fraction of s telescopes out of
+    // the product of those tails. The final state takes whatever
+    // tail remains so the fractions sum to exactly 1.
+    std::array<double, kNumCStates> out{};
+    double tail_a = 1.0, tail_b = 1.0, prev = 1.0;
+    for (std::size_t i = 0; i < kNumCStates; ++i) {
+        if (i + 1 == kNumCStates) {
+            out[i] = prev;
+            break;
+        }
+        tail_a = std::max(0.0, tail_a - a.fraction(kAllCStates[i]));
+        tail_b = std::max(0.0, tail_b - b.fraction(kAllCStates[i]));
+        const double deeper = tail_a * tail_b;
+        out[i] = std::max(0.0, prev - deeper);
+        prev = deeper;
+    }
+    return CStateResidency(out);
+}
+
 HardwareDutyCycle::HardwareDutyCycle(Watt tdp)
 {
     if (tdp <= 0.0)

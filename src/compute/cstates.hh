@@ -118,6 +118,20 @@ class CStateResidency
 };
 
 /**
+ * Residency of a package running two independent activities at once:
+ * at any instant the package can only idle as deeply as its most
+ * active occupant allows. Treating the occupants' idle patterns as
+ * independent, the probability the package is deeper than state s is
+ * the product of the per-occupant probabilities, which fixes the
+ * combined per-state fractions (they still sum to 1). Identity
+ * element: a residency that is always in the deepest state.
+ * Associative and commutative, so overlaying N activities pairwise
+ * is order-independent.
+ */
+CStateResidency overlayResidency(const CStateResidency &a,
+                                 const CStateResidency &b);
+
+/**
  * Hardware duty cycling: an effective C0 duty factor the PMU imposes
  * below a TDP threshold (Sec. 7.2: "at a very low TDP, the effective
  * CPU frequency is reduced below Pn by using hardware duty cycling").

@@ -478,6 +478,20 @@ ResultCache::store(const ExperimentSpec &spec, const RunResult &res)
     stores_.fetch_add(1, std::memory_order_relaxed);
 }
 
+std::unique_ptr<ResultCache>
+resolveCache(std::string dir, bool no_cache)
+{
+    if (no_cache)
+        return nullptr;
+    if (dir.empty()) {
+        if (const char *env = std::getenv("SYSSCALE_CACHE_DIR"))
+            dir = env;
+    }
+    if (dir.empty())
+        return nullptr;
+    return std::make_unique<ResultCache>(std::move(dir));
+}
+
 CacheStats
 ResultCache::stats() const
 {

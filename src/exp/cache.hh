@@ -30,6 +30,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <memory>
 #include <string>
 
 #include "exp/experiment.hh"
@@ -89,6 +90,16 @@ class ResultCache
     std::atomic<std::size_t> uncacheable_{0};
     std::atomic<std::size_t> tmpSerial_{0};
 };
+
+/**
+ * The cache resolution every CLI shares (sweep_grid and the
+ * grid-shaped benches): an explicit @p dir wins, the
+ * SYSSCALE_CACHE_DIR environment variable is the fallback, and
+ * @p no_cache disables both. Returns null when caching is off;
+ * throws std::runtime_error when the directory cannot be created.
+ */
+std::unique_ptr<ResultCache> resolveCache(std::string dir,
+                                          bool no_cache);
 
 } // namespace exp
 } // namespace sysscale

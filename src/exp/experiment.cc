@@ -9,6 +9,7 @@
 #include "io/display.hh"
 #include "io/isp.hh"
 #include "sim/sim_object.hh"
+#include "workloads/composite.hh"
 
 namespace sysscale {
 namespace exp {
@@ -134,9 +135,15 @@ governorFactory(const std::string &name)
 void
 validateSpec(const ExperimentSpec &spec)
 {
-    if (spec.workload.numPhases() == 0)
+    if (spec.workload.numPhases() == 0 && spec.scenario.layers.empty())
         throw std::invalid_argument(
             "cell \"" + spec.id + "\": workload has no phases");
+    try {
+        workloads::validateScenario(spec.scenario);
+    } catch (const std::invalid_argument &e) {
+        throw std::invalid_argument(
+            "cell \"" + spec.id + "\": " + e.what());
+    }
     if (spec.window == 0)
         throw std::invalid_argument(
             "cell \"" + spec.id + "\": zero measurement window");
@@ -208,15 +215,42 @@ runCell(const ExperimentSpec &spec)
 
         Simulator sim(spec.seed);
         soc::Soc chip(sim, spec.soc);
-        if (spec.hdPanel) {
-            chip.display().attachPanel(0, io::PanelConfig{
-                io::PanelResolution::HD, 60.0, 4});
-        }
+        if (spec.hdPanel)
+            chip.display().attachPanel(0, io::kDefaultHdPanel);
         if (spec.camera)
             chip.isp().startCamera(io::CameraConfig{});
 
-        workloads::ProfileAgent agent(spec.workload);
-        PinnedFreqAgent pinned(agent, spec.pinnedCoreFreq);
+        // Scenario-less cells bind the profile agent directly (the
+        // single-workload fast path benches rely on); scenarios
+        // overlay their layers through a CompositeAgent and replay
+        // timed SoC mutations through a ScenarioScript.
+        std::unique_ptr<workloads::ProfileAgent> base;
+        if (spec.workload.numPhases() > 0)
+            base.reset(new workloads::ProfileAgent(spec.workload));
+
+        workloads::CompositeAgent composite;
+        std::vector<std::unique_ptr<workloads::ProfileAgent>> layers;
+        soc::WorkloadAgent *root = base.get();
+        if (!spec.scenario.layers.empty()) {
+            if (base)
+                composite.addMember(*base);
+            for (const workloads::ScenarioLayer &layer :
+                 spec.scenario.layers) {
+                layers.emplace_back(
+                    new workloads::ProfileAgent(layer.profile));
+                composite.addMember(*layers.back(), layer.start,
+                                    layer.stop);
+            }
+            root = &composite;
+        }
+
+        std::unique_ptr<workloads::ScenarioScript> script;
+        if (!spec.scenario.actions.empty()) {
+            script.reset(new workloads::ScenarioScript(
+                sim, chip, spec.scenario.actions));
+        }
+
+        PinnedFreqAgent pinned(*root, spec.pinnedCoreFreq);
         chip.setWorkload(&pinned);
 
         CollectPolicy collector;
@@ -268,6 +302,7 @@ expandGrid(const GridSpec &grid)
                     cell.soc = grid.base;
                     cell.soc.tdp = tdp;
                     cell.workload = w;
+                    cell.scenario = grid.scenario;
                     cell.governor = gov;
                     cell.seed = seed;
                     cell.warmup = grid.warmup;
@@ -285,6 +320,11 @@ expandGrid(const GridSpec &grid)
                         {"tdp", tdp_s},
                         {"seed", std::to_string(seed)},
                     };
+                    if (!grid.scenarioName.empty()) {
+                        cell.id += "/" + grid.scenarioName;
+                        cell.labels.emplace_back("scenario",
+                                                 grid.scenarioName);
+                    }
                     cells.push_back(std::move(cell));
                 }
             }

@@ -31,6 +31,7 @@
 #include "soc/pmu.hh"
 #include "soc/soc.hh"
 #include "workloads/profile.hh"
+#include "workloads/scenario.hh"
 
 namespace sysscale {
 namespace exp {
@@ -52,6 +53,15 @@ struct ExperimentSpec
 
     soc::SocConfig soc = soc::skylakeConfig();
     workloads::WorkloadProfile workload;
+
+    /**
+     * Concurrent activity around the base workload: overlay layers
+     * (merged by workloads::CompositeAgent) and timed SoC mutations
+     * (replayed by workloads::ScenarioScript). Part of the cell's
+     * content address — two cells differing only here are different
+     * simulations.
+     */
+    workloads::Scenario scenario;
 
     /**
      * Registry name of the governor ("collect" or empty = no
@@ -100,6 +110,7 @@ struct ExperimentSpec
     operator==(const ExperimentSpec &o) const
     {
         return id == o.id && soc == o.soc && workload == o.workload &&
+               scenario == o.scenario &&
                governor == o.governor && seed == o.seed &&
                warmup == o.warmup && window == o.window &&
                hdPanel == o.hdPanel && camera == o.camera &&
@@ -179,6 +190,16 @@ struct GridSpec
     Tick window = 2 * kTicksPerSec;
     bool hdPanel = true;
     bool camera = false;
+
+    /** Scenario applied to every cell (empty = none). */
+    workloads::Scenario scenario;
+
+    /**
+     * Presentation name of @ref scenario; when non-empty every cell
+     * gets a "scenario" label and an id suffix (ids and labels stay
+     * exactly as before for scenario-less grids).
+     */
+    std::string scenarioName;
 };
 
 std::vector<ExperimentSpec> expandGrid(const GridSpec &grid);

@@ -266,6 +266,133 @@ class Reader
     std::set<std::string> consumed_;
 };
 
+/** Emit @p wl under @p key_prefix, its phases under @p phase_prefix. */
+void
+writeProfile(Writer &body, const std::string &key_prefix,
+             const std::string &phase_prefix,
+             const workloads::WorkloadProfile &wl)
+{
+    body.putStr(key_prefix + "name", wl.name());
+    body.put(key_prefix + "class", workloadClassToken(wl.klass()));
+    body.putNum(key_prefix + "perf_scalability",
+                wl.perfScalability());
+    body.putU64(key_prefix + "phases", wl.numPhases());
+    for (std::size_t i = 0; i < wl.numPhases(); ++i) {
+        const workloads::Phase &p = wl.phase(i);
+        const std::string pre = phase_prefix + std::to_string(i) + ".";
+        body.putU64(pre + "duration", p.duration);
+        body.putU64(pre + "active_threads", p.activeThreads);
+        body.putNum(pre + "io_best_effort", p.ioBestEffort);
+        body.putNum(pre + "core_freq_request", p.coreFreqRequest);
+        body.putNum(pre + "gfx_freq_request", p.gfxFreqRequest);
+        body.put(pre + "work",
+                 num(p.work.cpiBase) + " " + num(p.work.mpki) + " " +
+                     num(p.work.blockingFactor) + " " +
+                     num(p.work.bytesPerInstr) + " " +
+                     num(p.work.activity));
+        body.put(pre + "gfx",
+                 num(p.gfxWork.cyclesPerFrame) + " " +
+                     num(p.gfxWork.bytesPerFrame) + " " +
+                     num(p.gfxWork.targetFps) + " " +
+                     num(p.gfxWork.activity));
+        std::string res;
+        for (const compute::CState c : compute::kAllCStates) {
+            if (!res.empty())
+                res += " ";
+            res += num(p.residency.fraction(c));
+        }
+        body.put(pre + "residency", res);
+    }
+}
+
+/**
+ * Invert writeProfile(). @p allow_empty permits the zero-phase
+ * default-constructed placeholder (legal only for the base
+ * workload); scenario layers must always carry a real profile.
+ */
+workloads::WorkloadProfile
+readProfile(Reader &r, const std::string &key_prefix,
+            const std::string &phase_prefix, bool allow_empty)
+{
+    const std::string name = r.getStr(key_prefix + "name");
+    const workloads::WorkloadClass klass =
+        workloadClassFromToken(r.get(key_prefix + "class"));
+    const double scal = r.getNum(key_prefix + "perf_scalability");
+    const std::size_t n_phases = r.getSize(key_prefix + "phases");
+    // Negated comparison so NaN (which fails every <=) also throws.
+    if (!(scal >= 0.0 && scal <= 1.0))
+        throw std::invalid_argument(
+            "spec codec: perf scalability out of [0,1]");
+    std::vector<workloads::Phase> phases;
+    for (std::size_t i = 0; i < n_phases; ++i) {
+        const std::string pre = phase_prefix + std::to_string(i) + ".";
+        workloads::Phase p;
+        p.duration = r.getU64(pre + "duration");
+        // WorkloadProfile's zero-length-phase check is fatal; throw.
+        if (p.duration == 0)
+            throw std::invalid_argument(
+                "spec codec: zero-length phase");
+        p.activeThreads = r.getSize(pre + "active_threads");
+        p.ioBestEffort = r.getNum(pre + "io_best_effort");
+        p.coreFreqRequest = r.getNum(pre + "core_freq_request");
+        p.gfxFreqRequest = r.getNum(pre + "gfx_freq_request");
+        const std::vector<double> work =
+            r.getNumList(pre + "work", 5);
+        p.work.cpiBase = work[0];
+        p.work.mpki = work[1];
+        p.work.blockingFactor = work[2];
+        p.work.bytesPerInstr = work[3];
+        p.work.activity = work[4];
+        const std::vector<double> gfx = r.getNumList(pre + "gfx", 4);
+        p.gfxWork.cyclesPerFrame = gfx[0];
+        p.gfxWork.bytesPerFrame = gfx[1];
+        p.gfxWork.targetFps = gfx[2];
+        p.gfxWork.activity = gfx[3];
+        const std::vector<double> res =
+            r.getNumList(pre + "residency", compute::kNumCStates);
+        std::array<double, compute::kNumCStates> fractions{};
+        double sum = 0.0;
+        for (std::size_t c = 0; c < compute::kNumCStates; ++c) {
+            // CStateResidency's own negativity and sum checks are
+            // fatal (process exit); throw instead. Negated
+            // comparisons so NaN fractions are rejected too.
+            if (!(res[c] >= 0.0 && res[c] <= 1.0))
+                throw std::invalid_argument(
+                    "spec codec: residency fraction out of [0,1]");
+            fractions[c] = res[c];
+            sum += res[c];
+        }
+        if (!(std::fabs(sum - 1.0) <= 1e-6))
+            throw std::invalid_argument(
+                "spec codec: residency fractions do not sum to 1");
+        p.residency = compute::CStateResidency(fractions);
+        phases.push_back(std::move(p));
+    }
+    if (n_phases > 0) {
+        return workloads::WorkloadProfile(name, klass,
+                                          std::move(phases), scal);
+    }
+    if (!name.empty() || !allow_empty) {
+        // A named profile cannot have zero phases (the constructor
+        // would be fatal); only the default-constructed placeholder
+        // base workload round-trips through this branch.
+        throw std::invalid_argument(
+            "spec codec: workload with zero phases");
+    }
+    return workloads::WorkloadProfile();
+}
+
+workloads::ScenarioActionKind
+scenarioActionFromToken(const std::string &token)
+{
+    for (const auto k : workloads::kAllScenarioActionKinds) {
+        if (token == workloads::scenarioActionName(k))
+            return k;
+    }
+    throw std::invalid_argument(
+        "spec codec: unknown scenario action \"" + token + "\"");
+}
+
 std::string
 serializeImpl(const ExperimentSpec &spec, bool canonical)
 {
@@ -342,36 +469,25 @@ serializeImpl(const ExperimentSpec &spec, bool canonical)
     body.putU64("soc.dram.devices_per_rank", dspec.devicesPerRank());
     body.putU64("soc.dram.banks", dspec.banks());
 
-    const workloads::WorkloadProfile &wl = spec.workload;
-    body.putStr("workload.name", wl.name());
-    body.put("workload.class", workloadClassToken(wl.klass()));
-    body.putNum("workload.perf_scalability", wl.perfScalability());
-    body.putU64("workload.phases", wl.numPhases());
-    for (std::size_t i = 0; i < wl.numPhases(); ++i) {
-        const workloads::Phase &p = wl.phase(i);
-        const std::string pre = "phase." + std::to_string(i) + ".";
-        body.putU64(pre + "duration", p.duration);
-        body.putU64(pre + "active_threads", p.activeThreads);
-        body.putNum(pre + "io_best_effort", p.ioBestEffort);
-        body.putNum(pre + "core_freq_request", p.coreFreqRequest);
-        body.putNum(pre + "gfx_freq_request", p.gfxFreqRequest);
-        body.put(pre + "work",
-                 num(p.work.cpiBase) + " " + num(p.work.mpki) + " " +
-                     num(p.work.blockingFactor) + " " +
-                     num(p.work.bytesPerInstr) + " " +
-                     num(p.work.activity));
-        body.put(pre + "gfx",
-                 num(p.gfxWork.cyclesPerFrame) + " " +
-                     num(p.gfxWork.bytesPerFrame) + " " +
-                     num(p.gfxWork.targetFps) + " " +
-                     num(p.gfxWork.activity));
-        std::string res;
-        for (const compute::CState c : compute::kAllCStates) {
-            if (!res.empty())
-                res += " ";
-            res += num(p.residency.fraction(c));
-        }
-        body.put(pre + "residency", res);
+    writeProfile(body, "workload.", "phase.", spec.workload);
+
+    const workloads::Scenario &sc = spec.scenario;
+    body.putU64("scenario.layers", sc.layers.size());
+    for (std::size_t i = 0; i < sc.layers.size(); ++i) {
+        const workloads::ScenarioLayer &layer = sc.layers[i];
+        const std::string pre =
+            "scenario.layer." + std::to_string(i) + ".";
+        body.putU64(pre + "start", layer.start);
+        body.putU64(pre + "stop", layer.stop);
+        writeProfile(body, pre, pre + "phase.", layer.profile);
+    }
+    body.putU64("scenario.actions", sc.actions.size());
+    for (std::size_t i = 0; i < sc.actions.size(); ++i) {
+        const workloads::ScenarioAction &a = sc.actions[i];
+        body.put("scenario.action." + std::to_string(i),
+                 std::to_string(a.at) + " " +
+                     workloads::scenarioActionName(a.kind) + " " +
+                     num(a.value));
     }
 
     if (!canonical) {
@@ -510,70 +626,49 @@ parseSpec(const std::string &text)
                                   bytes_per_channel, ranks, devices,
                                   banks);
 
-    const std::string wl_name = r.getStr("workload.name");
-    const workloads::WorkloadClass wl_class =
-        workloadClassFromToken(r.get("workload.class"));
-    const double wl_scal = r.getNum("workload.perf_scalability");
-    const std::size_t n_phases = r.getSize("workload.phases");
-    // Negated comparison so NaN (which fails every <=) also throws.
-    if (!(wl_scal >= 0.0 && wl_scal <= 1.0))
-        throw std::invalid_argument(
-            "spec codec: perf scalability out of [0,1]");
-    std::vector<workloads::Phase> phases;
-    for (std::size_t i = 0; i < n_phases; ++i) {
-        const std::string pre = "phase." + std::to_string(i) + ".";
-        workloads::Phase p;
-        p.duration = r.getU64(pre + "duration");
-        // WorkloadProfile's zero-length-phase check is fatal; throw.
-        if (p.duration == 0)
-            throw std::invalid_argument(
-                "spec codec: zero-length phase");
-        p.activeThreads = r.getSize(pre + "active_threads");
-        p.ioBestEffort = r.getNum(pre + "io_best_effort");
-        p.coreFreqRequest = r.getNum(pre + "core_freq_request");
-        p.gfxFreqRequest = r.getNum(pre + "gfx_freq_request");
-        const std::vector<double> work =
-            r.getNumList(pre + "work", 5);
-        p.work.cpiBase = work[0];
-        p.work.mpki = work[1];
-        p.work.blockingFactor = work[2];
-        p.work.bytesPerInstr = work[3];
-        p.work.activity = work[4];
-        const std::vector<double> gfx = r.getNumList(pre + "gfx", 4);
-        p.gfxWork.cyclesPerFrame = gfx[0];
-        p.gfxWork.bytesPerFrame = gfx[1];
-        p.gfxWork.targetFps = gfx[2];
-        p.gfxWork.activity = gfx[3];
-        const std::vector<double> res =
-            r.getNumList(pre + "residency", compute::kNumCStates);
-        std::array<double, compute::kNumCStates> fractions{};
-        double sum = 0.0;
-        for (std::size_t c = 0; c < compute::kNumCStates; ++c) {
-            // CStateResidency's own negativity and sum checks are
-            // fatal (process exit); throw instead. Negated
-            // comparisons so NaN fractions are rejected too.
-            if (!(res[c] >= 0.0 && res[c] <= 1.0))
-                throw std::invalid_argument(
-                    "spec codec: residency fraction out of [0,1]");
-            fractions[c] = res[c];
-            sum += res[c];
-        }
-        if (!(std::fabs(sum - 1.0) <= 1e-6))
-            throw std::invalid_argument(
-                "spec codec: residency fractions do not sum to 1");
-        p.residency = compute::CStateResidency(fractions);
-        phases.push_back(std::move(p));
+    spec.workload =
+        readProfile(r, "workload.", "phase.", /*allow_empty=*/true);
+
+    const std::size_t n_layers = r.getSize("scenario.layers");
+    for (std::size_t i = 0; i < n_layers; ++i) {
+        const std::string pre =
+            "scenario.layer." + std::to_string(i) + ".";
+        workloads::ScenarioLayer layer;
+        layer.start = r.getU64(pre + "start");
+        layer.stop = r.getU64(pre + "stop");
+        layer.profile =
+            readProfile(r, pre, pre + "phase.", /*allow_empty=*/false);
+        spec.scenario.layers.push_back(std::move(layer));
     }
-    if (n_phases > 0) {
-        spec.workload = workloads::WorkloadProfile(
-            wl_name, wl_class, std::move(phases), wl_scal);
-    } else if (!wl_name.empty()) {
-        // A named profile cannot have zero phases (the constructor
-        // would be fatal); only the default-constructed placeholder
-        // round-trips through this branch.
-        throw std::invalid_argument(
-            "spec codec: named workload with zero phases");
+    const std::size_t n_actions = r.getSize("scenario.actions");
+    for (std::size_t i = 0; i < n_actions; ++i) {
+        std::istringstream is(
+            r.get("scenario.action." + std::to_string(i)));
+        std::string at_s, kind_s, value_s, extra;
+        if (!(is >> at_s >> kind_s >> value_s) || (is >> extra))
+            throw std::invalid_argument(
+                "spec codec: malformed scenario action");
+        workloads::ScenarioAction a;
+        if (at_s[0] < '0' || at_s[0] > '9')
+            throw std::invalid_argument(
+                "spec codec: bad scenario action time");
+        char *end = nullptr;
+        a.at = std::strtoull(at_s.c_str(), &end, 10);
+        if (end != at_s.c_str() + at_s.size())
+            throw std::invalid_argument(
+                "spec codec: bad scenario action time");
+        a.kind = scenarioActionFromToken(kind_s);
+        a.value = std::strtod(value_s.c_str(), &end);
+        if (end != value_s.c_str() + value_s.size())
+            throw std::invalid_argument(
+                "spec codec: bad scenario action value");
+        spec.scenario.actions.push_back(a);
     }
+    // validateScenario throws on the values the runtime would treat
+    // as fatal (unsorted actions, non-positive TDP steps, inverted
+    // layer windows), so a corrupt cache entry misses instead of
+    // taking the process down.
+    workloads::validateScenario(spec.scenario);
 
     const std::size_t n_labels = r.getSize("labels");
     for (std::size_t i = 0; i < n_labels; ++i) {

@@ -53,6 +53,15 @@ struct PanelConfig
 };
 
 /**
+ * The laptop HD panel every paper experiment runs with (Sec. 6).
+ * Shared by the experiment layer (ExperimentSpec::hdPanel) and the
+ * scenario DisplayOn action, so a display-blank scenario always
+ * reattaches exactly the panel the cell started with.
+ */
+inline constexpr PanelConfig kDefaultHdPanel{PanelResolution::HD,
+                                             60.0, 4};
+
+/**
  * The SoC display controller (up to three panels, Sec. 4.2).
  */
 class DisplayEngine : public SimObject

@@ -100,6 +100,19 @@ Soc::setComputeBudget(Watt budget)
 }
 
 void
+Soc::setTdp(Watt tdp)
+{
+    SYSSCALE_ASSERT(tdp > 0.0, "non-positive TDP");
+    cfg_.tdp = tdp;
+    pbm_.setTdp(tdp);
+    hdc_ = compute::HardwareDutyCycle(tdp);
+    // Re-derive the compute grant from the new envelope so the step
+    // loop honors it immediately; a governor will refine it at its
+    // next evaluation.
+    computeBudget_ = pbm_.computeBudget(ioMemBudget(currentOp_), 0.0);
+}
+
+void
 Soc::noteTransition(const OperatingPoint &target, Tick flow_latency)
 {
     currentOp_ = target;
@@ -151,18 +164,27 @@ Soc::step()
     const Tick interval = cfg_.stepInterval;
     ++steps_;
 
-    IntervalDemand demand;
+    // The demand scratch persists across steps so the per-thread
+    // work vector keeps its capacity: step() is the hot path under
+    // every grid and must not allocate.
+    IntervalDemand &demand = demandScratch_;
+    demand.clear();
     if (workload_ && !workload_->finished(now()))
         workload_->demandAt(now(), demand);
 
     const compute::CStateResidency &res = demand.residency;
     const double dram_frac = res.dramActiveFraction();
 
-    // Transition stall: memory-blocked wall time inside this step.
-    const double stall_frac = std::min(
-        0.9, static_cast<double>(pendingStall_) /
-                 static_cast<double>(interval));
-    pendingStall_ = 0;
+    // Transition stall: memory-blocked wall time inside this step,
+    // capped at kMaxStallFraction of it. The unconsumed remainder of
+    // a flow longer than the cap carries into subsequent steps, so
+    // the total stall charged always equals the total flow latency.
+    const Tick stall_cap = static_cast<Tick>(
+        kMaxStallFraction * static_cast<double>(interval));
+    const Tick stall_consumed = std::min(pendingStall_, stall_cap);
+    const double stall_frac = static_cast<double>(stall_consumed) /
+                              static_cast<double>(interval);
+    pendingStall_ -= stall_consumed;
 
     const double exec_frac =
         res.activeFraction() * hdc_.dutyFactor() * (1.0 - stall_frac);
@@ -177,7 +199,7 @@ Soc::step()
     }
     const double avg_activity =
         active_threads ? act_sum / static_cast<double>(active_threads)
-                       : 0.7;
+                       : kIdleActivity;
 
     gfxActive_ = !demand.gfxWork.idle() && exec_frac > 0.0;
     applyComputePStates(demand, active_threads, avg_activity);
@@ -332,7 +354,7 @@ Soc::integratePower(const IntervalDemand &demand, double mc_util,
     }
     const double activity =
         active_threads ? act_sum / static_cast<double>(active_threads)
-                       : 0.0;
+                       : kIdleActivity;
 
     // VCore: dynamic while executing, leakage weighted by C-state,
     // LLC on the same rail.

@@ -134,6 +134,13 @@ class Soc : public SimObject
     /** Grant the compute domain @p budget (policy hook). */
     void setComputeBudget(Watt budget);
 
+    /**
+     * Change the thermal envelope mid-run (scenario thermal
+     * stepping): rebases the PBM, hardware duty cycling, and the
+     * current compute grant on the new TDP.
+     */
+    void setTdp(Watt tdp);
+
     /** Cap CPU frequency (CoScale-style coordination; 0 = none). */
     void setCoreFreqCap(Hertz cap) { coreFreqCap_ = cap; }
 
@@ -196,6 +203,26 @@ class Soc : public SimObject
     /** Current reactive throttle multiplier (diagnostics). */
     double throttle() const { return throttle_; }
 
+    /**
+     * Largest share of one step interval that transition-flow stall
+     * may consume; the remainder of a longer flow carries over into
+     * the following steps (never dropped), so the stall charged over
+     * a run equals the flow latency recorded by noteTransition().
+     */
+    static constexpr double kMaxStallFraction = 0.9;
+
+    /**
+     * Switching activity assumed when no hardware thread is active.
+     * Both the P-state grant path (step()) and the power integration
+     * (integratePower()) fall back to this same value, so budget
+     * arithmetic and the energy meter can never disagree about what
+     * an idle interval costs.
+     */
+    static constexpr double kIdleActivity = 0.7;
+
+    /** Transition-flow stall not yet charged to a step (carry-over). */
+    Tick pendingStallTicks() const { return pendingStall_; }
+
   private:
     void step();
     void applyComputePStates(const IntervalDemand &demand,
@@ -231,6 +258,7 @@ class Soc : public SimObject
     compute::HardwareDutyCycle hdc_;
 
     WorkloadAgent *workload_ = nullptr;
+    IntervalDemand demandScratch_; //!< Reused every step (no alloc).
     OperatingPoint currentOp_;
     Watt computeBudget_ = 0.0;
     Hertz coreFreqCap_ = 0.0;

@@ -45,6 +45,23 @@ struct IntervalDemand
 
     /** Graphics-driver P-state request; 0 means "maximum". */
     Hertz gfxFreqRequest = 0.0;
+
+    /**
+     * Reset to the default (idle) demand while keeping the
+     * threadWork capacity. The SoC reuses one IntervalDemand across
+     * steps and clears it before every demandAt() call, so agents
+     * never see stale fields and the hot path never allocates.
+     */
+    void
+    clear()
+    {
+        threadWork.clear();
+        gfxWork = compute::GfxWork{};
+        ioBestEffort = 0.0;
+        residency = compute::CStateResidency{};
+        coreFreqRequest = 0.0;
+        gfxFreqRequest = 0.0;
+    }
 };
 
 /**

@@ -1,0 +1,127 @@
+#include "workloads/composite.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace sysscale {
+namespace workloads {
+
+namespace {
+
+/**
+ * Merge one P-state request into the running combination over the
+ * members that carry the matching kind of work. 0 means "maximum",
+ * which dominates; otherwise the highest request wins.
+ */
+void
+mergeFreqRequest(Hertz request, bool &any, Hertz &combined)
+{
+    if (!any) {
+        any = true;
+        combined = request;
+        return;
+    }
+    if (combined == 0.0 || request == 0.0)
+        combined = 0.0;
+    else
+        combined = std::max(combined, request);
+}
+
+} // anonymous namespace
+
+void
+CompositeAgent::addMember(soc::WorkloadAgent &agent, Tick start,
+                          Tick stop)
+{
+    SYSSCALE_ASSERT(stop == 0 || stop > start,
+                    "composite member departs before it arrives");
+    members_.push_back(Member{&agent, start, stop});
+}
+
+bool
+CompositeAgent::memberActive(std::size_t i, Tick now) const
+{
+    SYSSCALE_ASSERT(i < members_.size(), "member %zu out of range", i);
+    const Member &m = members_[i];
+    if (now < m.start || (m.stop != 0 && now >= m.stop))
+        return false;
+    return !m.agent->finished(now - m.start);
+}
+
+void
+CompositeAgent::demandAt(Tick now, soc::IntervalDemand &demand)
+{
+    // Residency identity: always in the deepest state — an empty
+    // composite demands nothing and lets the package sleep.
+    std::array<double, compute::kNumCStates> deepest{};
+    deepest[compute::kNumCStates - 1] = 1.0;
+    demand.residency = compute::CStateResidency(deepest);
+
+    bool any_cpu = false, any_gfx = false;
+    double gfx_cycle_sum = 0.0, gfx_activity_weighted = 0.0;
+
+    for (std::size_t i = 0; i < members_.size(); ++i) {
+        if (!memberActive(i, now))
+            continue;
+        scratch_.clear();
+        members_[i].agent->demandAt(now - members_[i].start, scratch_);
+
+        demand.threadWork.insert(demand.threadWork.end(),
+                                 scratch_.threadWork.begin(),
+                                 scratch_.threadWork.end());
+        demand.ioBestEffort += scratch_.ioBestEffort;
+        demand.residency = compute::overlayResidency(
+            demand.residency, scratch_.residency);
+
+        bool has_cpu = false;
+        for (const auto &w : scratch_.threadWork)
+            has_cpu = has_cpu || w.cpiBase > 0.0;
+        if (has_cpu) {
+            mergeFreqRequest(scratch_.coreFreqRequest, any_cpu,
+                             demand.coreFreqRequest);
+        }
+
+        if (!scratch_.gfxWork.idle()) {
+            const compute::GfxWork &g = scratch_.gfxWork;
+            demand.gfxWork.cyclesPerFrame += g.cyclesPerFrame;
+            demand.gfxWork.bytesPerFrame += g.bytesPerFrame;
+            // The loosest cap binds the combined stream; 0 (uncapped)
+            // dominates.
+            if (gfx_cycle_sum == 0.0) {
+                demand.gfxWork.targetFps = g.targetFps;
+            } else if (demand.gfxWork.targetFps == 0.0 ||
+                       g.targetFps == 0.0) {
+                demand.gfxWork.targetFps = 0.0;
+            } else {
+                demand.gfxWork.targetFps =
+                    std::max(demand.gfxWork.targetFps, g.targetFps);
+            }
+            gfx_cycle_sum += g.cyclesPerFrame;
+            gfx_activity_weighted += g.activity * g.cyclesPerFrame;
+            mergeFreqRequest(scratch_.gfxFreqRequest, any_gfx,
+                             demand.gfxFreqRequest);
+        }
+    }
+
+    if (gfx_cycle_sum > 0.0)
+        demand.gfxWork.activity = gfx_activity_weighted / gfx_cycle_sum;
+}
+
+bool
+CompositeAgent::finished(Tick now) const
+{
+    for (std::size_t i = 0; i < members_.size(); ++i) {
+        const Member &m = members_[i];
+        if (now < m.start)
+            return false; // still to arrive
+        if (m.stop != 0 && now >= m.stop)
+            continue; // departed
+        if (!m.agent->finished(now - m.start))
+            return false;
+    }
+    return true;
+}
+
+} // namespace workloads
+} // namespace sysscale

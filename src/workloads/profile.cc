@@ -87,11 +87,30 @@ ProfileAgent::ProfileAgent(WorkloadProfile profile, std::size_t repeats)
 {
 }
 
+const Phase &
+ProfileAgent::currentPhase(Tick offset)
+{
+    const Tick period = profile_.period();
+    SYSSCALE_ASSERT(period > 0, "profile '%s' has zero period",
+                    profile_.name().c_str());
+    const Tick t = offset % period;
+    if (t < cursorBegin_) {
+        cursorIndex_ = 0;
+        cursorBegin_ = 0;
+    }
+    // t < period, so the scan always lands inside the phase list.
+    while (t >= cursorBegin_ + profile_.phase(cursorIndex_).duration) {
+        cursorBegin_ += profile_.phase(cursorIndex_).duration;
+        ++cursorIndex_;
+    }
+    return profile_.phase(cursorIndex_);
+}
+
 void
 ProfileAgent::demandAt(Tick now, soc::IntervalDemand &demand)
 {
     const Tick offset = now >= start_ ? now - start_ : 0;
-    const Phase &p = profile_.phaseAt(offset);
+    const Phase &p = currentPhase(offset);
 
     demand.threadWork.assign(p.activeThreads, p.work);
     demand.gfxWork = p.gfxWork;

@@ -144,9 +144,21 @@ class ProfileAgent : public soc::WorkloadAgent
     void rebase(Tick now) { start_ = now; }
 
   private:
+    const Phase &currentPhase(Tick offset);
+
     WorkloadProfile profile_;
     std::size_t repeats_;
     Tick start_ = 0;
+
+    /**
+     * Cursor over the cyclic phase list. Simulation offsets advance
+     * monotonically, so resuming the scan from the last phase makes
+     * the per-step lookup O(1) amortized instead of a linear scan of
+     * the whole list (WorkloadProfile::phaseAt); an offset that
+     * moves backwards just resets the cursor.
+     */
+    std::size_t cursorIndex_ = 0;
+    Tick cursorBegin_ = 0; //!< Offset-in-period where the phase starts.
 };
 
 } // namespace workloads

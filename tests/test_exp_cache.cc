@@ -340,6 +340,79 @@ TEST(ResultCache, InterruptedSweepResumesIncrementally)
         EXPECT_TRUE(res.ok) << res.error;
 }
 
+/**
+ * A pre-scenario (format v1) entry sitting at the right path must
+ * degrade to a miss — never a wrong hit — and the next store
+ * replaces it with a v2 entry. This is the versioning policy of
+ * docs/EXPERIMENTS.md exercised end to end.
+ */
+TEST(ResultCache, V1FormatEntryDegradesToAMiss)
+{
+    const CacheDir dir("v1entry");
+    exp::ResultCache cache(dir.path());
+    const exp::ExperimentSpec spec = fastSpec("v1entry");
+    const exp::RunResult res = exp::runCell(spec);
+    cache.store(spec, res);
+
+    // Rewrite the entry as a v1 document: format field and embedded
+    // spec header both claim version 1 (as a real pre-bump cache
+    // file would at this path).
+    std::ifstream is(cache.pathFor(spec), std::ios::binary);
+    std::string doc((std::istreambuf_iterator<char>(is)),
+                    std::istreambuf_iterator<char>());
+    is.close();
+    const std::size_t fmt = doc.find("\"format\": 2");
+    ASSERT_NE(fmt, std::string::npos);
+    doc.replace(fmt, 11, "\"format\": 1");
+    const std::size_t hdr = doc.find("sysscale-spec v2");
+    ASSERT_NE(hdr, std::string::npos);
+    doc.replace(hdr, 16, "sysscale-spec v1");
+    std::ofstream os(cache.pathFor(spec),
+                     std::ios::binary | std::ios::trunc);
+    os << doc;
+    os.close();
+
+    exp::RunResult out;
+    EXPECT_FALSE(cache.lookup(spec, out));
+    EXPECT_EQ(cache.stats().corrupt, 1u);
+
+    // The next store repairs the slot with a v2 entry.
+    cache.store(spec, res);
+    EXPECT_TRUE(cache.lookup(spec, out));
+    EXPECT_EQ(stableRow(out), stableRow(res));
+}
+
+/**
+ * Scenario-bearing cells are content-addressed like any other: the
+ * mixed videoconf scenario (camera + overlay layer + TDP stepping)
+ * simulates once and replays from cache byte-identically, and cells
+ * differing only in scenario never alias.
+ */
+TEST(ResultCache, ScenarioCellsAreContentAddressed)
+{
+    const CacheDir dir("scenario");
+    exp::ResultCache cache(dir.path());
+
+    exp::ExperimentSpec plain = fastSpec("plain");
+    exp::ExperimentSpec scen = fastSpec("videoconf");
+    scen.scenario = workloads::scenarioByName("videoconf");
+    EXPECT_NE(exp::specKey(plain), exp::specKey(scen));
+
+    exp::RunnerOptions opts;
+    opts.jobs = 1;
+    opts.cache = &cache;
+    const auto first = exp::ExperimentRunner(opts).run({plain, scen});
+    ASSERT_TRUE(first[0].ok) << first[0].error;
+    ASSERT_TRUE(first[1].ok) << first[1].error;
+    EXPECT_EQ(cache.stats().stores, 2u);
+
+    const auto second =
+        exp::ExperimentRunner(opts).run({plain, scen});
+    EXPECT_EQ(cache.stats().hits, 2u);
+    for (std::size_t i = 0; i < first.size(); ++i)
+        EXPECT_EQ(exp::csvRow(first[i]), exp::csvRow(second[i]));
+}
+
 TEST(ResultCache, MixedGridCachesOnlyTheHealthyCells)
 {
     const CacheDir dir("mixed");

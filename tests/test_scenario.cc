@@ -1,0 +1,306 @@
+/**
+ * @file
+ * Scenario subsystem tests: CompositeAgent demand-merge semantics,
+ * the independent-overlay residency combine, ScenarioScript replay
+ * against a live SoC (TDP stepping, display and camera toggles), the
+ * named registry, and scenario validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "compute/cstates.hh"
+#include "io/display.hh"
+#include "io/isp.hh"
+#include "sim/sim_object.hh"
+#include "soc/soc.hh"
+#include "workloads/battery.hh"
+#include "workloads/composite.hh"
+#include "workloads/micro.hh"
+#include "workloads/scenario.hh"
+#include "workloads/spec.hh"
+
+using namespace sysscale;
+using namespace sysscale::workloads;
+
+namespace {
+
+/** A one-phase profile built from explicit knobs. */
+WorkloadProfile
+phaseProfile(const std::string &name, double cpi,
+             std::size_t threads, double io_gbps,
+             const std::array<double, compute::kNumCStates> &res,
+             Hertz core_req = 0.0)
+{
+    Phase p;
+    p.duration = kTicksPerSec;
+    p.work.cpiBase = cpi;
+    p.activeThreads = threads;
+    p.ioBestEffort = io_gbps * 1e9;
+    p.residency = compute::CStateResidency(res);
+    p.coreFreqRequest = core_req;
+    return WorkloadProfile(name, WorkloadClass::Micro, {p});
+}
+
+} // anonymous namespace
+
+TEST(OverlayResidency, DeepestStateIsTheIdentity)
+{
+    std::array<double, compute::kNumCStates> deepest{};
+    deepest[compute::kNumCStates - 1] = 1.0;
+    const compute::CStateResidency identity(deepest);
+    const compute::CStateResidency mixed(
+        {0.3, 0.3, 0.0, 0.0, 0.4});
+
+    const compute::CStateResidency out =
+        compute::overlayResidency(identity, mixed);
+    for (const compute::CState c : compute::kAllCStates)
+        EXPECT_DOUBLE_EQ(out.fraction(c), mixed.fraction(c));
+}
+
+TEST(OverlayResidency, PackageOnlyIdlesAsDeepAsTheShallowest)
+{
+    // One occupant always active: the package never leaves C0.
+    const compute::CStateResidency c0; // all C0
+    const compute::CStateResidency mixed(
+        {0.2, 0.3, 0.0, 0.0, 0.5});
+    const compute::CStateResidency out =
+        compute::overlayResidency(c0, mixed);
+    EXPECT_DOUBLE_EQ(out.activeFraction(), 1.0);
+
+    // Two independent half-active occupants: active 1-0.5*0.5.
+    const compute::CStateResidency half({0.5, 0.0, 0.0, 0.0, 0.5});
+    const compute::CStateResidency two =
+        compute::overlayResidency(half, half);
+    EXPECT_DOUBLE_EQ(two.activeFraction(), 0.75);
+    EXPECT_DOUBLE_EQ(two.fraction(compute::CState::C8), 0.25);
+
+    // Fractions still sum to 1.
+    double sum = 0.0;
+    for (const compute::CState c : compute::kAllCStates)
+        sum += two.fraction(c);
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(OverlayResidency, CommutesAndAssociates)
+{
+    const compute::CStateResidency a({0.4, 0.3, 0.1, 0.1, 0.1});
+    const compute::CStateResidency b({0.1, 0.2, 0.3, 0.2, 0.2});
+    const compute::CStateResidency c({0.25, 0.25, 0.25, 0.15, 0.1});
+
+    const auto ab = compute::overlayResidency(a, b);
+    const auto ba = compute::overlayResidency(b, a);
+    const auto ab_c = compute::overlayResidency(ab, c);
+    const auto a_bc =
+        compute::overlayResidency(a, compute::overlayResidency(b, c));
+    for (const compute::CState s : compute::kAllCStates) {
+        EXPECT_NEAR(ab.fraction(s), ba.fraction(s), 1e-12);
+        EXPECT_NEAR(ab_c.fraction(s), a_bc.fraction(s), 1e-12);
+    }
+}
+
+TEST(CompositeAgent, ConcatenatesThreadsAndSumsIoDemand)
+{
+    const WorkloadProfile a = phaseProfile(
+        "a", 1.0, 2, 1.0, {1.0, 0.0, 0.0, 0.0, 0.0});
+    const WorkloadProfile b = phaseProfile(
+        "b", 2.0, 1, 0.5, {0.5, 0.5, 0.0, 0.0, 0.0});
+    ProfileAgent pa(a), pb(b);
+
+    CompositeAgent comp;
+    comp.addMember(pa);
+    comp.addMember(pb);
+
+    soc::IntervalDemand d;
+    comp.demandAt(0, d);
+    ASSERT_EQ(d.threadWork.size(), 3u);
+    EXPECT_DOUBLE_EQ(d.threadWork[0].cpiBase, 1.0);
+    EXPECT_DOUBLE_EQ(d.threadWork[2].cpiBase, 2.0);
+    EXPECT_DOUBLE_EQ(d.ioBestEffort, 1.5e9);
+    // a is always active, so the package never idles.
+    EXPECT_DOUBLE_EQ(d.residency.activeFraction(), 1.0);
+}
+
+TEST(CompositeAgent, MergesGraphicsWork)
+{
+    // Two graphics members: frame work adds, the loosest cap binds.
+    Phase g1, g2;
+    g1.duration = g2.duration = kTicksPerSec;
+    g1.activeThreads = g2.activeThreads = 0;
+    g1.gfxWork = {1e6, 2e6, 30.0, 0.5};
+    g2.gfxWork = {3e6, 1e6, 60.0, 0.9};
+    ProfileAgent pa(WorkloadProfile("g1", WorkloadClass::Graphics,
+                                    {g1}));
+    ProfileAgent pb(WorkloadProfile("g2", WorkloadClass::Graphics,
+                                    {g2}));
+    CompositeAgent comp;
+    comp.addMember(pa);
+    comp.addMember(pb);
+
+    soc::IntervalDemand d;
+    comp.demandAt(0, d);
+    EXPECT_DOUBLE_EQ(d.gfxWork.cyclesPerFrame, 4e6);
+    EXPECT_DOUBLE_EQ(d.gfxWork.bytesPerFrame, 3e6);
+    EXPECT_DOUBLE_EQ(d.gfxWork.targetFps, 60.0);
+    // Cycle-weighted activity: (0.5*1e6 + 0.9*3e6) / 4e6.
+    EXPECT_DOUBLE_EQ(d.gfxWork.activity, 0.8);
+}
+
+TEST(CompositeAgent, MaximumFreqRequestDominates)
+{
+    const std::array<double, compute::kNumCStates> c0 = {
+        1.0, 0.0, 0.0, 0.0, 0.0};
+    ProfileAgent slow(phaseProfile("slow", 1.0, 1, 0.0, c0,
+                                   1.2 * kGHz));
+    ProfileAgent slower(phaseProfile("slower", 1.0, 1, 0.0, c0,
+                                     0.8 * kGHz));
+    ProfileAgent race(phaseProfile("race", 1.0, 1, 0.0, c0, 0.0));
+
+    {
+        CompositeAgent comp;
+        comp.addMember(slow);
+        comp.addMember(slower);
+        soc::IntervalDemand d;
+        comp.demandAt(0, d);
+        EXPECT_DOUBLE_EQ(d.coreFreqRequest, 1.2 * kGHz);
+    }
+    {
+        CompositeAgent comp;
+        comp.addMember(slow);
+        comp.addMember(race);
+        soc::IntervalDemand d;
+        comp.demandAt(0, d);
+        EXPECT_DOUBLE_EQ(d.coreFreqRequest, 0.0);
+    }
+}
+
+TEST(CompositeAgent, MembersSeeLocalClocksAndWindows)
+{
+    const Tick period = spinMicro().period();
+    ProfileAgent always(spinMicro());
+    ProfileAgent late(streamMicro());
+
+    CompositeAgent comp;
+    comp.addMember(always);
+    comp.addMember(late, /*start=*/10 * period, /*stop=*/20 * period);
+
+    EXPECT_TRUE(comp.memberActive(0, 0));
+    EXPECT_FALSE(comp.memberActive(1, 0));
+    EXPECT_TRUE(comp.memberActive(1, 10 * period));
+    EXPECT_FALSE(comp.memberActive(1, 20 * period));
+
+    const std::size_t spin_threads =
+        spinMicro().phase(0).activeThreads;
+    const std::size_t stream_threads =
+        streamMicro().phase(0).activeThreads;
+    soc::IntervalDemand d;
+    comp.demandAt(0, d);
+    EXPECT_EQ(d.threadWork.size(), spin_threads);
+    d.clear();
+    comp.demandAt(10 * period, d);
+    EXPECT_EQ(d.threadWork.size(), spin_threads + stream_threads);
+    d.clear();
+    comp.demandAt(20 * period, d);
+    EXPECT_EQ(d.threadWork.size(), spin_threads);
+}
+
+TEST(CompositeAgent, FinishesWithItsMembers)
+{
+    const WorkloadProfile spin = spinMicro();
+    ProfileAgent bounded(spin, /*repeats=*/2);
+    CompositeAgent comp;
+    // Departs at 10 periods, but its own work ends after 2.
+    comp.addMember(bounded, 0, 10 * spin.period());
+    EXPECT_FALSE(comp.finished(spin.period()));
+    EXPECT_TRUE(comp.finished(2 * spin.period()));
+}
+
+TEST(ScenarioScript, StepsTdpOnSchedule)
+{
+    Simulator sim;
+    soc::Soc chip(sim, soc::skylakeConfig(4.5));
+    ProfileAgent agent(spinMicro());
+    chip.setWorkload(&agent);
+
+    ScenarioScript script(
+        sim, chip,
+        {{50 * kTicksPerMs, ScenarioActionKind::SetTdp, 3.5},
+         {100 * kTicksPerMs, ScenarioActionKind::SetTdp, 7.0}});
+
+    chip.run(40 * kTicksPerMs);
+    EXPECT_DOUBLE_EQ(chip.config().tdp, 4.5);
+    EXPECT_EQ(script.applied(), 0u);
+
+    chip.run(20 * kTicksPerMs); // crosses 50ms
+    EXPECT_DOUBLE_EQ(chip.config().tdp, 3.5);
+    EXPECT_DOUBLE_EQ(chip.pbm().tdp(), 3.5);
+    EXPECT_EQ(script.applied(), 1u);
+
+    chip.run(50 * kTicksPerMs); // crosses 100ms
+    EXPECT_DOUBLE_EQ(chip.config().tdp, 7.0);
+    EXPECT_EQ(script.applied(), 2u);
+    EXPECT_GT(chip.computeBudget(), 0.0);
+}
+
+TEST(ScenarioScript, TogglesDisplayAndCamera)
+{
+    Simulator sim;
+    soc::Soc chip(sim, soc::skylakeConfig());
+    chip.display().attachPanel(0, io::PanelConfig{});
+
+    ScenarioScript script(
+        sim, chip,
+        {{0, ScenarioActionKind::CameraOn, 0.0},
+         {30 * kTicksPerMs, ScenarioActionKind::DisplayOff, 0.0},
+         {60 * kTicksPerMs, ScenarioActionKind::DisplayOn, 0.0},
+         {60 * kTicksPerMs, ScenarioActionKind::CameraOff, 0.0}});
+
+    chip.run(10 * kTicksPerMs);
+    EXPECT_TRUE(chip.isp().active());
+    EXPECT_EQ(chip.display().activePanels(), 1u);
+
+    chip.run(30 * kTicksPerMs);
+    EXPECT_EQ(chip.display().activePanels(), 0u);
+
+    chip.run(30 * kTicksPerMs);
+    EXPECT_EQ(chip.display().activePanels(), 1u);
+    EXPECT_FALSE(chip.isp().active());
+    EXPECT_EQ(script.applied(), 4u);
+}
+
+TEST(Scenario, RegistryNamesResolveAndValidate)
+{
+    for (const std::string &name : scenarioNames()) {
+        const Scenario s = scenarioByName(name);
+        EXPECT_NO_THROW(validateScenario(s)) << name;
+        if (name == "none")
+            EXPECT_TRUE(s.empty());
+        else
+            EXPECT_FALSE(s.empty()) << name;
+    }
+    EXPECT_THROW((void)scenarioByName("no-such-scenario"),
+                 std::invalid_argument);
+}
+
+TEST(Scenario, ValidationRejectsIllFormedScenarios)
+{
+    Scenario unsorted;
+    unsorted.actions = {{100, ScenarioActionKind::SetTdp, 4.5},
+                        {50, ScenarioActionKind::SetTdp, 3.5}};
+    EXPECT_THROW(validateScenario(unsorted), std::invalid_argument);
+
+    Scenario bad_tdp;
+    bad_tdp.actions = {{0, ScenarioActionKind::SetTdp, 0.0}};
+    EXPECT_THROW(validateScenario(bad_tdp), std::invalid_argument);
+
+    Scenario inverted;
+    inverted.layers.push_back(
+        ScenarioLayer{videoPlayback(), 100, 100});
+    EXPECT_THROW(validateScenario(inverted), std::invalid_argument);
+
+    Scenario empty_layer;
+    empty_layer.layers.push_back(ScenarioLayer{});
+    EXPECT_THROW(validateScenario(empty_layer),
+                 std::invalid_argument);
+}

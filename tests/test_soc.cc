@@ -186,6 +186,75 @@ TEST(Soc, RunWithWorkloadRetiresInstructions)
     EXPECT_GT(m.avgCoreFreq, 1.0 * kGHz);
 }
 
+/**
+ * A DVFS flow longer than one step's stall cap must carry its
+ * remainder into subsequent steps: the total stall charged equals
+ * the flow latency exactly, instead of silently dropping everything
+ * beyond kMaxStallFraction of a single step.
+ */
+TEST(Soc, StallCarryOverConservesFlowLatency)
+{
+    Simulator sim;
+    Soc chip(sim, skylakeConfig());
+    const Tick step = chip.config().stepInterval;
+    const Tick cap = static_cast<Tick>(
+        Soc::kMaxStallFraction * static_cast<double>(step));
+
+    // 2.5 steps of flow latency: needs three steps to drain.
+    const Tick latency = 2 * step + step / 2;
+    ASSERT_GT(latency, cap);
+    chip.noteTransition(chip.opPoints().high(), latency);
+    EXPECT_EQ(chip.pendingStallTicks(), latency);
+
+    Tick remaining = latency;
+    while (remaining > 0) {
+        chip.run(step); // exactly one model step
+        remaining -= std::min(remaining, cap);
+        EXPECT_EQ(chip.pendingStallTicks(), remaining);
+    }
+    // Fully drained; later steps charge nothing extra.
+    chip.run(step);
+    EXPECT_EQ(chip.pendingStallTicks(), 0u);
+}
+
+/** Long flows actually cost execution time now that stall carries. */
+TEST(Soc, LongFlowsSlowRetirementMoreThanShortFlows)
+{
+    const Tick step = skylakeConfig().stepInterval;
+    auto instructions_with_flow_latency = [step](Tick latency) {
+        Simulator sim;
+        Soc chip(sim, skylakeConfig());
+        workloads::ProfileAgent agent(workloads::spinMicro());
+        chip.setWorkload(&agent);
+        chip.run(10 * kTicksPerMs);
+        chip.noteTransition(chip.opPoints().high(), latency);
+        // Five steps: the long flow stalls ~3 of them, the short
+        // flow only half of one.
+        return chip.run(5 * step).instructions;
+    };
+
+    const double short_flow =
+        instructions_with_flow_latency(step / 2);
+    const double long_flow =
+        instructions_with_flow_latency(3 * step);
+    // Pre-fix, everything beyond 0.9 steps was dropped and the two
+    // retired nearly identically; now the long flow costs ~3x.
+    EXPECT_LT(long_flow, short_flow * 0.85);
+}
+
+TEST(Soc, SetTdpRebasesBudgetAndDutyCycle)
+{
+    Simulator sim;
+    Soc chip(sim, skylakeConfig(7.0));
+    const Watt budget_hi = chip.computeBudget();
+    chip.setTdp(3.5);
+    EXPECT_DOUBLE_EQ(chip.config().tdp, 3.5);
+    EXPECT_DOUBLE_EQ(chip.pbm().tdp(), 3.5);
+    EXPECT_LT(chip.computeBudget(), budget_hi);
+    chip.setTdp(7.0);
+    EXPECT_DOUBLE_EQ(chip.computeBudget(), budget_hi);
+}
+
 TEST(Soc, DeterministicAcrossIdenticalRuns)
 {
     auto run_once = [] {

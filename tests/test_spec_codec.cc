@@ -40,6 +40,7 @@ richSpec()
     const soc::OpPointTable table(spec.soc);
     spec.pinnedOpPoint = table.low();
     spec.pinnedUnoptimizedMrc = true;
+    spec.scenario = workloads::scenarioByName("videoconf");
     spec.labels = {{"workload", "video-playback"},
                    {"note", "tab\there"}};
     return spec;
@@ -67,6 +68,23 @@ roundTripCorpus()
 
     // Default-constructed spec: empty workload, no labels.
     corpus.push_back(exp::ExperimentSpec{});
+
+    // Every registered scenario, over an ordinary base workload.
+    for (const std::string &name : workloads::scenarioNames()) {
+        exp::ExperimentSpec cell;
+        cell.id = "scenario/" + name;
+        cell.workload = workloads::streamMicro();
+        cell.scenario = workloads::scenarioByName(name);
+        corpus.push_back(std::move(cell));
+    }
+
+    // A scenario-only cell: no base workload, layers carry the work.
+    exp::ExperimentSpec layered;
+    layered.id = "layers-only";
+    layered.scenario.layers.push_back(workloads::ScenarioLayer{
+        workloads::videoPlayback(), 5 * kTicksPerMs,
+        900 * kTicksPerMs});
+    corpus.push_back(std::move(layered));
     return corpus;
 }
 
@@ -102,9 +120,23 @@ TEST(SpecCodec, HeaderCarriesFormatVersion)
 {
     const std::string text =
         exp::serializeSpec(exp::ExperimentSpec{});
-    EXPECT_EQ(text.rfind("sysscale-spec v1\n", 0), 0u)
+    EXPECT_EQ(text.rfind("sysscale-spec v2\n", 0), 0u)
         << "bump this test AND the golden keys together with "
            "kSpecFormatVersion";
+}
+
+/**
+ * Pre-scenario (v1) documents must be rejected loudly — never parsed
+ * into a v2 spec. Through the cache this means every v1 entry
+ * degrades to a miss (and is re-simulated), never a wrong hit.
+ */
+TEST(SpecCodec, RejectsV1Documents)
+{
+    std::string v1 = exp::serializeSpec(exp::ExperimentSpec{});
+    const std::string header = "sysscale-spec v2\n";
+    ASSERT_EQ(v1.rfind(header, 0), 0u);
+    v1.replace(0, header.size(), "sysscale-spec v1\n");
+    EXPECT_THROW((void)exp::parseSpec(v1), std::invalid_argument);
 }
 
 TEST(SpecCodec, KeyIgnoresPinnedOpPointName)
@@ -161,6 +193,21 @@ TEST(SpecCodec, KeySeparatesSimulationInputs)
     exp::ExperimentSpec wl = base;
     wl.workload = workloads::spinMicro();
     EXPECT_NE(exp::specKey(wl), key);
+
+    // The scenario is a simulation input: layers and actions (and
+    // their timing) must all separate keys.
+    exp::ExperimentSpec scen = base;
+    scen.scenario = workloads::scenarioByName("thermal-step");
+    EXPECT_NE(exp::specKey(scen), key);
+
+    exp::ExperimentSpec shifted = scen;
+    shifted.scenario.actions[0].at += 1;
+    EXPECT_NE(exp::specKey(shifted), exp::specKey(scen));
+
+    exp::ExperimentSpec layered = base;
+    layered.scenario.layers.push_back(workloads::ScenarioLayer{
+        workloads::videoPlayback(), 0, 0});
+    EXPECT_NE(exp::specKey(layered), key);
 }
 
 /**
@@ -174,10 +221,10 @@ TEST(SpecCodec, GoldenKeys)
     exp::ExperimentSpec stream;
     stream.id = "golden-a";
     stream.workload = workloads::streamMicro();
-    EXPECT_EQ(exp::specKey(stream), "ba866d16734f80d5");
+    EXPECT_EQ(exp::specKey(stream), "13ab193ee1ccbba1");
 
     exp::ExperimentSpec rich = richSpec();
-    EXPECT_EQ(exp::specKey(rich), "b6d5c5828ceb7343");
+    EXPECT_EQ(exp::specKey(rich), "592390be6cb642aa");
 }
 
 TEST(SpecCodec, SerializableOnlyWithoutRuntimeHooks)
@@ -286,5 +333,43 @@ TEST(SpecCodec, RejectsFatalFieldValuesWithThrows)
                  std::invalid_argument);
     EXPECT_THROW((void)exp::parseSpec(
                      rewriteField(text, "soc.cores", "-2")),
+                 std::invalid_argument);
+}
+
+TEST(SpecCodec, RejectsMalformedScenarios)
+{
+    exp::ExperimentSpec spec;
+    spec.workload = workloads::streamMicro();
+    spec.scenario = workloads::scenarioByName("thermal-step");
+    const std::string text = exp::serializeSpec(spec);
+
+    // Unknown action kind, garbled fields, wrong arity.
+    EXPECT_THROW((void)exp::parseSpec(rewriteField(
+                     text, "scenario.action.0", "0 melt_chip 1")),
+                 std::invalid_argument);
+    EXPECT_THROW((void)exp::parseSpec(rewriteField(
+                     text, "scenario.action.0", "x set_tdp 3.5")),
+                 std::invalid_argument);
+    EXPECT_THROW((void)exp::parseSpec(rewriteField(
+                     text, "scenario.action.0", "0 set_tdp 3.5 junk")),
+                 std::invalid_argument);
+    // Runtime-fatal values: non-positive TDP steps, unsorted times
+    // (action 0 moved after action 1).
+    EXPECT_THROW((void)exp::parseSpec(rewriteField(
+                     text, "scenario.action.0", "0 set_tdp 0")),
+                 std::invalid_argument);
+    EXPECT_THROW(
+        (void)exp::parseSpec(rewriteField(
+            text, "scenario.action.0", "99999999999999 set_tdp 3.5")),
+        std::invalid_argument);
+
+    // A scenario layer may never be phase-less.
+    exp::ExperimentSpec layered;
+    layered.workload = workloads::streamMicro();
+    layered.scenario.layers.push_back(workloads::ScenarioLayer{
+        workloads::videoPlayback(), 0, 0});
+    const std::string ltext = exp::serializeSpec(layered);
+    EXPECT_THROW((void)exp::parseSpec(rewriteField(
+                     ltext, "scenario.layer.0.phases", "0")),
                  std::invalid_argument);
 }

@@ -83,6 +83,40 @@ TEST(Profile, BoundedRepeatsFinish)
     EXPECT_TRUE(agent.finished(2 * spin.period()));
 }
 
+/**
+ * The agent's O(1) phase cursor must agree with the profile's linear
+ * scan at every offset — monotonic sweeps (the simulation pattern,
+ * including period wraps) and backward jumps (rebase) alike.
+ */
+TEST(Profile, AgentCursorMatchesLinearScan)
+{
+    const WorkloadProfile astar = specBenchmark("473.astar");
+    const Tick period = astar.period();
+    ProfileAgent agent(astar);
+    soc::IntervalDemand d;
+
+    auto expect_phase = [&](Tick now) {
+        d.clear();
+        agent.demandAt(now, d);
+        const Phase &ref = astar.phaseAt(now % period);
+        ASSERT_EQ(d.threadWork.size(), ref.activeThreads);
+        EXPECT_TRUE(d.threadWork[0] == ref.work) << "offset " << now;
+        EXPECT_DOUBLE_EQ(d.ioBestEffort, ref.ioBestEffort);
+    };
+
+    // Monotonic sweep in an awkward stride across several periods.
+    const Tick stride = period / 7 + 12345;
+    for (Tick now = 0; now < 5 * period; now += stride)
+        expect_phase(now);
+
+    // Phase-boundary edges, then a backward jump resetting the
+    // cursor.
+    expect_phase(astar.phase(0).duration - 1);
+    expect_phase(astar.phase(0).duration);
+    expect_phase(3 * period + 1);
+    expect_phase(1);
+}
+
 TEST(Graphics, SuiteMatchesFig8)
 {
     const auto suite = graphicsSuite();

@@ -5,7 +5,9 @@
 #   1. every intra-repo markdown link resolves to an existing file
 #      (external http(s)/mailto links and pure #anchors are skipped),
 #   2. every bench/bench_*.cc binary is mentioned in the README's
-#      "Reproducing paper figures" table.
+#      "Reproducing paper figures" table,
+#   3. every scenario registered in src/workloads/scenario.cc is
+#      documented in docs/EXPERIMENTS.md.
 #
 # POSIX sh + grep/sed only, so it runs anywhere the build does.
 
@@ -58,6 +60,24 @@ for b in bench/bench_*.cc; do
     if ! grep -q "$name" README.md; then
         echo "check_docs: README.md does not mention $name" \
              "(add it to the 'Reproducing paper figures' table)"
+        errors=$((errors + 1))
+    fi
+done
+
+# --- 3. EXPERIMENTS.md documents every registered scenario ----------
+# Extract the quoted names from the scenarioNames() registry block.
+scenario_src=src/workloads/scenario.cc
+scenarios=$(sed -n '/scenarioNames()/,/^}/p' "$scenario_src" |
+            grep -o '"[a-z0-9-]*"' | tr -d '"')
+if [ -z "$scenarios" ]; then
+    echo "check_docs: could not extract scenario names from" \
+         "$scenario_src"
+    errors=$((errors + 1))
+fi
+for s in $scenarios; do
+    if ! grep -q "\`$s\`" docs/EXPERIMENTS.md; then
+        echo "check_docs: docs/EXPERIMENTS.md does not document" \
+             "scenario '$s' (add it to the scenario table)"
         errors=$((errors + 1))
     fi
 done

@@ -15,6 +15,8 @@
  *              --window-ms 500 --json -
  *   sweep_grid --workloads battery --cache-dir .sweep-cache \
  *              --cache-stats --csv results.csv
+ *   sweep_grid --workloads spec:470.lbm --scenario videoconf \
+ *              --governors fixed,sysscale --csv mixed.csv
  *   sweep_grid --list
  *
  * With --cache-dir (or SYSSCALE_CACHE_DIR), finished cells are
@@ -41,6 +43,7 @@
 #include "workloads/battery.hh"
 #include "workloads/graphics.hh"
 #include "workloads/micro.hh"
+#include "workloads/scenario.hh"
 #include "workloads/spec.hh"
 
 using namespace sysscale;
@@ -117,6 +120,9 @@ listRegistry()
     std::printf("workloads:\n");
     for (const auto &w : allProfiles())
         std::printf("  %s\n", w.name().c_str());
+    std::printf("scenarios:\n");
+    for (const auto &s : workloads::scenarioNames())
+        std::printf("  %s\n", s.c_str());
 }
 
 void
@@ -133,6 +139,8 @@ usage()
         "  --window-ms N      measured window per cell (default: "
         "2000)\n"
         "  --jobs N           worker threads (default: hardware)\n"
+        "  --scenario NAME    overlay a named scenario on every cell\n"
+        "                     (mixed agents + timed SoC mutations)\n"
         "  --ddr4             use the DDR4 SoC population\n"
         "  --csv FILE         write CSV ('-' = stdout)\n"
         "  --json FILE        write JSON ('-' = stdout)\n"
@@ -181,6 +189,7 @@ main(int argc, char **argv)
     double warmup_ms = 200.0;
     double window_ms = 2000.0;
     std::size_t jobs = 0;
+    std::string scenario_arg;
     bool ddr4 = false;
     bool quiet = false;
     bool no_cache = false;
@@ -214,6 +223,8 @@ main(int argc, char **argv)
         } else if (arg == "--jobs") {
             jobs = static_cast<std::size_t>(
                 std::atol(value().c_str()));
+        } else if (arg == "--scenario") {
+            scenario_arg = value();
         } else if (arg == "--ddr4") {
             ddr4 = true;
         } else if (arg == "--csv") {
@@ -258,6 +269,18 @@ main(int argc, char **argv)
             static_cast<std::uint64_t>(std::atoll(s.c_str())));
     grid.warmup = ticksFromMs(warmup_ms);
     grid.window = ticksFromMs(window_ms);
+    if (!scenario_arg.empty() && scenario_arg != "none") {
+        try {
+            grid.scenario = workloads::scenarioByName(scenario_arg);
+        } catch (const std::exception &) {
+            std::fprintf(stderr,
+                         "sweep_grid: unknown scenario \"%s\" "
+                         "(try --list)\n",
+                         scenario_arg.c_str());
+            return 2;
+        }
+        grid.scenarioName = scenario_arg;
+    }
 
     for (const auto &gov : grid.governors) {
         if (!exp::isGovernorName(gov)) {
@@ -275,18 +298,12 @@ main(int argc, char **argv)
         return 2;
     }
 
-    if (cache_dir.empty() && !no_cache) {
-        if (const char *env = std::getenv("SYSSCALE_CACHE_DIR"))
-            cache_dir = env;
-    }
     std::unique_ptr<exp::ResultCache> cache;
-    if (!no_cache && !cache_dir.empty()) {
-        try {
-            cache.reset(new exp::ResultCache(cache_dir));
-        } catch (const std::exception &e) {
-            std::fprintf(stderr, "sweep_grid: %s\n", e.what());
-            return 2;
-        }
+    try {
+        cache = exp::resolveCache(std::move(cache_dir), no_cache);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "sweep_grid: %s\n", e.what());
+        return 2;
     }
 
     exp::RunnerOptions opts;
