@@ -1,0 +1,503 @@
+#include "dist/work_queue.hh"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "exp/report.hh"
+#include "exp/spec_codec.hh"
+
+namespace fs = std::filesystem;
+
+namespace sysscale {
+namespace dist {
+
+namespace {
+
+constexpr std::size_t kKeyLen = 16; //!< specKey() hex digits.
+constexpr const char *kFailureHeader = "sysscale-dist-failure v1";
+
+bool
+isHexKey(const std::string &s)
+{
+    if (s.size() != kKeyLen)
+        return false;
+    for (const char c : s) {
+        if (!((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')))
+            return false;
+    }
+    return true;
+}
+
+/** Split "<key>.<worker>" claim/lease file names; empty on garbage. */
+bool
+splitClaimName(const std::string &name, std::string &key,
+               std::string &worker)
+{
+    if (name.size() < kKeyLen + 2 || name[kKeyLen] != '.')
+        return false;
+    key = name.substr(0, kKeyLen);
+    worker = name.substr(kKeyLen + 1);
+    return isHexKey(key) && !worker.empty();
+}
+
+/** Whole-file read; false when the file cannot be opened. */
+bool
+readFile(const std::string &path, std::string &out)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        return false;
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    out = buf.str();
+    return true;
+}
+
+std::chrono::seconds
+fileAge(const fs::path &path, std::error_code &ec)
+{
+    const auto mtime = fs::last_write_time(path, ec);
+    if (ec)
+        return std::chrono::seconds(0);
+    const auto now = fs::file_time_type::clock::now();
+    return std::chrono::duration_cast<std::chrono::seconds>(now -
+                                                           mtime);
+}
+
+} // anonymous namespace
+
+WorkQueue::WorkQueue(std::string dir) : dir_(std::move(dir))
+{
+    std::error_code ec;
+    for (const char *sub :
+         {"pending", "claimed", "leases", "failed", "corrupt",
+          "tmp"}) {
+        const fs::path p = fs::path(dir_) / sub;
+        fs::create_directories(p, ec);
+        if (ec || !fs::is_directory(p)) {
+            throw std::runtime_error("WorkQueue: cannot create \"" +
+                                     p.string() + "\"");
+        }
+    }
+}
+
+bool
+WorkQueue::queueable(const exp::ExperimentSpec &spec)
+{
+    return exp::isSerializableSpec(spec);
+}
+
+std::string
+WorkQueue::pendingPath(const std::string &key) const
+{
+    return dir_ + "/pending/" + key + ".spec";
+}
+
+std::string
+WorkQueue::claimedPath(const std::string &key,
+                       const std::string &workerId) const
+{
+    return dir_ + "/claimed/" + key + "." + workerId;
+}
+
+std::string
+WorkQueue::leasePath(const std::string &key,
+                     const std::string &workerId) const
+{
+    return dir_ + "/leases/" + key + "." + workerId;
+}
+
+std::string
+WorkQueue::failedPath(const std::string &key) const
+{
+    return dir_ + "/failed/" + key;
+}
+
+void
+WorkQueue::note(const std::string &event)
+{
+    if (onEvent)
+        onEvent(event);
+}
+
+bool
+WorkQueue::quarantine(const std::string &path,
+                      const std::string &reason)
+{
+    std::error_code ec;
+    const fs::path src(path);
+    const fs::path dst = fs::path(dir_) / "corrupt" /
+                         (src.filename().string() + "." +
+                          std::to_string(::getpid()) + "." +
+                          std::to_string(tmpSerial_++));
+    fs::rename(src, dst, ec);
+    if (ec) {
+        // Someone else moved or claimed it first; nothing to report.
+        return false;
+    }
+    ++counters_.corrupt;
+    note("corrupt: " + src.filename().string() + " quarantined to " +
+         dst.string() + " (" + reason + ")");
+    return true;
+}
+
+std::string
+WorkQueue::enqueue(const exp::ExperimentSpec &spec)
+{
+    if (!queueable(spec)) {
+        throw std::invalid_argument(
+            "WorkQueue: cell \"" + spec.id +
+            "\" carries runtime hooks and cannot be serialized");
+    }
+    const std::string text = exp::serializeSpec(spec);
+    const std::string key = exp::specKey(spec);
+
+    std::error_code ec;
+    bool present = fs::exists(pendingPath(key), ec) ||
+                   fs::exists(failedPath(key), ec);
+    if (!present) {
+        for (const auto &entry : fs::directory_iterator(
+                 fs::path(dir_) / "claimed", ec)) {
+            if (entry.path().filename().string().rfind(key + ".",
+                                                       0) == 0) {
+                present = true;
+                break;
+            }
+        }
+    }
+    if (present) {
+        ++counters_.skipped;
+        return key;
+    }
+
+    const std::string tmp = dir_ + "/tmp/" + key + "." +
+                            std::to_string(::getpid()) + "." +
+                            std::to_string(tmpSerial_++);
+    {
+        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+        if (!os) {
+            throw std::runtime_error("WorkQueue: cannot write \"" +
+                                     tmp + "\"");
+        }
+        os << text;
+        if (!os.flush()) {
+            os.close();
+            fs::remove(tmp, ec);
+            throw std::runtime_error("WorkQueue: cannot write \"" +
+                                     tmp + "\"");
+        }
+    }
+    fs::rename(tmp, pendingPath(key), ec);
+    if (ec) {
+        fs::remove(tmp, ec);
+        throw std::runtime_error("WorkQueue: cannot enqueue \"" +
+                                 key + "\"");
+    }
+    ++counters_.enqueued;
+    return key;
+}
+
+bool
+WorkQueue::tryClaim(const std::string &workerId, Claim &out)
+{
+    std::error_code ec;
+    for (const auto &entry :
+         fs::directory_iterator(fs::path(dir_) / "pending", ec)) {
+        const std::string name = entry.path().filename().string();
+        if (name.size() != kKeyLen + 5 ||
+            name.compare(kKeyLen, 5, ".spec") != 0 ||
+            !isHexKey(name.substr(0, kKeyLen))) {
+            quarantine(entry.path().string(),
+                       "not a <key>.spec file");
+            continue;
+        }
+        const std::string key = name.substr(0, kKeyLen);
+
+        // Lease before rename: a visible claim always has a lease,
+        // so reclaimStale() can treat a missing lease as a crash.
+        heartbeatPath(leasePath(key, workerId), workerId);
+        const std::string claimed = claimedPath(key, workerId);
+        fs::rename(entry.path(), claimed, ec);
+        if (ec) {
+            // Lost the race for this cell; drop the lease and try
+            // the next one.
+            fs::remove(leasePath(key, workerId), ec);
+            continue;
+        }
+
+        // The rename is ours. A file that does not parse back into
+        // the spec it is named for must never be simulated — move it
+        // aside loudly and keep scanning; the dispatcher re-enqueues
+        // the cell from its own copy of the spec.
+        std::string text;
+        bool ok = readFile(claimed, text);
+        exp::ExperimentSpec spec;
+        std::string reason = "unreadable";
+        if (ok) {
+            try {
+                spec = exp::parseSpec(text);
+                if (exp::specKey(spec) != key) {
+                    ok = false;
+                    reason = "content key mismatch";
+                }
+            } catch (const std::exception &e) {
+                ok = false;
+                reason = e.what();
+            }
+        }
+        if (!ok) {
+            quarantine(claimed, reason);
+            fs::remove(leasePath(key, workerId), ec);
+            continue;
+        }
+
+        out.key = key;
+        out.workerId = workerId;
+        out.spec = std::move(spec);
+        ++counters_.claims;
+        return true;
+    }
+    return false;
+}
+
+void
+WorkQueue::heartbeatPath(const std::string &lease,
+                         const std::string &workerId)
+{
+    // Rewritten in place: the mtime is the signal, the content is
+    // diagnostic only. A torn write is harmless.
+    std::ofstream os(lease, std::ios::binary | std::ios::trunc);
+    if (os)
+        os << workerId << "\n";
+}
+
+void
+WorkQueue::heartbeat(const Claim &claim)
+{
+    heartbeatPath(leasePath(claim.key, claim.workerId),
+                  claim.workerId);
+}
+
+void
+WorkQueue::release(const Claim &claim)
+{
+    std::error_code ec;
+    fs::remove(claimedPath(claim.key, claim.workerId), ec);
+    fs::remove(leasePath(claim.key, claim.workerId), ec);
+    ++counters_.releases;
+}
+
+void
+WorkQueue::fail(const Claim &claim, const exp::RunResult &res)
+{
+    std::error_code ec;
+    std::string error = res.error;
+    for (char &c : error) {
+        if (c == '\n' || c == '\r')
+            c = ' ';
+    }
+    std::string doc = std::string(kFailureHeader) + "\n";
+    doc += "governor = " + res.governor + "\n";
+    doc += "host_seconds = " + exp::formatDouble(res.hostSeconds) +
+           "\n";
+    doc += "error = " + error + "\n";
+
+    const std::string tmp = dir_ + "/tmp/" + claim.key + ".fail." +
+                            std::to_string(::getpid()) + "." +
+                            std::to_string(tmpSerial_++);
+    {
+        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+        if (os)
+            os << doc;
+    }
+    fs::rename(tmp, failedPath(claim.key), ec);
+    if (ec)
+        fs::remove(tmp, ec);
+    else
+        ++counters_.failures;
+    fs::remove(claimedPath(claim.key, claim.workerId), ec);
+    fs::remove(leasePath(claim.key, claim.workerId), ec);
+}
+
+void
+WorkQueue::requeue(const Claim &claim)
+{
+    std::error_code ec;
+    fs::rename(claimedPath(claim.key, claim.workerId),
+               pendingPath(claim.key), ec);
+    if (!ec)
+        ++counters_.requeues;
+    fs::remove(leasePath(claim.key, claim.workerId), ec);
+}
+
+bool
+WorkQueue::failedResult(const std::string &key, std::string &governor,
+                        std::string &error,
+                        double &hostSeconds) const
+{
+    std::string text;
+    if (!readFile(failedPath(key), text))
+        return false;
+    std::istringstream is(text);
+    std::string line;
+    if (!std::getline(is, line) || line != kFailureHeader)
+        return false; // Treated as absent; the cell will re-run.
+    governor.clear();
+    error.clear();
+    hostSeconds = 0.0;
+    while (std::getline(is, line)) {
+        if (line.rfind("governor = ", 0) == 0) {
+            governor = line.substr(11);
+        } else if (line.rfind("host_seconds = ", 0) == 0) {
+            hostSeconds = std::strtod(line.c_str() + 15, nullptr);
+        } else if (line.rfind("error = ", 0) == 0) {
+            error = line.substr(8);
+        }
+    }
+    return true;
+}
+
+void
+WorkQueue::clearFailed(const std::string &key)
+{
+    std::error_code ec;
+    fs::remove(failedPath(key), ec);
+}
+
+void
+WorkQueue::discardResolved(const std::string &key)
+{
+    std::error_code ec;
+    fs::remove(pendingPath(key), ec);
+    for (const auto &entry :
+         fs::directory_iterator(fs::path(dir_) / "claimed", ec)) {
+        const std::string name = entry.path().filename().string();
+        if (name.rfind(key + ".", 0) != 0)
+            continue;
+        fs::remove(entry.path(), ec);
+        fs::remove(fs::path(dir_) / "leases" / name, ec);
+    }
+}
+
+std::set<std::string>
+WorkQueue::inFlightKeys() const
+{
+    std::set<std::string> keys;
+    std::error_code ec;
+    for (const char *sub : {"pending", "claimed"}) {
+        for (const auto &entry :
+             fs::directory_iterator(fs::path(dir_) / sub, ec)) {
+            const std::string name =
+                entry.path().filename().string();
+            if (name.size() >= kKeyLen &&
+                isHexKey(name.substr(0, kKeyLen)))
+                keys.insert(name.substr(0, kKeyLen));
+        }
+    }
+    return keys;
+}
+
+std::size_t
+WorkQueue::reclaimStale(std::chrono::seconds timeout)
+{
+    std::error_code ec;
+    std::size_t reclaimed = 0;
+
+    for (const auto &entry :
+         fs::directory_iterator(fs::path(dir_) / "claimed", ec)) {
+        const std::string name = entry.path().filename().string();
+        std::string key, worker;
+        if (!splitClaimName(name, key, worker)) {
+            quarantine(entry.path().string(),
+                       "not a <key>.<worker> claim");
+            continue;
+        }
+        const fs::path lease = leasePath(key, worker);
+        bool stale;
+        if (!fs::exists(lease, ec)) {
+            // tryClaim writes the lease before the claim rename, so
+            // a claim without one means its worker died in between
+            // (or a racing reclaimer already took the lease).
+            stale = true;
+        } else {
+            std::error_code age_ec;
+            stale = fileAge(lease, age_ec) > timeout && !age_ec;
+        }
+        if (!stale)
+            continue;
+        fs::rename(entry.path(), pendingPath(key), ec);
+        if (ec)
+            continue; // The worker released/failed it meanwhile.
+        fs::remove(lease, ec);
+        ++reclaimed;
+        ++counters_.reclaims;
+        note("reclaimed stale claim " + key + " from worker " +
+             worker);
+    }
+
+    // Orphaned leases: crash between lease write and claim rename.
+    for (const auto &entry :
+         fs::directory_iterator(fs::path(dir_) / "leases", ec)) {
+        const std::string name = entry.path().filename().string();
+        std::string key, worker;
+        if (!splitClaimName(name, key, worker)) {
+            fs::remove(entry.path(), ec);
+            continue;
+        }
+        std::error_code age_ec;
+        if (!fs::exists(claimedPath(key, worker), ec) &&
+            fileAge(entry.path(), age_ec) > timeout && !age_ec) {
+            fs::remove(entry.path(), ec);
+        }
+    }
+    return reclaimed;
+}
+
+QueueScan
+WorkQueue::scan() const
+{
+    QueueScan s;
+    std::error_code ec;
+    for (const auto &entry [[maybe_unused]] :
+         fs::directory_iterator(fs::path(dir_) / "pending", ec))
+        ++s.pending;
+    for (const auto &entry [[maybe_unused]] :
+         fs::directory_iterator(fs::path(dir_) / "claimed", ec))
+        ++s.claimed;
+    for (const auto &entry [[maybe_unused]] :
+         fs::directory_iterator(fs::path(dir_) / "failed", ec))
+        ++s.failed;
+    return s;
+}
+
+std::string
+makeWorkerId()
+{
+    static std::atomic<std::size_t> serial{0};
+    char host[256] = "host";
+    if (::gethostname(host, sizeof(host) - 1) != 0)
+        host[0] = '\0';
+    host[sizeof(host) - 1] = '\0';
+    std::string id(host[0] ? host : "host");
+    for (char &c : id) {
+        const bool ok = (c >= 'a' && c <= 'z') ||
+                        (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '-';
+        if (!ok)
+            c = '-';
+    }
+    id += "-" + std::to_string(::getpid()) + "-" +
+          std::to_string(
+              serial.fetch_add(1, std::memory_order_relaxed));
+    return id;
+}
+
+} // namespace dist
+} // namespace sysscale

@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Filesystem work-stealing queue for distributed sweeps.
+ *
+ * One grid fans out across machines through a shared directory (NFS
+ * or any POSIX filesystem with atomic rename — no locks, no server):
+ *
+ *     <queue>/pending/<key>.spec        cells waiting for a worker
+ *     <queue>/claimed/<key>.<worker>    cells being simulated
+ *     <queue>/leases/<key>.<worker>     heartbeat files (mtime = alive)
+ *     <queue>/failed/<key>              published error rows
+ *     <queue>/corrupt/                  quarantined unreadable files
+ *     <queue>/tmp/                      staging for atomic writes
+ *
+ * A pending cell is its serialized exp::ExperimentSpec (format
+ * docs/EXPERIMENTS.md), named by its content key (exp::specKey), so
+ * the queue inherits the cache's identity rules: duplicate cells
+ * collapse to one file and renaming/relabeling never re-enqueues.
+ *
+ * Claiming is one atomic rename(pending -> claimed): exactly one
+ * worker wins a cell, with no coordination beyond the filesystem.
+ * While simulating, the winner refreshes its lease file; a claim
+ * whose lease goes stale (crashed or partitioned worker) is renamed
+ * back into pending/ by whoever notices first, so no cell is ever
+ * lost. Results are published through the shared exp::ResultCache —
+ * the cache entry *is* the completion marker — and workers check the
+ * cache immediately after claiming, so a reclaimed cell whose
+ * original worker actually finished is never simulated twice.
+ *
+ * Corrupt or truncated files never produce a claim (and therefore
+ * never a wrong result): they are moved into corrupt/ and reported
+ * loudly; the dispatcher re-enqueues the cell from its own spec.
+ */
+
+#ifndef SYSSCALE_DIST_WORK_QUEUE_HH
+#define SYSSCALE_DIST_WORK_QUEUE_HH
+
+#include <chrono>
+#include <cstddef>
+#include <functional>
+#include <set>
+#include <string>
+
+#include "exp/experiment.hh"
+
+namespace sysscale {
+namespace dist {
+
+/** One claimed cell, owned by a worker until release/fail/requeue. */
+struct Claim
+{
+    std::string key;      //!< exp::specKey of the cell.
+    std::string workerId; //!< Worker holding the claim.
+    exp::ExperimentSpec spec;
+};
+
+/** Directory occupancy from one scan (point-in-time, racy by design). */
+struct QueueScan
+{
+    std::size_t pending = 0;
+    std::size_t claimed = 0;
+    std::size_t failed = 0;
+
+    /** No cell waiting or in flight (failed cells are finished). */
+    bool drained() const { return pending == 0 && claimed == 0; }
+};
+
+/** Monotonic per-instance counters. */
+struct QueueCounters
+{
+    std::size_t enqueued = 0;  //!< Cells newly written to pending/.
+    std::size_t skipped = 0;   //!< Enqueues already present somewhere.
+    std::size_t claims = 0;    //!< Successful tryClaim calls.
+    std::size_t releases = 0;  //!< Claims completed.
+    std::size_t failures = 0;  //!< Error rows published.
+    std::size_t requeues = 0;  //!< Claims returned via requeue().
+    std::size_t reclaims = 0;  //!< Stale claims recovered.
+    std::size_t corrupt = 0;   //!< Files quarantined to corrupt/.
+};
+
+class WorkQueue
+{
+  public:
+    /**
+     * @param dir Queue root; the subdirectory tree is created
+     *        (recursively) if absent. Throws std::runtime_error when
+     *        it cannot be created.
+     */
+    explicit WorkQueue(std::string dir);
+
+    const std::string &dir() const { return dir_; }
+
+    /** Whether @p spec can ride the queue (= content-addressable). */
+    static bool queueable(const exp::ExperimentSpec &spec);
+
+    /**
+     * Put @p spec into pending/ (atomic write) and return its key.
+     * A cell already pending, claimed, or failed is skipped (its key
+     * is still returned). Throws std::invalid_argument for specs
+     * carrying runtime hooks (governorFactory/borrowedPolicy), which
+     * cannot be serialized.
+     */
+    std::string enqueue(const exp::ExperimentSpec &spec);
+
+    /**
+     * Claim any pending cell for @p workerId: the lease file is
+     * written first, then the cell is renamed into claimed/ — an
+     * atomic operation only one contender can win. On success fills
+     * @p out and returns true; returns false when nothing claimable
+     * remains. Unparsable or key-mismatched files are quarantined
+     * (never claimed, never a wrong result) and the scan continues.
+     */
+    bool tryClaim(const std::string &workerId, Claim &out);
+
+    /** Refresh @p claim's lease (call periodically while simulating). */
+    void heartbeat(const Claim &claim);
+
+    /**
+     * Drop a finished claim (the result has been published through
+     * the shared cache). Idempotent; a concurrently reclaimed claim
+     * releases as a no-op.
+     */
+    void release(const Claim &claim);
+
+    /**
+     * Publish an error row for @p claim into failed/ and drop the
+     * claim. Failed cells count as finished: they are not retried
+     * until a dispatcher explicitly clears them (error rows are
+     * never cached, matching the single-process runner).
+     */
+    void fail(const Claim &claim, const exp::RunResult &res);
+
+    /** Return an unfinished claim to pending/ (graceful shutdown). */
+    void requeue(const Claim &claim);
+
+    /**
+     * Read the error row published for @p key, if any. Fills
+     * @p governor / @p error / @p hostSeconds and returns true when
+     * a failure marker exists.
+     */
+    bool failedResult(const std::string &key, std::string &governor,
+                      std::string &error, double &hostSeconds) const;
+
+    /** Remove the failure marker of @p key (fresh dispatch attempt). */
+    void clearFailed(const std::string &key);
+
+    /**
+     * Drop every queue file of a cell that has resolved through the
+     * cache: its pending file (re-enqueue race leftovers) and any
+     * claim + lease a worker that died between publishing and
+     * releasing left behind. Always safe once the result is cached
+     * — a live claim holder's store and release are both
+     * idempotent. Dispatcher cleanup so a finished sweep leaves an
+     * empty queue.
+     */
+    void discardResolved(const std::string &key);
+
+    /**
+     * Keys currently in pending/ or claimed/ — one directory
+     * listing, for the dispatcher's in-flight check.
+     */
+    std::set<std::string> inFlightKeys() const;
+
+    /**
+     * Recover cells whose worker died: every claim whose lease file
+     * is missing or older than @p timeout is renamed back into
+     * pending/, and orphaned lease files (crash between lease write
+     * and claim rename) older than @p timeout are removed. Safe to
+     * call from any process at any time; rename arbitrates races.
+     * Returns the number of claims reclaimed.
+     *
+     * @p timeout must comfortably exceed the heartbeat interval: a
+     * live-but-slow worker whose claim is reclaimed causes a
+     * duplicate (deterministic, so still correct) simulation, never
+     * a wrong or lost result.
+     */
+    std::size_t reclaimStale(std::chrono::seconds timeout);
+
+    /** Count the queue directories (racy snapshot). */
+    QueueScan scan() const;
+
+    const QueueCounters &counters() const { return counters_; }
+
+    /**
+     * Loud-degradation hook: corrupt quarantines and stale reclaims
+     * are reported here (and are visible in @ref counters either
+     * way). Not serialized; set before sharing across threads.
+     */
+    std::function<void(const std::string &)> onEvent;
+
+    /** @name Path helpers (tests and tools). @{ */
+    std::string pendingPath(const std::string &key) const;
+    std::string claimedPath(const std::string &key,
+                            const std::string &workerId) const;
+    std::string leasePath(const std::string &key,
+                          const std::string &workerId) const;
+    std::string failedPath(const std::string &key) const;
+    /** @} */
+
+  private:
+    void note(const std::string &event);
+    bool quarantine(const std::string &path,
+                    const std::string &reason);
+    void heartbeatPath(const std::string &lease,
+                       const std::string &workerId);
+
+    std::string dir_;
+    QueueCounters counters_;
+    std::size_t tmpSerial_ = 0;
+};
+
+/**
+ * A process-unique worker identity: "<host>-<pid>-<serial>",
+ * sanitized to filename-safe characters (claim and lease file names
+ * embed it after the 16-hex-digit cell key).
+ */
+std::string makeWorkerId();
+
+} // namespace dist
+} // namespace sysscale
+
+#endif // SYSSCALE_DIST_WORK_QUEUE_HH

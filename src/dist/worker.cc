@@ -1,0 +1,122 @@
+#include "dist/worker.hh"
+
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "exp/report.hh"
+
+namespace sysscale {
+namespace dist {
+
+namespace {
+
+/**
+ * Refreshes a claim's lease on a background thread for as long as
+ * the owning scope lives — keeping the lease fresh through
+ * arbitrarily long simulations without the simulator needing to know
+ * about leases at all.
+ */
+class LeaseKeeper
+{
+  public:
+    LeaseKeeper(WorkQueue &queue, const Claim &claim,
+                std::chrono::milliseconds period)
+        : thread_([this, &queue, &claim, period] {
+              std::unique_lock<std::mutex> lock(mutex_);
+              while (!cv_.wait_for(lock, period,
+                                   [this] { return stop_; })) {
+                  queue.heartbeat(claim);
+              }
+          })
+    {}
+
+    ~LeaseKeeper()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            stop_ = true;
+        }
+        cv_.notify_all();
+        thread_.join();
+    }
+
+  private:
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stop_ = false;
+    std::thread thread_;
+};
+
+} // anonymous namespace
+
+WorkerStats
+runWorker(const std::string &queueDir, exp::ResultCache &cache,
+          const WorkerOptions &opts)
+{
+    WorkQueue queue(queueDir);
+    queue.onEvent = opts.onEvent;
+    const std::string id =
+        opts.workerId.empty() ? makeWorkerId() : opts.workerId;
+
+    auto log = [&](const std::string &line) {
+        if (opts.onEvent)
+            opts.onEvent(line);
+    };
+
+    WorkerStats stats;
+    for (;;) {
+        if (opts.shouldStop && opts.shouldStop())
+            break;
+        if (opts.maxCells != 0 &&
+            stats.cacheHits + stats.simulated >= opts.maxCells)
+            break;
+
+        // Recover cells whose worker died before claiming new work:
+        // the fleet heals itself without a dispatcher.
+        stats.reclaims += queue.reclaimStale(opts.leaseTimeout);
+
+        Claim claim;
+        if (!queue.tryClaim(id, claim)) {
+            if (opts.drain && queue.scan().drained())
+                break;
+            std::this_thread::sleep_for(opts.poll);
+            continue;
+        }
+        ++stats.claimed;
+
+        // The cache entry is the completion marker: a reclaimed cell
+        // whose original worker actually finished must never burn a
+        // second simulation.
+        exp::RunResult done;
+        if (cache.lookup(claim.spec, done)) {
+            ++stats.cacheHits;
+            queue.release(claim);
+            log(claim.key + " already completed (cache hit)");
+            continue;
+        }
+
+        exp::RunResult res;
+        {
+            const LeaseKeeper keeper(queue, claim, opts.heartbeat);
+            res = exp::runCell(claim.spec);
+        }
+        ++stats.simulated;
+
+        if (res.ok) {
+            cache.store(claim.spec, res);
+            queue.release(claim);
+            log(claim.key + " ok (" + claim.spec.id + ", " +
+                exp::formatDouble(res.hostSeconds) + "s)");
+        } else {
+            ++stats.failures;
+            queue.fail(claim, res);
+            log(claim.key + " FAILED (" + claim.spec.id + "): " +
+                res.error);
+        }
+    }
+    return stats;
+}
+
+} // namespace dist
+} // namespace sysscale

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * The sweep worker loop: claim → cache check → simulate → publish.
+ *
+ * runWorker() drains (or serves, in daemon mode) a WorkQueue
+ * directory: it claims pending cells one at a time, consults the
+ * shared exp::ResultCache immediately after each claim (a cell
+ * another worker already completed is *never* re-simulated), runs
+ * the cell through exp::runCell() — the same execution path as the
+ * in-process ExperimentRunner — while a background thread refreshes
+ * the claim's lease, and publishes the result: ok rows into the
+ * cache (the completion marker the dispatcher watches), error rows
+ * into the queue's failed/ directory.
+ *
+ * The loop also performs lease reclamation between cells, so a fleet
+ * of workers collectively recovers cells whose worker died — no
+ * dispatcher involvement needed.
+ *
+ * tools/sweep_worker.cc is the CLI daemon around this function;
+ * sweep_grid --distributed --spawn-workers N runs it on local
+ * threads. Both share every line of the loop.
+ */
+
+#ifndef SYSSCALE_DIST_WORKER_HH
+#define SYSSCALE_DIST_WORKER_HH
+
+#include <chrono>
+#include <cstddef>
+#include <functional>
+#include <string>
+
+#include "dist/work_queue.hh"
+#include "exp/cache.hh"
+
+namespace sysscale {
+namespace dist {
+
+struct WorkerOptions
+{
+    /** Claim/lease identity; empty = makeWorkerId(). */
+    std::string workerId;
+
+    /**
+     * Exit once the queue is fully drained (no pending and no
+     * claimed cells). Without it the worker idles and keeps serving
+     * — the multi-machine daemon mode.
+     */
+    bool drain = false;
+
+    /** Idle sleep between empty claim scans. */
+    std::chrono::milliseconds poll{500};
+
+    /** Lease refresh period while simulating a cell. */
+    std::chrono::milliseconds heartbeat{1000};
+
+    /**
+     * Lease age past which another worker's claim counts as dead.
+     * Must comfortably exceed @ref heartbeat (a reclaimed live claim
+     * costs a duplicate — deterministic — simulation, never a wrong
+     * result).
+     */
+    std::chrono::seconds leaseTimeout{30};
+
+    /** Stop after completing this many cells (0 = unlimited). */
+    std::size_t maxCells = 0;
+
+    /** Cooperative stop; checked between cells. May be null. */
+    std::function<bool()> shouldStop;
+
+    /** Progress/event log lines (not serialized). May be null. */
+    std::function<void(const std::string &)> onEvent;
+};
+
+struct WorkerStats
+{
+    std::size_t claimed = 0;   //!< Cells claimed.
+    std::size_t simulated = 0; //!< Cells actually run through runCell.
+    std::size_t cacheHits = 0; //!< Claims already completed elsewhere.
+    std::size_t failures = 0;  //!< Error rows published.
+    std::size_t reclaims = 0;  //!< Stale claims recovered for others.
+};
+
+/**
+ * Run the worker loop against the queue at @p queueDir, publishing
+ * through @p cache (which both must be the directories shared by the
+ * dispatcher and every other worker). Returns when the queue drains
+ * (drain mode), maxCells is reached, or shouldStop() says so. Throws
+ * std::runtime_error only for setup failures (unusable queue
+ * directory); per-cell failures become failed/ entries.
+ */
+WorkerStats runWorker(const std::string &queueDir,
+                      exp::ResultCache &cache,
+                      const WorkerOptions &opts = {});
+
+} // namespace dist
+} // namespace sysscale
+
+#endif // SYSSCALE_DIST_WORKER_HH

@@ -1,5 +1,6 @@
 #include "exp/experiment.hh"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <stdexcept>
@@ -189,6 +190,53 @@ validateSpec(const ExperimentSpec &spec)
         throw std::invalid_argument(
             "cell \"" + spec.id +
             "\": budget utilization out of (0,1]");
+
+    // Peak concurrent hardware threads: the composite concatenates
+    // the base workload's thread work with every layer active at
+    // the same instant, and the CPU model asserts (process-fatal)
+    // when that exceeds cores x threads — which from a sweep worker
+    // would crash the daemon and crash-loop the reclaimed cell
+    // across the whole fleet. Reject the cell here instead, using
+    // each profile's worst phase at every layer arrival inside the
+    // simulated window (a layer arriving after warmup + window
+    // never materializes and cannot overflow). The base workload
+    // alone is checked too — a too-wide profile is just as fatal
+    // without any scenario.
+    {
+        const std::size_t capacity = cfg.cores * cfg.threadsPerCore;
+        const Tick run_end = spec.warmup + spec.window;
+        auto maxThreads =
+            [](const workloads::WorkloadProfile &profile) {
+                std::size_t m = 0;
+                for (const workloads::Phase &p : profile.phases())
+                    m = std::max(m, p.activeThreads);
+                return m;
+            };
+        std::vector<Tick> edges{0};
+        for (const workloads::ScenarioLayer &layer :
+             spec.scenario.layers) {
+            if (layer.start < run_end)
+                edges.push_back(layer.start);
+        }
+        std::size_t peak = 0;
+        for (const Tick t : edges) {
+            std::size_t at = maxThreads(spec.workload);
+            for (const workloads::ScenarioLayer &layer :
+                 spec.scenario.layers) {
+                if (layer.start <= t &&
+                    (layer.stop == 0 || t < layer.stop))
+                    at += maxThreads(layer.profile);
+            }
+            peak = std::max(peak, at);
+        }
+        if (peak > capacity) {
+            throw std::invalid_argument(
+                "cell \"" + spec.id + "\": workload plus scenario "
+                "layers peak at " + std::to_string(peak) +
+                " concurrent threads, above the " +
+                std::to_string(capacity) + " the SoC has");
+        }
+    }
 }
 
 RunResult
@@ -290,42 +338,57 @@ runCell(const ExperimentSpec &spec)
 std::vector<ExperimentSpec>
 expandGrid(const GridSpec &grid)
 {
+    // The scenario axis: explicit entries expand like any other
+    // dimension (every cell suffixed and labeled, "none" included);
+    // without them the single grid.scenario applies to every cell
+    // and ids/labels stay exactly as before — suffixed only when
+    // scenarioName is set, untouched for scenario-less grids.
+    const bool scenario_axis = !grid.scenarios.empty();
+    std::vector<GridSpec::NamedScenario> axis;
+    if (scenario_axis)
+        axis = grid.scenarios;
+    else
+        axis.push_back({grid.scenarioName, grid.scenario});
+
     std::vector<ExperimentSpec> cells;
     cells.reserve(grid.workloads.size() * grid.governors.size() *
-                  grid.tdps.size() * grid.seeds.size());
+                  grid.tdps.size() * grid.seeds.size() * axis.size());
 
     for (const auto &w : grid.workloads) {
         for (const auto &gov : grid.governors) {
             for (const Watt tdp : grid.tdps) {
                 for (const std::uint64_t seed : grid.seeds) {
-                    ExperimentSpec cell;
-                    cell.soc = grid.base;
-                    cell.soc.tdp = tdp;
-                    cell.workload = w;
-                    cell.scenario = grid.scenario;
-                    cell.governor = gov;
-                    cell.seed = seed;
-                    cell.warmup = grid.warmup;
-                    cell.window = grid.window;
-                    cell.hdPanel = grid.hdPanel;
-                    cell.camera = grid.camera;
+                    for (const auto &sc : axis) {
+                        ExperimentSpec cell;
+                        cell.soc = grid.base;
+                        cell.soc.tdp = tdp;
+                        cell.workload = w;
+                        cell.scenario = sc.scenario;
+                        cell.governor = gov;
+                        cell.seed = seed;
+                        cell.warmup = grid.warmup;
+                        cell.window = grid.window;
+                        cell.hdPanel = grid.hdPanel;
+                        cell.camera = grid.camera;
 
-                    char tdp_s[32];
-                    std::snprintf(tdp_s, sizeof(tdp_s), "%.3gW", tdp);
-                    cell.id = w.name() + "/" + gov + "/" + tdp_s +
-                              "/seed" + std::to_string(seed);
-                    cell.labels = {
-                        {"workload", w.name()},
-                        {"governor", gov},
-                        {"tdp", tdp_s},
-                        {"seed", std::to_string(seed)},
-                    };
-                    if (!grid.scenarioName.empty()) {
-                        cell.id += "/" + grid.scenarioName;
-                        cell.labels.emplace_back("scenario",
-                                                 grid.scenarioName);
+                        char tdp_s[32];
+                        std::snprintf(tdp_s, sizeof(tdp_s), "%.3gW",
+                                      tdp);
+                        cell.id = w.name() + "/" + gov + "/" + tdp_s +
+                                  "/seed" + std::to_string(seed);
+                        cell.labels = {
+                            {"workload", w.name()},
+                            {"governor", gov},
+                            {"tdp", tdp_s},
+                            {"seed", std::to_string(seed)},
+                        };
+                        if (scenario_axis || !sc.name.empty()) {
+                            cell.id += "/" + sc.name;
+                            cell.labels.emplace_back("scenario",
+                                                     sc.name);
+                        }
+                        cells.push_back(std::move(cell));
                     }
-                    cells.push_back(std::move(cell));
                 }
             }
         }

@@ -200,6 +200,23 @@ struct GridSpec
      * exactly as before for scenario-less grids).
      */
     std::string scenarioName;
+
+    /** One value of the scenario grid axis. */
+    struct NamedScenario
+    {
+        std::string name;
+        workloads::Scenario scenario;
+    };
+
+    /**
+     * Scenario *axis*: when non-empty it overrides @ref scenario /
+     * @ref scenarioName and becomes a fifth grid dimension, expanded
+     * innermost (after seed). Every cell then carries a "scenario"
+     * label and a "/NAME" id suffix — including for an explicit
+     * "none" entry, so the axis values stay distinguishable in
+     * aggregation.
+     */
+    std::vector<NamedScenario> scenarios;
 };
 
 std::vector<ExperimentSpec> expandGrid(const GridSpec &grid);

@@ -216,7 +216,15 @@ Soc::step()
     double latency = lastMemLatencyNs_;
     double gfx_demand_c0 = 0.0;
 
-    for (int pass = 0; pass < 3; ++pass) {
+    // Demand and loaded latency feed back on each other (longer
+    // latency caps per-thread bandwidth, which lowers queue
+    // utilization, which shortens latency), so iterate to a
+    // fixpoint: each pass recomputes demand from the current
+    // latency estimate and stops as soon as the estimate moves by
+    // no more than kMemLatencyTolNs. Steps whose latency is already
+    // stable (idle intervals, steady phases — the common case) exit
+    // after one pass; kMemLatencyMaxPasses bounds the rest.
+    for (int pass = 0; pass < kMemLatencyMaxPasses; ++pass) {
         double cpu_bw = 0.0;
         for (const auto &w : demand.threadWork) {
             if (w.cpiBase <= 0.0)
@@ -235,7 +243,10 @@ Soc::step()
 
         const double rho =
             std::min(0.96, md.total() / mc_->capacity());
+        const double prev = latency;
         latency = mc_->loadedLatencyAt(rho);
+        if (std::abs(latency - prev) <= kMemLatencyTolNs)
+            break;
     }
 
     // IO traffic crosses the fabric; CPU/GFX reach the MC via LLC.

@@ -220,6 +220,23 @@ class Soc : public SimObject
      */
     static constexpr double kIdleActivity = 0.7;
 
+    /**
+     * Loaded-latency fixpoint in step(): demand and loaded memory
+     * latency feed back on each other, so the step iterates until
+     * the latency estimate moves by no more than this tolerance
+     * between passes (then the demand it just computed is consistent
+     * with the latency it was computed from).
+     */
+    static constexpr double kMemLatencyTolNs = 0.01;
+
+    /**
+     * Upper bound on fixpoint passes per step. The latency curve is
+     * contractive in practice (convergence is geometric), so this
+     * only guards pathological configurations; the tolerance is what
+     * normally terminates the loop.
+     */
+    static constexpr int kMemLatencyMaxPasses = 8;
+
     /** Transition-flow stall not yet charged to a step (carry-over). */
     Tick pendingStallTicks() const { return pendingStall_; }
 

@@ -106,7 +106,8 @@ const std::vector<std::string> &
 scenarioNames()
 {
     static const std::vector<std::string> names = {
-        "none", "videoconf", "thermal-step", "display-blank",
+        "none",         "videoconf", "thermal-step",
+        "display-blank", "app-switch",
     };
     return names;
 }
@@ -141,6 +142,17 @@ scenarioByName(const std::string &name)
             {1100 * kTicksPerMs, ScenarioActionKind::SetTdp, 4.5});
         s.actions.push_back(
             {1700 * kTicksPerMs, ScenarioActionKind::SetTdp, 3.5});
+        return s;
+    }
+    if (name == "app-switch") {
+        // Foreground/background app switch: the user works in a
+        // browser, then at 1s switches to a game — the browser
+        // departs in the same step the game arrives, so the
+        // composite hands the demand stream from one app to the
+        // other mid-run (the cell's base workload plays whatever
+        // keeps running in the background).
+        s.layers.push_back({webBrowsing(), 0, kTicksPerSec});
+        s.layers.push_back({lightGaming(), kTicksPerSec, 0});
         return s;
     }
     if (name == "display-blank") {

@@ -1,0 +1,582 @@
+/**
+ * @file
+ * Distributed-sweep tests: the filesystem work queue's claim
+ * exclusivity and crash paths (stale-lease reclamation, corrupt and
+ * truncated files quarantined instead of simulated, dead workers
+ * losing no cells), two workers draining one queue with zero
+ * duplicate simulations, failed cells publishing loud error rows,
+ * and the headline acceptance property — a distributed drain
+ * assembling output byte-identical to a single-process
+ * ExperimentRunner run of the same grid.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dist/dispatch.hh"
+#include "dist/work_queue.hh"
+#include "dist/worker.hh"
+#include "exp/cache.hh"
+#include "exp/report.hh"
+#include "exp/runner.hh"
+#include "exp/spec_codec.hh"
+#include "workloads/micro.hh"
+
+using namespace sysscale;
+
+namespace {
+
+/** Fresh per-test directory, removed on destruction. */
+class TempDir
+{
+  public:
+    explicit TempDir(const std::string &tag)
+        : path_((std::filesystem::temp_directory_path() /
+                 ("sysscale-dist-test-" + tag + "-" +
+                  std::to_string(::getpid())))
+                    .string())
+    {
+        std::filesystem::remove_all(path_);
+    }
+
+    ~TempDir() { std::filesystem::remove_all(path_); }
+
+    const std::string &path() const { return path_; }
+
+    std::string
+    sub(const std::string &name) const
+    {
+        return (std::filesystem::path(path_) / name).string();
+    }
+
+  private:
+    std::string path_;
+};
+
+exp::ExperimentSpec
+fastSpec(const std::string &id, std::uint64_t seed = 1)
+{
+    exp::ExperimentSpec spec;
+    spec.id = id;
+    spec.workload = workloads::streamMicro();
+    spec.governor = "fixed";
+    spec.seed = seed;
+    spec.warmup = 2 * kTicksPerMs;
+    spec.window = 10 * kTicksPerMs;
+    spec.labels = {{"cell", id}};
+    return spec;
+}
+
+std::vector<exp::ExperimentSpec>
+smallGrid()
+{
+    std::vector<exp::ExperimentSpec> specs;
+    for (const auto &w :
+         {workloads::streamMicro(), workloads::spinMicro()}) {
+        for (const char *gov : {"fixed", "sysscale"}) {
+            exp::ExperimentSpec spec;
+            spec.id = w.name() + "/" + gov;
+            spec.workload = w;
+            spec.governor = gov;
+            spec.warmup = 2 * kTicksPerMs;
+            spec.window = 10 * kTicksPerMs;
+            spec.labels = {{"workload", w.name()},
+                           {"governor", gov}};
+            specs.push_back(std::move(spec));
+        }
+    }
+    return specs;
+}
+
+std::string
+toCsv(const std::vector<exp::RunResult> &results)
+{
+    std::ostringstream os;
+    exp::writeCsv(os, results);
+    return os.str();
+}
+
+/** Backdate a file's mtime by @p by (simulating a dead worker). */
+void
+backdate(const std::string &path, std::chrono::seconds by)
+{
+    const auto mtime = std::filesystem::last_write_time(path);
+    std::filesystem::last_write_time(path, mtime - by);
+}
+
+} // anonymous namespace
+
+TEST(WorkQueue, EnqueueClaimReleaseLifecycle)
+{
+    const TempDir dir("lifecycle");
+    dist::WorkQueue queue(dir.sub("q"));
+
+    const exp::ExperimentSpec spec = fastSpec("cell");
+    const std::string key = queue.enqueue(spec);
+    EXPECT_EQ(key, exp::specKey(spec));
+    EXPECT_TRUE(std::filesystem::exists(queue.pendingPath(key)));
+    EXPECT_EQ(queue.scan().pending, 1u);
+
+    // Re-enqueueing a pending cell is a no-op.
+    EXPECT_EQ(queue.enqueue(spec), key);
+    EXPECT_EQ(queue.counters().enqueued, 1u);
+    EXPECT_EQ(queue.counters().skipped, 1u);
+
+    dist::Claim claim;
+    ASSERT_TRUE(queue.tryClaim("w1", claim));
+    EXPECT_EQ(claim.key, key);
+    EXPECT_EQ(claim.workerId, "w1");
+    EXPECT_TRUE(claim.spec == spec) << "claimed spec round-trips";
+    EXPECT_FALSE(std::filesystem::exists(queue.pendingPath(key)));
+    EXPECT_TRUE(
+        std::filesystem::exists(queue.claimedPath(key, "w1")));
+    EXPECT_TRUE(std::filesystem::exists(queue.leasePath(key, "w1")));
+
+    // A claimed cell cannot be enqueued again either.
+    EXPECT_EQ(queue.enqueue(spec), key);
+    EXPECT_EQ(queue.counters().enqueued, 1u);
+
+    queue.release(claim);
+    EXPECT_TRUE(queue.scan().drained());
+    EXPECT_FALSE(
+        std::filesystem::exists(queue.claimedPath(key, "w1")));
+    EXPECT_FALSE(std::filesystem::exists(queue.leasePath(key, "w1")));
+}
+
+TEST(WorkQueue, ClaimIsExclusive)
+{
+    const TempDir dir("exclusive");
+    dist::WorkQueue queue(dir.sub("q"));
+    queue.enqueue(fastSpec("cell"));
+
+    dist::Claim first, second;
+    ASSERT_TRUE(queue.tryClaim("w1", first));
+    EXPECT_FALSE(queue.tryClaim("w2", second))
+        << "one pending cell must be claimable exactly once";
+}
+
+TEST(WorkQueue, RuntimeHookSpecsAreRejected)
+{
+    const TempDir dir("hooks");
+    dist::WorkQueue queue(dir.sub("q"));
+    exp::ExperimentSpec spec = fastSpec("hooked");
+    spec.governorFactory = [] {
+        return std::unique_ptr<soc::PmuPolicy>();
+    };
+    EXPECT_FALSE(dist::WorkQueue::queueable(spec));
+    EXPECT_THROW((void)queue.enqueue(spec), std::invalid_argument);
+}
+
+TEST(WorkQueue, StaleLeaseIsReclaimedFreshLeaseIsNot)
+{
+    const TempDir dir("stale");
+    dist::WorkQueue queue(dir.sub("q"));
+    const exp::ExperimentSpec spec = fastSpec("cell");
+    const std::string key = queue.enqueue(spec);
+
+    dist::Claim claim;
+    ASSERT_TRUE(queue.tryClaim("dead-worker", claim));
+
+    // A fresh lease protects the claim.
+    EXPECT_EQ(queue.reclaimStale(std::chrono::seconds(30)), 0u);
+    EXPECT_EQ(queue.scan().claimed, 1u);
+
+    // The worker dies: its lease stops refreshing and goes stale.
+    backdate(queue.leasePath(key, "dead-worker"),
+             std::chrono::seconds(3600));
+    EXPECT_EQ(queue.reclaimStale(std::chrono::seconds(30)), 1u);
+    EXPECT_EQ(queue.counters().reclaims, 1u);
+    EXPECT_TRUE(std::filesystem::exists(queue.pendingPath(key)));
+    EXPECT_FALSE(std::filesystem::exists(
+        queue.leasePath(key, "dead-worker")));
+
+    // The recovered cell is claimable again, content intact.
+    dist::Claim again;
+    ASSERT_TRUE(queue.tryClaim("w2", again));
+    EXPECT_TRUE(again.spec == spec);
+}
+
+TEST(WorkQueue, MissingLeaseCountsAsDead)
+{
+    const TempDir dir("nolease");
+    dist::WorkQueue queue(dir.sub("q"));
+    const std::string key = queue.enqueue(fastSpec("cell"));
+
+    dist::Claim claim;
+    ASSERT_TRUE(queue.tryClaim("w1", claim));
+    // Crash window: the claim exists but its lease was lost.
+    std::filesystem::remove(queue.leasePath(key, "w1"));
+    EXPECT_EQ(queue.reclaimStale(std::chrono::seconds(3600)), 1u);
+    EXPECT_TRUE(std::filesystem::exists(queue.pendingPath(key)));
+}
+
+TEST(WorkQueue, HeartbeatKeepsALeaseFresh)
+{
+    const TempDir dir("heartbeat");
+    dist::WorkQueue queue(dir.sub("q"));
+    const std::string key = queue.enqueue(fastSpec("cell"));
+    dist::Claim claim;
+    ASSERT_TRUE(queue.tryClaim("w1", claim));
+
+    backdate(queue.leasePath(key, "w1"), std::chrono::seconds(3600));
+    queue.heartbeat(claim);
+    EXPECT_EQ(queue.reclaimStale(std::chrono::seconds(30)), 0u)
+        << "a heartbeat must reset the staleness clock";
+}
+
+TEST(WorkQueue, CorruptPendingFilesNeverProduceAClaim)
+{
+    const TempDir dir("corrupt");
+    dist::WorkQueue queue(dir.sub("q"));
+    std::vector<std::string> events;
+    queue.onEvent = [&](const std::string &e) {
+        events.push_back(e);
+    };
+
+    // Garbage bytes, a truncated real spec, and a well-formed spec
+    // filed under the wrong key (content/name mismatch): none may
+    // ever reach a worker as a claim — a wrong result is the one
+    // unrecoverable failure.
+    const exp::ExperimentSpec spec = fastSpec("cell");
+    const std::string text = exp::serializeSpec(spec);
+    {
+        std::ofstream os(
+            queue.pendingPath("0123456789abcdef"));
+        os << "not a spec at all\n";
+    }
+    {
+        std::ofstream os(
+            queue.pendingPath("fedcba9876543210"));
+        os << text.substr(0, text.size() / 2);
+    }
+    {
+        std::ofstream os(
+            queue.pendingPath("00000000deadbeef"));
+        os << text; // parses fine, but specKey(spec) != filename
+    }
+
+    dist::Claim claim;
+    EXPECT_FALSE(queue.tryClaim("w1", claim));
+    EXPECT_EQ(queue.counters().corrupt, 3u);
+    EXPECT_EQ(events.size(), 3u) << "quarantines must be loud";
+    EXPECT_EQ(queue.scan().pending, 0u);
+
+    // Quarantined, not deleted: the bytes stay auditable.
+    std::size_t quarantined = 0;
+    for (const auto &entry [[maybe_unused]] :
+         std::filesystem::directory_iterator(dir.sub("q") +
+                                             "/corrupt"))
+        ++quarantined;
+    EXPECT_EQ(quarantined, 3u);
+}
+
+TEST(Worker, DrainsAQueueThroughTheSharedCache)
+{
+    const TempDir dir("drain");
+    exp::ResultCache cache(dir.sub("cache"));
+    dist::WorkQueue queue(dir.sub("q"));
+
+    const auto specs = smallGrid();
+    for (const auto &spec : specs)
+        queue.enqueue(spec);
+
+    dist::WorkerOptions opts;
+    opts.workerId = "w1";
+    opts.drain = true;
+    opts.poll = std::chrono::milliseconds(10);
+    const dist::WorkerStats stats =
+        dist::runWorker(dir.sub("q"), cache, opts);
+
+    EXPECT_EQ(stats.claimed, specs.size());
+    EXPECT_EQ(stats.simulated, specs.size());
+    EXPECT_EQ(stats.failures, 0u);
+    EXPECT_TRUE(queue.scan().drained());
+
+    // Every cell is in the cache, replayable.
+    for (const auto &spec : specs) {
+        exp::RunResult out;
+        EXPECT_TRUE(cache.lookup(spec, out)) << spec.id;
+        EXPECT_TRUE(out.ok);
+    }
+}
+
+TEST(Worker, NeverSimulatesACellAnotherWorkerCompleted)
+{
+    const TempDir dir("cachecheck");
+    exp::ResultCache cache(dir.sub("cache"));
+    dist::WorkQueue queue(dir.sub("q"));
+
+    // The cell is enqueued AND already completed (e.g. reclaimed
+    // from a worker that died after publishing but before
+    // releasing): the claim must resolve as a cache hit, not a
+    // second simulation.
+    const exp::ExperimentSpec spec = fastSpec("cell");
+    cache.store(spec, exp::runCell(spec));
+    queue.enqueue(spec);
+
+    dist::WorkerOptions opts;
+    opts.drain = true;
+    opts.poll = std::chrono::milliseconds(10);
+    const dist::WorkerStats stats =
+        dist::runWorker(dir.sub("q"), cache, opts);
+    EXPECT_EQ(stats.claimed, 1u);
+    EXPECT_EQ(stats.cacheHits, 1u);
+    EXPECT_EQ(stats.simulated, 0u);
+    EXPECT_TRUE(queue.scan().drained());
+}
+
+TEST(Worker, KilledMidCellLosesNoCells)
+{
+    const TempDir dir("killed");
+    exp::ResultCache cache(dir.sub("cache"));
+    dist::WorkQueue queue(dir.sub("q"));
+
+    const auto specs = smallGrid();
+    for (const auto &spec : specs)
+        queue.enqueue(spec);
+
+    // Worker A claims a cell and dies mid-simulation: no release,
+    // no heartbeat, lease left to rot.
+    dist::Claim abandoned;
+    ASSERT_TRUE(queue.tryClaim("killed-worker", abandoned));
+    backdate(queue.leasePath(abandoned.key, "killed-worker"),
+             std::chrono::seconds(3600));
+
+    // Worker B drains: its reclamation pass recovers the abandoned
+    // cell and every cell of the grid completes exactly once.
+    dist::WorkerOptions opts;
+    opts.workerId = "w2";
+    opts.drain = true;
+    opts.poll = std::chrono::milliseconds(10);
+    const dist::WorkerStats stats =
+        dist::runWorker(dir.sub("q"), cache, opts);
+
+    EXPECT_EQ(stats.reclaims, 1u);
+    EXPECT_EQ(stats.simulated, specs.size());
+    EXPECT_TRUE(queue.scan().drained());
+    for (const auto &spec : specs) {
+        exp::RunResult out;
+        EXPECT_TRUE(cache.lookup(spec, out)) << spec.id;
+    }
+}
+
+TEST(Worker, TwoWorkersDrainWithZeroDuplicateSimulations)
+{
+    const TempDir dir("twoworkers");
+    exp::ResultCache cache(dir.sub("cache"));
+    dist::WorkQueue queue(dir.sub("q"));
+
+    const auto specs = smallGrid();
+    for (const auto &spec : specs)
+        queue.enqueue(spec);
+
+    dist::WorkerStats s1, s2;
+    auto work = [&](const std::string &id, dist::WorkerStats &out) {
+        dist::WorkerOptions opts;
+        opts.workerId = id;
+        opts.drain = true;
+        opts.poll = std::chrono::milliseconds(10);
+        out = dist::runWorker(dir.sub("q"), cache, opts);
+    };
+    std::thread t1(work, "w1", std::ref(s1));
+    std::thread t2(work, "w2", std::ref(s2));
+    t1.join();
+    t2.join();
+
+    // Claims are exclusive renames and no lease can go stale in a
+    // healthy drain, so the cell count splits exactly — no cell is
+    // simulated twice, none is lost.
+    EXPECT_EQ(s1.simulated + s2.simulated, specs.size());
+    EXPECT_EQ(s1.claimed + s2.claimed, specs.size());
+    EXPECT_EQ(s1.failures + s2.failures, 0u);
+    EXPECT_TRUE(queue.scan().drained());
+    for (const auto &spec : specs) {
+        exp::RunResult out;
+        EXPECT_TRUE(cache.lookup(spec, out)) << spec.id;
+    }
+}
+
+TEST(Dispatch, FailedCellsBecomeLoudErrorRows)
+{
+    const TempDir dir("failed");
+    exp::ResultCache cache(dir.sub("cache"));
+
+    // One healthy cell and one that fails validation at run time
+    // (no phases anywhere): the failure must come back as an error
+    // row — same shape as the single-process runner — and never be
+    // cached or retried within the dispatch.
+    std::vector<exp::ExperimentSpec> specs;
+    specs.push_back(fastSpec("healthy"));
+    exp::ExperimentSpec broken;
+    broken.id = "broken";
+    broken.labels = {{"cell", "broken"}};
+    specs.push_back(broken);
+
+    dist::DispatchOptions opts;
+    opts.spawnWorkers = 1;
+    opts.poll = std::chrono::milliseconds(10);
+    const dist::DispatchOutcome outcome =
+        dist::runDistributed(specs, dir.sub("q"), cache, opts);
+
+    ASSERT_EQ(outcome.results.size(), 2u);
+    EXPECT_TRUE(outcome.results[0].ok);
+    EXPECT_FALSE(outcome.results[1].ok);
+    EXPECT_NE(outcome.results[1].error.find("no phases"),
+              std::string::npos)
+        << outcome.results[1].error;
+    EXPECT_EQ(outcome.results[1].id, "broken");
+    EXPECT_EQ(outcome.failedCells, 1u);
+
+    // Error rows are never cached; the failure marker is what
+    // resolved the cell.
+    exp::RunResult out;
+    EXPECT_FALSE(cache.lookup(broken, out));
+    dist::WorkQueue queue(dir.sub("q"));
+    EXPECT_EQ(queue.scan().failed, 1u);
+
+    // A fresh dispatch clears the marker and retries the cell.
+    const dist::DispatchOutcome retry =
+        dist::runDistributed(specs, dir.sub("q"), cache, opts);
+    EXPECT_FALSE(retry.results[1].ok);
+    EXPECT_EQ(retry.localWork.simulated, 1u)
+        << "only the broken cell re-runs; the healthy one is cached";
+}
+
+TEST(Dispatch, RecoversACorruptedQueueEntry)
+{
+    const TempDir dir("recover");
+    exp::ResultCache cache(dir.sub("cache"));
+    dist::WorkQueue queue(dir.sub("q"));
+
+    // The cell's queue file exists but holds garbage (torn write on
+    // a flaky NFS, say) — enqueue() will skip it as already-pending,
+    // a worker will quarantine it, and the dispatcher must then
+    // re-enqueue the real spec and still complete the sweep.
+    const exp::ExperimentSpec spec = fastSpec("cell");
+    const std::string key = exp::specKey(spec);
+    {
+        std::ofstream os(queue.pendingPath(key));
+        os << "garbage where a spec should be\n";
+    }
+
+    dist::DispatchOptions opts;
+    opts.spawnWorkers = 1;
+    opts.poll = std::chrono::milliseconds(10);
+    const dist::DispatchOutcome outcome =
+        dist::runDistributed({spec}, dir.sub("q"), cache, opts);
+
+    ASSERT_EQ(outcome.results.size(), 1u);
+    EXPECT_TRUE(outcome.results[0].ok) << outcome.results[0].error;
+    EXPECT_GE(outcome.reenqueued, 1u)
+        << "the lost cell must be re-enqueued from the dispatcher's "
+           "own spec";
+}
+
+/**
+ * The acceptance property: a grid drained by two concurrent workers
+ * sharing a queue and cache produces output byte-identical to a
+ * single-process ExperimentRunner run of the same grid — and every
+ * cell is simulated exactly once across the whole fleet.
+ */
+TEST(Dispatch, DistributedDrainMatchesSingleProcessByteForByte)
+{
+    const TempDir dir("identity");
+    exp::ResultCache cache(dir.sub("cache"));
+
+    const auto specs = smallGrid();
+    dist::DispatchOptions opts;
+    opts.spawnWorkers = 2;
+    opts.poll = std::chrono::milliseconds(10);
+    const dist::DispatchOutcome outcome =
+        dist::runDistributed(specs, dir.sub("q"), cache, opts);
+    EXPECT_EQ(outcome.localWork.simulated, specs.size())
+        << "each cell simulated exactly once across both workers";
+
+    // Single-process runner over the same shared cache: every cell
+    // is a hit, and the assembled outputs are byte-identical. (The
+    // dispatcher's own poll lookups also count misses, so compare
+    // the delta across the serial pass.)
+    const std::size_t missesBefore = cache.stats().misses;
+    exp::RunnerOptions ropts;
+    ropts.jobs = 1;
+    ropts.cache = &cache;
+    const auto serial = exp::ExperimentRunner(ropts).run(specs);
+    EXPECT_EQ(cache.stats().misses, missesBefore)
+        << "the serial pass must re-simulate nothing";
+    EXPECT_EQ(toCsv(outcome.results), toCsv(serial));
+
+    // And against an independent simulation (fresh cache), every
+    // field but the host wall-clock matches bit for bit.
+    exp::RunnerOptions iopts;
+    iopts.jobs = 1;
+    const auto independent = exp::ExperimentRunner(iopts).run(specs);
+    ASSERT_EQ(independent.size(), outcome.results.size());
+    for (std::size_t i = 0; i < independent.size(); ++i) {
+        exp::RunResult a = outcome.results[i];
+        exp::RunResult b = independent[i];
+        a.hostSeconds = b.hostSeconds = 0.0;
+        EXPECT_EQ(exp::csvRow(a), exp::csvRow(b)) << specs[i].id;
+    }
+}
+
+TEST(Dispatch, ResumesFromAWarmCacheWithoutEnqueueing)
+{
+    const TempDir dir("resume");
+    exp::ResultCache cache(dir.sub("cache"));
+    const auto specs = smallGrid();
+
+    dist::DispatchOptions opts;
+    opts.spawnWorkers = 1;
+    opts.poll = std::chrono::milliseconds(10);
+    (void)dist::runDistributed(specs, dir.sub("q"), cache, opts);
+
+    // Second dispatch of the same grid: nothing to enqueue, nothing
+    // to simulate — pure assembly.
+    const dist::DispatchOutcome again =
+        dist::runDistributed(specs, dir.sub("q"), cache, opts);
+    EXPECT_EQ(again.enqueued, 0u);
+    EXPECT_EQ(again.alreadyCached, specs.size());
+    EXPECT_EQ(again.localWork.simulated, 0u);
+}
+
+
+TEST(Dispatch, CleansUpClaimsOfWorkersThatDiedAfterPublishing)
+{
+    const TempDir dir("publishdie");
+    exp::ResultCache cache(dir.sub("cache"));
+    dist::WorkQueue queue(dir.sub("q"));
+
+    // A worker claims the cell, publishes its result to the shared
+    // cache, then dies before releasing: the claim and lease rot on
+    // the queue. The dispatcher must resolve the cell from the
+    // cache AND sweep the leftovers, so a finished sweep leaves an
+    // empty queue even with no workers left running.
+    const exp::ExperimentSpec spec = fastSpec("cell");
+    queue.enqueue(spec);
+    dist::Claim claim;
+    ASSERT_TRUE(queue.tryClaim("died-after-store", claim));
+    cache.store(spec, exp::runCell(spec));
+
+    dist::DispatchOptions opts;
+    opts.poll = std::chrono::milliseconds(10);
+    const dist::DispatchOutcome outcome =
+        dist::runDistributed({spec}, dir.sub("q"), cache, opts);
+
+    ASSERT_EQ(outcome.results.size(), 1u);
+    EXPECT_TRUE(outcome.results[0].ok);
+    EXPECT_EQ(outcome.localWork.simulated, 0u);
+    EXPECT_TRUE(queue.scan().drained());
+    EXPECT_FALSE(std::filesystem::exists(
+        queue.claimedPath(exp::specKey(spec), "died-after-store")));
+    EXPECT_FALSE(std::filesystem::exists(
+        queue.leasePath(exp::specKey(spec), "died-after-store")));
+}

@@ -421,3 +421,104 @@ TEST(Report, JsonIsStructurallySound)
     EXPECT_NE(doc.find("\"json \\\"quoted\\\"\""),
               std::string::npos);
 }
+
+TEST(GridExpansion, ScenarioAxisExpandsInnermost)
+{
+    exp::GridSpec grid = smallGrid();
+    grid.scenarios = {
+        {"none", workloads::scenarioByName("none")},
+        {"thermal-step", workloads::scenarioByName("thermal-step")},
+    };
+    const auto specs = exp::expandGrid(grid);
+    ASSERT_EQ(specs.size(), 2u * 2u * 2u * 2u * 2u);
+
+    // The scenario axis is innermost: cells alternate between the
+    // two values, and every cell — the explicit "none" included —
+    // carries the scenario label and id suffix.
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        const exp::ExperimentSpec &spec = specs[i];
+        const std::string &name = grid.scenarios[i % 2].name;
+        EXPECT_EQ(spec.id.substr(spec.id.rfind('/') + 1), name);
+        ASSERT_EQ(spec.labels.size(), 5u);
+        EXPECT_EQ(spec.labels.back().first, "scenario");
+        EXPECT_EQ(spec.labels.back().second, name);
+        EXPECT_TRUE(spec.scenario ==
+                    grid.scenarios[i % 2].scenario);
+    }
+
+    std::set<std::string> ids;
+    for (const auto &spec : specs)
+        ids.insert(spec.id);
+    EXPECT_EQ(ids.size(), specs.size());
+}
+
+TEST(GridExpansion, ScenarioAxisOverridesSingleScenario)
+{
+    // With an explicit axis, the legacy single-scenario fields are
+    // ignored; without one they behave exactly as before.
+    exp::GridSpec grid = smallGrid();
+    grid.scenario = workloads::scenarioByName("thermal-step");
+    grid.scenarioName = "thermal-step";
+    grid.scenarios = {{"none", workloads::Scenario{}}};
+    for (const auto &spec : exp::expandGrid(grid))
+        EXPECT_TRUE(spec.scenario.empty());
+
+    exp::GridSpec legacy = smallGrid();
+    legacy.scenario = workloads::scenarioByName("thermal-step");
+    legacy.scenarioName = "thermal-step";
+    for (const auto &spec : exp::expandGrid(legacy)) {
+        EXPECT_EQ(spec.id.substr(spec.id.rfind('/') + 1),
+                  "thermal-step");
+        ASSERT_EQ(spec.labels.size(), 5u);
+        EXPECT_EQ(spec.labels.back().second, "thermal-step");
+    }
+
+    // Scenario-less grids keep their pre-axis ids and labels.
+    for (const auto &spec : exp::expandGrid(smallGrid())) {
+        EXPECT_EQ(spec.labels.size(), 4u);
+        EXPECT_EQ(spec.id.find("none"), std::string::npos);
+    }
+}
+
+TEST(SpecValidation, RejectsOverCapacityScenarioCompositions)
+{
+    // stream pins all 4 hardware threads; overlaying app-switch's
+    // browser (2 more) would trip the CPU model's process-fatal
+    // assert — the cell must fail loudly as an error row instead.
+    exp::ExperimentSpec spec;
+    spec.id = "over-capacity";
+    spec.workload = workloads::streamMicro();
+    spec.scenario = workloads::scenarioByName("app-switch");
+    spec.warmup = 5 * kTicksPerMs;
+    spec.window = 30 * kTicksPerMs;
+    const exp::RunResult res = exp::runCell(spec);
+    EXPECT_FALSE(res.ok);
+    EXPECT_NE(res.error.find("concurrent threads"),
+              std::string::npos)
+        << res.error;
+
+    // A one-thread base under the same scenario fits and runs.
+    exp::ExperimentSpec fits = spec;
+    fits.id = "fits";
+    fits.workload = workloads::pointerChaseMicro();
+    const exp::RunResult ok = exp::runCell(fits);
+    EXPECT_TRUE(ok.ok) << ok.error;
+
+    // The guard covers scenario-less cells too: a base workload
+    // wider than the machine is the same process-fatal assert.
+    workloads::Phase wide;
+    wide.duration = 10 * kTicksPerMs;
+    wide.work.cpiBase = 1.0;
+    wide.activeThreads = 8;
+    exp::ExperimentSpec base_only;
+    base_only.id = "too-wide-base";
+    base_only.workload = workloads::WorkloadProfile(
+        "too-wide", workloads::WorkloadClass::Micro, {wide});
+    base_only.warmup = 5 * kTicksPerMs;
+    base_only.window = 30 * kTicksPerMs;
+    const exp::RunResult rej = exp::runCell(base_only);
+    EXPECT_FALSE(rej.ok);
+    EXPECT_NE(rej.error.find("concurrent threads"),
+              std::string::npos)
+        << rej.error;
+}

@@ -341,32 +341,37 @@ TEST(ResultCache, InterruptedSweepResumesIncrementally)
 }
 
 /**
- * A pre-scenario (format v1) entry sitting at the right path must
- * degrade to a miss — never a wrong hit — and the next store
- * replaces it with a v2 entry. This is the versioning policy of
- * docs/EXPERIMENTS.md exercised end to end.
+ * An entry written under the previous format version sitting at the
+ * right path must degrade to a miss — never a wrong hit — and the
+ * next store replaces it with a current entry. This is the
+ * versioning policy of docs/EXPERIMENTS.md exercised end to end.
  */
-TEST(ResultCache, V1FormatEntryDegradesToAMiss)
+TEST(ResultCache, StaleFormatEntryDegradesToAMiss)
 {
-    const CacheDir dir("v1entry");
+    const CacheDir dir("staleentry");
     exp::ResultCache cache(dir.path());
-    const exp::ExperimentSpec spec = fastSpec("v1entry");
+    const exp::ExperimentSpec spec = fastSpec("staleentry");
     const exp::RunResult res = exp::runCell(spec);
     cache.store(spec, res);
 
-    // Rewrite the entry as a v1 document: format field and embedded
-    // spec header both claim version 1 (as a real pre-bump cache
-    // file would at this path).
+    // Rewrite the entry as a previous-version document: format field
+    // and embedded spec header both claim the old version (as a real
+    // pre-bump cache file would at this path).
+    const std::string cur = std::to_string(exp::kSpecFormatVersion);
+    const std::string old =
+        std::to_string(exp::kSpecFormatVersion - 1);
     std::ifstream is(cache.pathFor(spec), std::ios::binary);
     std::string doc((std::istreambuf_iterator<char>(is)),
                     std::istreambuf_iterator<char>());
     is.close();
-    const std::size_t fmt = doc.find("\"format\": 2");
+    const std::string fmt_cur = "\"format\": " + cur;
+    const std::size_t fmt = doc.find(fmt_cur);
     ASSERT_NE(fmt, std::string::npos);
-    doc.replace(fmt, 11, "\"format\": 1");
-    const std::size_t hdr = doc.find("sysscale-spec v2");
+    doc.replace(fmt, fmt_cur.size(), "\"format\": " + old);
+    const std::string hdr_cur = "sysscale-spec v" + cur;
+    const std::size_t hdr = doc.find(hdr_cur);
     ASSERT_NE(hdr, std::string::npos);
-    doc.replace(hdr, 16, "sysscale-spec v1");
+    doc.replace(hdr, hdr_cur.size(), "sysscale-spec v" + old);
     std::ofstream os(cache.pathFor(spec),
                      std::ios::binary | std::ios::trunc);
     os << doc;
@@ -376,7 +381,7 @@ TEST(ResultCache, V1FormatEntryDegradesToAMiss)
     EXPECT_FALSE(cache.lookup(spec, out));
     EXPECT_EQ(cache.stats().corrupt, 1u);
 
-    // The next store repairs the slot with a v2 entry.
+    // The next store repairs the slot with a current entry.
     cache.store(spec, res);
     EXPECT_TRUE(cache.lookup(spec, out));
     EXPECT_EQ(stableRow(out), stableRow(res));

@@ -304,3 +304,32 @@ TEST(Scenario, ValidationRejectsIllFormedScenarios)
     EXPECT_THROW(validateScenario(empty_layer),
                  std::invalid_argument);
 }
+
+TEST(Scenario, AppSwitchHandsForegroundBetweenLayers)
+{
+    const Scenario s = scenarioByName("app-switch");
+    ASSERT_EQ(s.layers.size(), 2u);
+    EXPECT_TRUE(s.actions.empty());
+
+    // The browser runs from the start and departs exactly when the
+    // game arrives, which stays to the end of the run — the swap is
+    // a pure arrival/departure handoff, not an overlap.
+    EXPECT_EQ(s.layers[0].profile.name(), "web-browsing");
+    EXPECT_EQ(s.layers[0].start, Tick{0});
+    EXPECT_EQ(s.layers[0].stop, kTicksPerSec);
+    EXPECT_EQ(s.layers[1].profile.name(), "light-gaming");
+    EXPECT_EQ(s.layers[1].start, kTicksPerSec);
+    EXPECT_EQ(s.layers[1].stop, Tick{0});
+
+    // Exactly one of the two apps is in the foreground at any tick.
+    CompositeAgent composite;
+    ProfileAgent browser(webBrowsing());
+    ProfileAgent game(lightGaming());
+    composite.addMember(browser, s.layers[0].start,
+                        s.layers[0].stop);
+    composite.addMember(game, s.layers[1].start, s.layers[1].stop);
+    EXPECT_TRUE(composite.memberActive(0, kTicksPerSec / 2));
+    EXPECT_FALSE(composite.memberActive(1, kTicksPerSec / 2));
+    EXPECT_FALSE(composite.memberActive(0, kTicksPerSec));
+    EXPECT_TRUE(composite.memberActive(1, kTicksPerSec));
+}

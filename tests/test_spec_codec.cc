@@ -120,23 +120,33 @@ TEST(SpecCodec, HeaderCarriesFormatVersion)
 {
     const std::string text =
         exp::serializeSpec(exp::ExperimentSpec{});
-    EXPECT_EQ(text.rfind("sysscale-spec v2\n", 0), 0u)
+    EXPECT_EQ(text.rfind("sysscale-spec v3\n", 0), 0u)
         << "bump this test AND the golden keys together with "
            "kSpecFormatVersion";
 }
 
 /**
- * Pre-scenario (v1) documents must be rejected loudly — never parsed
- * into a v2 spec. Through the cache this means every v1 entry
- * degrades to a miss (and is re-simulated), never a wrong hit.
+ * Documents from every previous format version must be rejected
+ * loudly — never parsed into a current spec. Through the cache this
+ * means every stale entry degrades to a miss (and is re-simulated),
+ * never a wrong hit.
  */
-TEST(SpecCodec, RejectsV1Documents)
+TEST(SpecCodec, RejectsStaleVersionDocuments)
 {
-    std::string v1 = exp::serializeSpec(exp::ExperimentSpec{});
-    const std::string header = "sysscale-spec v2\n";
-    ASSERT_EQ(v1.rfind(header, 0), 0u);
-    v1.replace(0, header.size(), "sysscale-spec v1\n");
-    EXPECT_THROW((void)exp::parseSpec(v1), std::invalid_argument);
+    const std::string text =
+        exp::serializeSpec(exp::ExperimentSpec{});
+    const std::string header =
+        "sysscale-spec v" + std::to_string(exp::kSpecFormatVersion) +
+        "\n";
+    ASSERT_EQ(text.rfind(header, 0), 0u);
+    for (int v = 1; v < exp::kSpecFormatVersion; ++v) {
+        std::string stale = text;
+        stale.replace(0, header.size(),
+                      "sysscale-spec v" + std::to_string(v) + "\n");
+        EXPECT_THROW((void)exp::parseSpec(stale),
+                     std::invalid_argument)
+            << "v" << v;
+    }
 }
 
 TEST(SpecCodec, KeyIgnoresPinnedOpPointName)
@@ -221,10 +231,10 @@ TEST(SpecCodec, GoldenKeys)
     exp::ExperimentSpec stream;
     stream.id = "golden-a";
     stream.workload = workloads::streamMicro();
-    EXPECT_EQ(exp::specKey(stream), "13ab193ee1ccbba1");
+    EXPECT_EQ(exp::specKey(stream), "872e28008e436128");
 
     exp::ExperimentSpec rich = richSpec();
-    EXPECT_EQ(exp::specKey(rich), "592390be6cb642aa");
+    EXPECT_EQ(exp::specKey(rich), "5408a82a63d011a7");
 }
 
 TEST(SpecCodec, SerializableOnlyWithoutRuntimeHooks)

@@ -17,12 +17,24 @@
  *              --cache-stats --csv results.csv
  *   sweep_grid --workloads spec:470.lbm --scenario videoconf \
  *              --governors fixed,sysscale --csv mixed.csv
+ *   sweep_grid --workloads battery --scenarios none,videoconf \
+ *              --governors fixed,sysscale --csv scen-axis.csv
+ *   sweep_grid --workloads spec --distributed /nfs/queue \
+ *              --cache-dir /nfs/cache --spawn-workers 2 \
+ *              --csv results.csv
  *   sweep_grid --list
  *
  * With --cache-dir (or SYSSCALE_CACHE_DIR), finished cells are
  * content-addressed on disk and reused: rerunning the same grid
  * reruns zero simulator cells and an interrupted sweep resumes from
- * the cells it already completed. See docs/EXPERIMENTS.md.
+ * the cells it already completed.
+ *
+ * With --distributed, cells are not simulated here (beyond any
+ * --spawn-workers threads): they fan out through a filesystem work
+ * queue to every sweep_worker sharing the queue and cache
+ * directories — across machines when both live on a shared
+ * filesystem — and the assembled output is byte-identical to a
+ * single-process run of the same grid. See docs/EXPERIMENTS.md.
  */
 
 #include <chrono>
@@ -36,6 +48,7 @@
 #include <string>
 #include <vector>
 
+#include "dist/dispatch.hh"
 #include "exp/cache.hh"
 #include "exp/experiment.hh"
 #include "exp/report.hh"
@@ -141,6 +154,18 @@ usage()
         "  --jobs N           worker threads (default: hardware)\n"
         "  --scenario NAME    overlay a named scenario on every cell\n"
         "                     (mixed agents + timed SoC mutations)\n"
+        "  --scenarios LIST   scenario names as a fifth grid axis\n"
+        "                     (each cell gets a scenario label and\n"
+        "                     id suffix; 'none' is a valid value)\n"
+        "  --distributed DIR  fan the grid out through the work\n"
+        "                     queue at DIR instead of simulating\n"
+        "                     locally (requires a cache; workers:\n"
+        "                     sweep_worker and/or --spawn-workers)\n"
+        "  --spawn-workers N  local worker threads for the duration\n"
+        "                     of a --distributed sweep (default: 0)\n"
+        "  --stall-timeout-s N  abort a --distributed sweep after N\n"
+        "                     seconds without any cell completing\n"
+        "                     (default: 0 = wait forever)\n"
         "  --ddr4             use the DDR4 SoC population\n"
         "  --csv FILE         write CSV ('-' = stdout)\n"
         "  --json FILE        write JSON ('-' = stdout)\n"
@@ -190,6 +215,10 @@ main(int argc, char **argv)
     double window_ms = 2000.0;
     std::size_t jobs = 0;
     std::string scenario_arg;
+    std::string scenarios_arg;
+    std::string distributed_dir;
+    std::size_t spawn_workers = 0;
+    long stall_timeout_s = 0;
     bool ddr4 = false;
     bool quiet = false;
     bool no_cache = false;
@@ -225,6 +254,15 @@ main(int argc, char **argv)
                 std::atol(value().c_str()));
         } else if (arg == "--scenario") {
             scenario_arg = value();
+        } else if (arg == "--scenarios") {
+            scenarios_arg = value();
+        } else if (arg == "--distributed") {
+            distributed_dir = value();
+        } else if (arg == "--spawn-workers") {
+            spawn_workers = static_cast<std::size_t>(
+                std::atol(value().c_str()));
+        } else if (arg == "--stall-timeout-s") {
+            stall_timeout_s = std::atol(value().c_str());
         } else if (arg == "--ddr4") {
             ddr4 = true;
         } else if (arg == "--csv") {
@@ -269,6 +307,12 @@ main(int argc, char **argv)
             static_cast<std::uint64_t>(std::atoll(s.c_str())));
     grid.warmup = ticksFromMs(warmup_ms);
     grid.window = ticksFromMs(window_ms);
+    if (!scenario_arg.empty() && !scenarios_arg.empty()) {
+        std::fprintf(stderr,
+                     "sweep_grid: --scenario and --scenarios are "
+                     "mutually exclusive\n");
+        return 2;
+    }
     if (!scenario_arg.empty() && scenario_arg != "none") {
         try {
             grid.scenario = workloads::scenarioByName(scenario_arg);
@@ -280,6 +324,18 @@ main(int argc, char **argv)
             return 2;
         }
         grid.scenarioName = scenario_arg;
+    }
+    for (const auto &name : splitList(scenarios_arg)) {
+        try {
+            grid.scenarios.push_back(
+                {name, workloads::scenarioByName(name)});
+        } catch (const std::exception &) {
+            std::fprintf(stderr,
+                         "sweep_grid: unknown scenario \"%s\" "
+                         "(try --list)\n",
+                         name.c_str());
+            return 2;
+        }
     }
 
     for (const auto &gov : grid.governors) {
@@ -306,29 +362,72 @@ main(int argc, char **argv)
         return 2;
     }
 
-    exp::RunnerOptions opts;
-    opts.jobs = jobs;
-    opts.cache = cache.get();
-    if (!quiet) {
-        opts.onResult = [](const exp::RunResult &res,
-                           std::size_t done, std::size_t total) {
-            std::fprintf(stderr, "[%zu/%zu] %-40s %s (%.2fs)\n",
-                         done, total, res.id.c_str(),
-                         res.ok ? "ok" : res.error.c_str(),
-                         res.hostSeconds);
-        };
+    if (distributed_dir.empty() && spawn_workers > 0) {
+        std::fprintf(stderr, "sweep_grid: --spawn-workers needs "
+                             "--distributed\n");
+        return 2;
+    }
+    if (!distributed_dir.empty() && !cache) {
+        std::fprintf(stderr,
+                     "sweep_grid: --distributed publishes results "
+                     "through the shared cache — pass --cache-dir "
+                     "or set SYSSCALE_CACHE_DIR\n");
+        return 2;
     }
 
-    // The actual pool is sized to the cells the cache cannot serve,
-    // which is only known after lookup — report an upper bound.
-    const exp::ExperimentRunner runner(opts);
-    std::fprintf(stderr,
-                 "sweep_grid: %zu cells on up to %zu worker "
-                 "thread(s)\n",
-                 specs.size(), runner.jobsFor(specs.size()));
-
     const auto wall_start = std::chrono::steady_clock::now();
-    const auto results = runner.run(specs);
+    std::vector<exp::RunResult> results;
+    std::size_t simulated_here = 0;
+
+    if (!distributed_dir.empty()) {
+        dist::DispatchOptions dopts;
+        dopts.spawnWorkers = spawn_workers;
+        dopts.stallTimeout = std::chrono::seconds(stall_timeout_s);
+        if (!quiet) {
+            dopts.onEvent = [](const std::string &line) {
+                std::fprintf(stderr, "sweep_grid: %s\n",
+                             line.c_str());
+            };
+        }
+        std::fprintf(stderr,
+                     "sweep_grid: dispatching %zu cells through "
+                     "queue %s (%zu local worker thread(s))\n",
+                     specs.size(), distributed_dir.c_str(),
+                     spawn_workers);
+        try {
+            dist::DispatchOutcome outcome = dist::runDistributed(
+                specs, distributed_dir, *cache, dopts);
+            results = std::move(outcome.results);
+            simulated_here = outcome.localWork.simulated;
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "sweep_grid: %s\n", e.what());
+            return 2;
+        }
+    } else {
+        exp::RunnerOptions opts;
+        opts.jobs = jobs;
+        opts.cache = cache.get();
+        if (!quiet) {
+            opts.onResult = [](const exp::RunResult &res,
+                               std::size_t done, std::size_t total) {
+                std::fprintf(stderr, "[%zu/%zu] %-40s %s (%.2fs)\n",
+                             done, total, res.id.c_str(),
+                             res.ok ? "ok" : res.error.c_str(),
+                             res.hostSeconds);
+            };
+        }
+
+        // The actual pool is sized to the cells the cache cannot
+        // serve, which is only known after lookup — report an upper
+        // bound.
+        const exp::ExperimentRunner runner(opts);
+        std::fprintf(stderr,
+                     "sweep_grid: %zu cells on up to %zu worker "
+                     "thread(s)\n",
+                     specs.size(), runner.jobsFor(specs.size()));
+        results = runner.run(specs);
+    }
+
     const double wall =
         std::chrono::duration<double>(
             std::chrono::steady_clock::now() - wall_start)
@@ -343,14 +442,25 @@ main(int argc, char **argv)
     }
     // Cache hits replay the hostSeconds of their original run, so
     // cell_seconds is *recorded* work; say how much was simulated
-    // here versus served from disk.
+    // here versus served from disk. In a distributed sweep every
+    // assembled row comes from the cache — report what the local
+    // spawned workers actually simulated instead.
     const std::size_t cached = cache ? cache->stats().hits : 0;
-    std::fprintf(stderr,
-                 "sweep_grid: %zu cells (%zu simulated, %zu from "
-                 "cache) in %.2fs wall (%.2fs of recorded cell "
-                 "work, %zu failed)\n",
-                 results.size(), results.size() - cached, cached,
-                 wall, cell_seconds, failures);
+    if (!distributed_dir.empty()) {
+        std::fprintf(stderr,
+                     "sweep_grid: %zu cells assembled from %s (%zu "
+                     "simulated by local workers) in %.2fs wall "
+                     "(%.2fs of recorded cell work, %zu failed)\n",
+                     results.size(), cache->dir().c_str(),
+                     simulated_here, wall, cell_seconds, failures);
+    } else {
+        std::fprintf(stderr,
+                     "sweep_grid: %zu cells (%zu simulated, %zu "
+                     "from cache) in %.2fs wall (%.2fs of recorded "
+                     "cell work, %zu failed)\n",
+                     results.size(), results.size() - cached, cached,
+                     wall, cell_seconds, failures);
+    }
     if (cache && cache_stats) {
         const exp::CacheStats cs = cache->stats();
         std::fprintf(stderr,

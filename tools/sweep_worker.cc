@@ -1,0 +1,192 @@
+/**
+ * @file
+ * sweep_worker: daemon that drains a distributed sweep queue.
+ *
+ * Point any number of these — across any number of machines — at a
+ * shared queue directory and a shared result-cache directory, and
+ * they collectively simulate whatever grids a dispatcher
+ * (sweep_grid --distributed) enqueues:
+ *
+ *   sweep_worker --queue /nfs/q --cache-dir /nfs/cache          # daemon
+ *   sweep_worker --queue /nfs/q --cache-dir /nfs/cache --drain  # batch
+ *
+ * Claims are atomic renames, results publish through the
+ * content-addressed cache, and a lease heartbeat makes crashes
+ * recoverable: kill -9 a worker mid-cell and the fleet reclaims the
+ * cell after --lease-timeout-s. See docs/EXPERIMENTS.md
+ * ("Distributed sweeps").
+ */
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "dist/work_queue.hh"
+#include "dist/worker.hh"
+#include "exp/cache.hh"
+
+using namespace sysscale;
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void
+onSignal(int)
+{
+    g_stop = 1;
+}
+
+void
+usage()
+{
+    std::printf(
+        "usage: sweep_worker --queue DIR --cache-dir DIR [options]\n"
+        "  --queue DIR          shared work-queue directory\n"
+        "  --cache-dir DIR      shared result cache (default:\n"
+        "                       $SYSSCALE_CACHE_DIR)\n"
+        "  --drain              exit once the queue is empty\n"
+        "                       (default: keep serving)\n"
+        "  --max-cells N        stop after completing N cells\n"
+        "  --poll-ms N          idle scan period (default: 500)\n"
+        "  --heartbeat-ms N     lease refresh period (default: "
+        "1000)\n"
+        "  --lease-timeout-s N  reclaim claims whose lease is older\n"
+        "                       (default: 30)\n"
+        "  --worker-id ID       claim identity (default: "
+        "host-pid-serial)\n"
+        "  --quiet              no per-cell progress\n");
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string queue_dir;
+    std::string cache_dir;
+    dist::WorkerOptions opts;
+    bool quiet = false;
+    long poll_ms = 500, heartbeat_ms = 1000, lease_timeout_s = 30;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "sweep_worker: %s needs a value\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--queue") {
+            queue_dir = value();
+        } else if (arg == "--cache-dir") {
+            cache_dir = value();
+        } else if (arg == "--drain") {
+            opts.drain = true;
+        } else if (arg == "--max-cells") {
+            opts.maxCells = static_cast<std::size_t>(
+                std::atol(value().c_str()));
+        } else if (arg == "--poll-ms") {
+            poll_ms = std::atol(value().c_str());
+        } else if (arg == "--heartbeat-ms") {
+            heartbeat_ms = std::atol(value().c_str());
+        } else if (arg == "--lease-timeout-s") {
+            lease_timeout_s = std::atol(value().c_str());
+        } else if (arg == "--worker-id") {
+            opts.workerId = value();
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else {
+            std::fprintf(stderr,
+                         "sweep_worker: unknown option %s\n",
+                         arg.c_str());
+            usage();
+            return 2;
+        }
+    }
+
+    if (queue_dir.empty()) {
+        std::fprintf(stderr, "sweep_worker: --queue is required\n");
+        return 2;
+    }
+    // The id is embedded in claim/lease file names; a separator in
+    // it would make every claim rename fail silently.
+    for (const char c : opts.workerId) {
+        const bool ok = (c >= 'a' && c <= 'z') ||
+                        (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '-' ||
+                        c == '_' || c == '.';
+        if (!ok) {
+            std::fprintf(stderr,
+                         "sweep_worker: --worker-id may only use "
+                         "[A-Za-z0-9._-] (got \"%s\")\n",
+                         opts.workerId.c_str());
+            return 2;
+        }
+    }
+    if (poll_ms <= 0 || heartbeat_ms <= 0 || lease_timeout_s <= 0) {
+        std::fprintf(stderr,
+                     "sweep_worker: intervals must be positive\n");
+        return 2;
+    }
+    opts.poll = std::chrono::milliseconds(poll_ms);
+    opts.heartbeat = std::chrono::milliseconds(heartbeat_ms);
+    opts.leaseTimeout = std::chrono::seconds(lease_timeout_s);
+
+    std::unique_ptr<exp::ResultCache> cache;
+    try {
+        cache = exp::resolveCache(std::move(cache_dir), false);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "sweep_worker: %s\n", e.what());
+        return 2;
+    }
+    if (!cache) {
+        std::fprintf(stderr,
+                     "sweep_worker: a shared result cache is how "
+                     "results are published — pass --cache-dir or "
+                     "set SYSSCALE_CACHE_DIR\n");
+        return 2;
+    }
+
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+    opts.shouldStop = [] { return g_stop != 0; };
+    if (!quiet) {
+        opts.onEvent = [](const std::string &line) {
+            std::fprintf(stderr, "sweep_worker: %s\n", line.c_str());
+        };
+    }
+
+    const std::string id =
+        opts.workerId.empty() ? dist::makeWorkerId() : opts.workerId;
+    opts.workerId = id;
+    std::fprintf(stderr,
+                 "sweep_worker: %s serving queue %s (cache %s%s)\n",
+                 id.c_str(), queue_dir.c_str(),
+                 cache->dir().c_str(),
+                 opts.drain ? ", drain mode" : "");
+
+    dist::WorkerStats stats;
+    try {
+        stats = dist::runWorker(queue_dir, *cache, opts);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "sweep_worker: %s\n", e.what());
+        return 2;
+    }
+
+    std::fprintf(stderr,
+                 "sweep_worker: %s done: %zu claimed, %zu simulated, "
+                 "%zu already-complete, %zu failed, %zu stale "
+                 "lease(s) reclaimed\n",
+                 id.c_str(), stats.claimed, stats.simulated,
+                 stats.cacheHits, stats.failures, stats.reclaims);
+    return 0;
+}
