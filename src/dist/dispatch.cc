@@ -26,6 +26,20 @@ runDistributed(const std::vector<exp::ExperimentSpec> &specs,
     DispatchOutcome out;
     out.results.resize(specs.size());
 
+    // Reorder buffer for onResult streaming: rows resolve in
+    // whatever order workers finish them, but the callback sees
+    // them in spec order — emit the longest resolved prefix each
+    // time it grows.
+    std::vector<char> resolved(specs.size(), 0);
+    std::size_t streamed = 0;
+    auto streamReady = [&] {
+        while (streamed < specs.size() && resolved[streamed]) {
+            if (opts.onResult)
+                opts.onResult(streamed, out.results[streamed]);
+            ++streamed;
+        }
+    };
+
     // Index the grid by content key: duplicate cells (differing only
     // in id/labels) share one queue entry and one simulation but
     // still fill one result row each.
@@ -53,6 +67,8 @@ runDistributed(const std::vector<exp::ExperimentSpec> &specs,
                 cache.lookup(specs[kv.second[j]],
                              out.results[kv.second[j]]);
             }
+            for (const std::size_t i : kv.second)
+                resolved[i] = 1;
             out.alreadyCached += kv.second.size();
             // A worker that died between publishing and releasing
             // (this campaign or a previous one) leaves its claim
@@ -69,6 +85,7 @@ runDistributed(const std::vector<exp::ExperimentSpec> &specs,
     log("enqueued " + std::to_string(out.enqueued) + " cell(s) (" +
         std::to_string(out.alreadyCached) +
         " already cached) on queue " + queue.dir());
+    streamReady();
 
     // Phase 2: local workers, if requested — the same loop the
     // sweep_worker daemon runs, one thread each. They serve (not
@@ -136,6 +153,8 @@ runDistributed(const std::vector<exp::ExperimentSpec> &specs,
                         cache.lookup(specs[indices[j]],
                                      out.results[indices[j]]);
                     }
+                    for (const std::size_t i : indices)
+                        resolved[i] = 1;
                     // Sweep any queue leftovers of the resolved
                     // cell — a re-enqueue race's pending file, or
                     // the claim of a worker that died between
@@ -162,6 +181,7 @@ runDistributed(const std::vector<exp::ExperimentSpec> &specs,
                         res.error = error;
                         res.hostSeconds = hostSeconds;
                         ++out.failedCells;
+                        resolved[i] = 1;
                     }
                     unresolved[u] = unresolved.back();
                     unresolved.pop_back();
@@ -188,6 +208,8 @@ runDistributed(const std::vector<exp::ExperimentSpec> &specs,
                 }
                 ++u;
             }
+            if (progressed)
+                streamReady();
             if (unresolved.empty())
                 break;
 

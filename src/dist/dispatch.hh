@@ -25,6 +25,10 @@
  *  4. Assembly reads every row back from the cache in spec order,
  *     which makes the output *byte-identical* to a single-process
  *     ExperimentRunner run of the same grid over the same cache.
+ *  5. Optionally, resolved rows stream out mid-campaign through
+ *     DispatchOptions::onResult — in spec order via a reorder
+ *     buffer, so an incrementally written CSV ends up
+ *     byte-identical to one written from the assembled vector.
  */
 
 #ifndef SYSSCALE_DIST_DISPATCH_HH
@@ -68,6 +72,18 @@ struct DispatchOptions
 
     /** Progress/event log lines. May be null. */
     std::function<void(const std::string &)> onEvent;
+
+    /**
+     * Mid-campaign result streaming: called once per input spec,
+     * **in spec order**, as soon as the row and every row before it
+     * have resolved (a reorder buffer holds rows that finish out of
+     * order). Feeding these rows to a CSV writer therefore yields a
+     * file byte-identical to writing the assembled result vector at
+     * the end — just incrementally. Called from the dispatcher
+     * thread only. May be null.
+     */
+    std::function<void(std::size_t index, const exp::RunResult &)>
+        onResult;
 };
 
 struct DispatchOutcome

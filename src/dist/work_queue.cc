@@ -2,6 +2,7 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdlib>
 #include <filesystem>
@@ -60,15 +61,15 @@ readFile(const std::string &path, std::string &out)
     return true;
 }
 
-std::chrono::seconds
-fileAge(const fs::path &path, std::error_code &ec)
+/** @p ref minus @p path's mtime, in (possibly negative) seconds. */
+double
+ageAgainst(const fs::file_time_type ref, const fs::path &path,
+           std::error_code &ec)
 {
     const auto mtime = fs::last_write_time(path, ec);
     if (ec)
-        return std::chrono::seconds(0);
-    const auto now = fs::file_time_type::clock::now();
-    return std::chrono::duration_cast<std::chrono::seconds>(now -
-                                                           mtime);
+        return 0.0;
+    return std::chrono::duration<double>(ref - mtime).count();
 }
 
 } // anonymous namespace
@@ -322,7 +323,13 @@ WorkQueue::fail(const Claim &claim, const exp::RunResult &res)
         fs::remove(tmp, ec);
     else
         ++counters_.failures;
-    fs::remove(claimedPath(claim.key, claim.workerId), ec);
+    // Keep the serialized spec next to the marker: retryFailed()
+    // can then put the cell back on the queue without needing a
+    // dispatcher's copy of the grid.
+    fs::rename(claimedPath(claim.key, claim.workerId),
+               failedPath(claim.key) + ".spec", ec);
+    if (ec)
+        fs::remove(claimedPath(claim.key, claim.workerId), ec);
     fs::remove(leasePath(claim.key, claim.workerId), ec);
 }
 
@@ -369,6 +376,7 @@ WorkQueue::clearFailed(const std::string &key)
 {
     std::error_code ec;
     fs::remove(failedPath(key), ec);
+    fs::remove(failedPath(key) + ".spec", ec);
 }
 
 void
@@ -404,11 +412,40 @@ WorkQueue::inFlightKeys() const
     return keys;
 }
 
+fs::file_time_type
+WorkQueue::probeNow() const
+{
+    // Rewritten in place, like a lease heartbeat: only the mtime
+    // matters. One file per observer process so concurrent
+    // inspectors never contend.
+    const fs::path probe = fs::path(dir_) / "tmp" /
+                           (".probe." + std::to_string(::getpid()));
+    {
+        std::ofstream os(probe, std::ios::binary | std::ios::trunc);
+        if (os)
+            os << "probe\n";
+    }
+    std::error_code ec;
+    const auto mtime = fs::last_write_time(probe, ec);
+    if (!ec)
+        return mtime;
+    return wallClock ? wallClock()
+                     : fs::file_time_type::clock::now();
+}
+
 std::size_t
 WorkQueue::reclaimStale(std::chrono::seconds timeout)
 {
     std::error_code ec;
     std::size_t reclaimed = 0;
+
+    // One probe touch serves the whole pass: every staleness test
+    // compares two mtimes stamped by the filesystem serving the
+    // queue, so machines with skewed wall clocks still agree on
+    // which leases are dead.
+    const fs::file_time_type ref = probeNow();
+    const double limit =
+        std::chrono::duration<double>(timeout).count();
 
     for (const auto &entry :
          fs::directory_iterator(fs::path(dir_) / "claimed", ec)) {
@@ -428,7 +465,8 @@ WorkQueue::reclaimStale(std::chrono::seconds timeout)
             stale = true;
         } else {
             std::error_code age_ec;
-            stale = fileAge(lease, age_ec) > timeout && !age_ec;
+            stale = ageAgainst(ref, lease, age_ec) > limit &&
+                    !age_ec;
         }
         if (!stale)
             continue;
@@ -453,7 +491,8 @@ WorkQueue::reclaimStale(std::chrono::seconds timeout)
         }
         std::error_code age_ec;
         if (!fs::exists(claimedPath(key, worker), ec) &&
-            fileAge(entry.path(), age_ec) > timeout && !age_ec) {
+            ageAgainst(ref, entry.path(), age_ec) > limit &&
+            !age_ec) {
             fs::remove(entry.path(), ec);
         }
     }
@@ -471,10 +510,197 @@ WorkQueue::scan() const
     for (const auto &entry [[maybe_unused]] :
          fs::directory_iterator(fs::path(dir_) / "claimed", ec))
         ++s.claimed;
-    for (const auto &entry [[maybe_unused]] :
-         fs::directory_iterator(fs::path(dir_) / "failed", ec))
-        ++s.failed;
+    for (const auto &entry :
+         fs::directory_iterator(fs::path(dir_) / "failed", ec)) {
+        // Count failure markers only, not the retained .spec files
+        // kept alongside them for retryFailed().
+        if (isHexKey(entry.path().filename().string()))
+            ++s.failed;
+    }
     return s;
+}
+
+QueueStatus
+WorkQueue::status() const
+{
+    QueueStatus s;
+    std::error_code ec;
+    const QueueScan counts = scan();
+    s.pending = counts.pending;
+    s.claimed = counts.claimed;
+    s.failed = counts.failed;
+    for (const auto &entry [[maybe_unused]] :
+         fs::directory_iterator(fs::path(dir_) / "corrupt", ec))
+        ++s.corrupt;
+
+    const fs::file_time_type ref = probeNow();
+    for (const auto &entry :
+         fs::directory_iterator(fs::path(dir_) / "leases", ec)) {
+        const std::string name = entry.path().filename().string();
+        if (onScanFile)
+            onScanFile(name);
+        std::string key, worker;
+        if (!splitClaimName(name, key, worker))
+            continue;
+        // The lease may have been released between the listing and
+        // this stat — a vanished file is normal churn on a live
+        // queue, not corruption; skip it silently.
+        std::error_code age_ec;
+        const double age = ageAgainst(ref, entry.path(), age_ec);
+        if (age_ec)
+            continue;
+        LeaseInfo info;
+        info.key = key;
+        info.workerId = worker;
+        info.ageSeconds = age;
+        s.leases.push_back(std::move(info));
+    }
+    std::sort(s.leases.begin(), s.leases.end(),
+              [](const LeaseInfo &a, const LeaseInfo &b) {
+                  return a.key != b.key ? a.key < b.key
+                                        : a.workerId < b.workerId;
+              });
+    return s;
+}
+
+std::vector<CellInfo>
+WorkQueue::listCells() const
+{
+    std::vector<CellInfo> cells;
+    std::error_code ec;
+    const fs::file_time_type ref = probeNow();
+
+    // Decode a cell's display id from its serialized spec; strictly
+    // read-only — listing a live queue must never quarantine (the
+    // claim path owns that) or otherwise perturb the campaign.
+    auto decodeId = [&](const std::string &path) -> std::string {
+        std::string text;
+        if (!readFile(path, text))
+            return std::string(); // Vanished mid-scan: skip signal.
+        try {
+            return exp::parseSpec(text).id;
+        } catch (const std::exception &) {
+            return "(unparsable)";
+        }
+    };
+
+    for (const auto &entry :
+         fs::directory_iterator(fs::path(dir_) / "pending", ec)) {
+        const std::string name = entry.path().filename().string();
+        if (onScanFile)
+            onScanFile(name);
+        if (name.size() != kKeyLen + 5 ||
+            name.compare(kKeyLen, 5, ".spec") != 0 ||
+            !isHexKey(name.substr(0, kKeyLen)))
+            continue;
+        const std::string id = decodeId(entry.path().string());
+        if (id.empty())
+            continue; // Claimed or discarded between ls and read.
+        CellInfo cell;
+        cell.state = "pending";
+        cell.key = name.substr(0, kKeyLen);
+        cell.specId = id;
+        cells.push_back(std::move(cell));
+    }
+
+    for (const auto &entry :
+         fs::directory_iterator(fs::path(dir_) / "claimed", ec)) {
+        const std::string name = entry.path().filename().string();
+        if (onScanFile)
+            onScanFile(name);
+        std::string key, worker;
+        if (!splitClaimName(name, key, worker))
+            continue;
+        const std::string id = decodeId(entry.path().string());
+        if (id.empty())
+            continue;
+        CellInfo cell;
+        cell.state = "claimed";
+        cell.key = key;
+        cell.workerId = worker;
+        cell.specId = id;
+        std::error_code age_ec;
+        const double age =
+            ageAgainst(ref, leasePath(key, worker), age_ec);
+        cell.leaseAgeSeconds = age_ec ? -1.0 : age;
+        cells.push_back(std::move(cell));
+    }
+
+    for (const auto &entry :
+         fs::directory_iterator(fs::path(dir_) / "failed", ec)) {
+        const std::string name = entry.path().filename().string();
+        if (onScanFile)
+            onScanFile(name);
+        if (!isHexKey(name))
+            continue;
+        CellInfo cell;
+        cell.state = "failed";
+        cell.key = name;
+        std::string governor;
+        double hostSeconds = 0.0;
+        if (!failedResult(name, governor, cell.error, hostSeconds))
+            continue; // Marker vanished (cleared) mid-scan.
+        const std::string id =
+            decodeId(entry.path().string() + ".spec");
+        cell.specId = id.empty() ? "(spec not retained)" : id;
+        cells.push_back(std::move(cell));
+    }
+
+    std::sort(cells.begin(), cells.end(),
+              [](const CellInfo &a, const CellInfo &b) {
+                  return a.state != b.state ? a.state < b.state
+                                            : a.key < b.key;
+              });
+    return cells;
+}
+
+std::size_t
+WorkQueue::retryFailed()
+{
+    std::error_code ec;
+    std::vector<std::string> keys;
+    for (const auto &entry :
+         fs::directory_iterator(fs::path(dir_) / "failed", ec)) {
+        const std::string name = entry.path().filename().string();
+        if (isHexKey(name))
+            keys.push_back(name);
+    }
+
+    std::size_t cleared = 0;
+    for (const std::string &key : keys) {
+        // Rename-first so a concurrent retry cannot double-count:
+        // exactly one caller wins the spec file. A marker without a
+        // retained spec is just cleared — the next dispatch holds
+        // the spec and re-enqueues the cell.
+        fs::rename(failedPath(key) + ".spec", pendingPath(key), ec);
+        const bool requeued = !ec;
+        fs::remove(failedPath(key), ec);
+        ++cleared;
+        note(requeued
+                 ? "retry-failed: " + key + " back in pending"
+                 : "retry-failed: cleared marker for " + key +
+                       " (no retained spec; next dispatch "
+                       "re-enqueues it)");
+    }
+    return cleared;
+}
+
+std::size_t
+WorkQueue::purge()
+{
+    std::error_code ec;
+    std::size_t removed = 0;
+    for (const char *sub :
+         {"pending", "claimed", "leases", "failed", "corrupt",
+          "tmp"}) {
+        for (const auto &entry :
+             fs::directory_iterator(fs::path(dir_) / sub, ec)) {
+            if (fs::remove(entry.path(), ec) && !ec)
+                ++removed;
+        }
+    }
+    note("purged " + std::to_string(removed) + " file(s)");
+    return removed;
 }
 
 std::string

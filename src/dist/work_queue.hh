@@ -9,8 +9,10 @@
  *     <queue>/claimed/<key>.<worker>    cells being simulated
  *     <queue>/leases/<key>.<worker>     heartbeat files (mtime = alive)
  *     <queue>/failed/<key>              published error rows
+ *     <queue>/failed/<key>.spec         retained specs (retry-failed)
  *     <queue>/corrupt/                  quarantined unreadable files
  *     <queue>/tmp/                      staging for atomic writes
+ *                                       + the lease-staleness probe
  *
  * A pending cell is its serialized exp::ExperimentSpec (format
  * docs/EXPERIMENTS.md), named by its content key (exp::specKey), so
@@ -37,9 +39,11 @@
 
 #include <chrono>
 #include <cstddef>
+#include <filesystem>
 #include <functional>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "exp/experiment.hh"
 
@@ -63,6 +67,56 @@ struct QueueScan
 
     /** No cell waiting or in flight (failed cells are finished). */
     bool drained() const { return pending == 0 && claimed == 0; }
+};
+
+/**
+ * One live lease, aged against the queue filesystem's own clock (a
+ * probe file touched next to the leases — see @ref
+ * WorkQueue::status), so the age is meaningful even when observer
+ * and worker clocks disagree.
+ */
+struct LeaseInfo
+{
+    std::string key;      //!< Cell the lease covers.
+    std::string workerId; //!< Worker refreshing it.
+    double ageSeconds = 0.0; //!< Probe mtime minus lease mtime.
+};
+
+/**
+ * One cell visible on the queue, with its spec decoded for display
+ * (read-only: inspection never quarantines, claims, or reclaims).
+ */
+struct CellInfo
+{
+    /** "pending", "claimed", or "failed". */
+    std::string state;
+    std::string key;
+    std::string workerId; //!< Claimed cells only.
+
+    /**
+     * Cell id decoded from the serialized spec via the spec codec;
+     * "(unparsable)" when the file does not decode (the claim path
+     * will quarantine it — inspection only reports).
+     */
+    std::string specId;
+
+    /** Failed cells only: the published error text. */
+    std::string error;
+
+    /** Claimed cells only; negative when the lease is missing. */
+    double leaseAgeSeconds = -1.0;
+};
+
+/** Point-in-time queue health, assembled by @ref WorkQueue::status. */
+struct QueueStatus
+{
+    std::size_t pending = 0;
+    std::size_t claimed = 0;
+    std::size_t failed = 0;
+    std::size_t corrupt = 0; //!< Files quarantined under corrupt/.
+
+    /** Every live lease, sorted by key then worker. */
+    std::vector<LeaseInfo> leases;
 };
 
 /** Monotonic per-instance counters. */
@@ -126,7 +180,10 @@ class WorkQueue
      * Publish an error row for @p claim into failed/ and drop the
      * claim. Failed cells count as finished: they are not retried
      * until a dispatcher explicitly clears them (error rows are
-     * never cached, matching the single-process runner).
+     * never cached, matching the single-process runner). The cell's
+     * serialized spec is kept alongside the marker (failed/<key>.spec)
+     * so @ref retryFailed can put the cell back on the queue without
+     * a dispatcher.
      */
     void fail(const Claim &claim, const exp::RunResult &res);
 
@@ -179,6 +236,46 @@ class WorkQueue
     /** Count the queue directories (racy snapshot). */
     QueueScan scan() const;
 
+    /** @name Read-only inspection (sweep_queue, dashboards). @{ */
+
+    /**
+     * Occupancy counts plus every live lease's age. Ages are
+     * measured against a probe file touched in tmp/ — the queue
+     * filesystem's own clock — so they are exact across machines
+     * with skewed wall clocks. Tolerates concurrent mutation: a
+     * file that vanishes between the directory listing and its
+     * stat (claimed, released, reclaimed meanwhile) is skipped,
+     * never misreported as corrupt.
+     */
+    QueueStatus status() const;
+
+    /**
+     * Every cell on the queue (pending, claimed, failed) with its
+     * spec id decoded via the spec codec, sorted by state then key.
+     * Strictly read-only: an unparsable file is reported as
+     * "(unparsable)" but never quarantined, and vanishing files are
+     * skipped — safe to run against a live campaign.
+     */
+    std::vector<CellInfo> listCells() const;
+
+    /** @} */
+
+    /**
+     * Put every failed cell back on the queue: its retained spec
+     * (failed/<key>.spec) is renamed into pending/ and the failure
+     * marker removed. Markers without a retained spec (failures
+     * published by older builds) are cleared so the next dispatch
+     * re-enqueues them. Returns the number of markers cleared.
+     */
+    std::size_t retryFailed();
+
+    /**
+     * Remove every file in the queue (pending, claimed, leases,
+     * failed, corrupt, tmp) — a destructive reset for abandoned
+     * campaigns. Returns the number of files removed.
+     */
+    std::size_t purge();
+
     const QueueCounters &counters() const { return counters_; }
 
     /**
@@ -187,6 +284,24 @@ class WorkQueue
      * way). Not serialized; set before sharing across threads.
      */
     std::function<void(const std::string &)> onEvent;
+
+    /**
+     * Test-only race injection: called with each file name during
+     * status()/listCells() after the directory listing and before
+     * the file is stat'ed or read — lets tests delete a file at
+     * exactly that point to pin vanish tolerance. Null in
+     * production.
+     */
+    std::function<void(const std::string &)> onScanFile;
+
+    /**
+     * Fallback "now" used only when the staleness probe file cannot
+     * be written (read-only queue filesystem). Defaults to the
+     * observer's wall clock; injectable so tests can pin that a
+     * skewed observer clock never changes staleness decisions —
+     * lease ages come from the probe, not from here.
+     */
+    std::function<std::filesystem::file_time_type()> wallClock;
 
     /** @name Path helpers (tests and tools). @{ */
     std::string pendingPath(const std::string &key) const;
@@ -203,6 +318,16 @@ class WorkQueue
                     const std::string &reason);
     void heartbeatPath(const std::string &lease,
                        const std::string &workerId);
+
+    /**
+     * The queue filesystem's own "now": touch a probe file under
+     * tmp/ and read its mtime back, so staleness decisions compare
+     * two timestamps stamped by the same clock — the filesystem
+     * serving the queue — regardless of any machine's wall clock.
+     * Falls back to @ref wallClock when the probe cannot be
+     * written.
+     */
+    std::filesystem::file_time_type probeNow() const;
 
     std::string dir_;
     QueueCounters counters_;

@@ -1,8 +1,11 @@
 #include "dist/worker.hh"
 
+#include <atomic>
 #include <condition_variable>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
+#include <vector>
 
 #include "exp/report.hh"
 
@@ -48,16 +51,50 @@ class LeaseKeeper
     std::thread thread_;
 };
 
-} // anonymous namespace
+/**
+ * Exact shared completion budget for a capacity pool: maxCells is
+ * reserved before a claim is attempted and released when no claim
+ * materializes, so N concurrent loops complete exactly maxCells
+ * cells between them — never maxCells + capacity - 1.
+ */
+class CellBudget
+{
+  public:
+    explicit CellBudget(std::size_t max) : max_(max) {}
 
+    /** Reserve one completion slot; false = budget exhausted. */
+    bool
+    tryTake()
+    {
+        if (max_ == 0)
+            return true; // Unlimited.
+        if (taken_.fetch_add(1, std::memory_order_relaxed) < max_)
+            return true;
+        taken_.fetch_sub(1, std::memory_order_relaxed);
+        return false;
+    }
+
+    /** Return an unused slot (the claim scan came up empty). */
+    void
+    putBack()
+    {
+        if (max_ != 0)
+            taken_.fetch_sub(1, std::memory_order_relaxed);
+    }
+
+  private:
+    std::size_t max_;
+    std::atomic<std::size_t> taken_{0};
+};
+
+/** One claim → cache-check → simulate → publish loop. */
 WorkerStats
-runWorker(const std::string &queueDir, exp::ResultCache &cache,
-          const WorkerOptions &opts)
+runWorkerLoop(const std::string &queueDir, exp::ResultCache &cache,
+              const WorkerOptions &opts, const std::string &id,
+              CellBudget &budget)
 {
     WorkQueue queue(queueDir);
     queue.onEvent = opts.onEvent;
-    const std::string id =
-        opts.workerId.empty() ? makeWorkerId() : opts.workerId;
 
     auto log = [&](const std::string &line) {
         if (opts.onEvent)
@@ -68,8 +105,7 @@ runWorker(const std::string &queueDir, exp::ResultCache &cache,
     for (;;) {
         if (opts.shouldStop && opts.shouldStop())
             break;
-        if (opts.maxCells != 0 &&
-            stats.cacheHits + stats.simulated >= opts.maxCells)
+        if (!budget.tryTake())
             break;
 
         // Recover cells whose worker died before claiming new work:
@@ -78,6 +114,7 @@ runWorker(const std::string &queueDir, exp::ResultCache &cache,
 
         Claim claim;
         if (!queue.tryClaim(id, claim)) {
+            budget.putBack();
             if (opts.drain && queue.scan().drained())
                 break;
             std::this_thread::sleep_for(opts.poll);
@@ -116,6 +153,58 @@ runWorker(const std::string &queueDir, exp::ResultCache &cache,
         }
     }
     return stats;
+}
+
+} // anonymous namespace
+
+WorkerStats
+runWorker(const std::string &queueDir, exp::ResultCache &cache,
+          const WorkerOptions &opts)
+{
+    const std::string id =
+        opts.workerId.empty() ? makeWorkerId() : opts.workerId;
+    CellBudget budget(opts.maxCells);
+
+    if (opts.capacity <= 1)
+        return runWorkerLoop(queueDir, cache, opts, id, budget);
+
+    // Capacity pool: N copies of the loop, each claiming under its
+    // own sub-identity (claim and lease file names embed it), all
+    // drawing on one maxCells budget. Each loop owns a private
+    // WorkQueue handle — the queue protocol is already
+    // multi-process safe, which makes it multi-thread safe for
+    // free.
+    std::vector<WorkerStats> stats(opts.capacity);
+    std::vector<std::thread> pool;
+    std::mutex error_mutex;
+    std::string first_error;
+    for (std::size_t k = 0; k < opts.capacity; ++k) {
+        pool.emplace_back([&, k] {
+            try {
+                stats[k] = runWorkerLoop(
+                    queueDir, cache, opts,
+                    id + "-p" + std::to_string(k), budget);
+            } catch (const std::exception &e) {
+                const std::lock_guard<std::mutex> lock(error_mutex);
+                if (first_error.empty())
+                    first_error = e.what();
+            }
+        });
+    }
+    for (auto &t : pool)
+        t.join();
+    if (!first_error.empty())
+        throw std::runtime_error(first_error);
+
+    WorkerStats total;
+    for (const WorkerStats &s : stats) {
+        total.claimed += s.claimed;
+        total.simulated += s.simulated;
+        total.cacheHits += s.cacheHits;
+        total.failures += s.failures;
+        total.reclaims += s.reclaims;
+    }
+    return total;
 }
 
 } // namespace dist

@@ -12,6 +12,12 @@
  * cache (the completion marker the dispatcher watches), error rows
  * into the queue's failed/ directory.
  *
+ * WorkerOptions::capacity > 1 turns one runWorker() call into an
+ * internal pool: N copies of the same loop on N threads, each
+ * holding and heartbeating its own leased cell, so a big machine
+ * claims proportionally more of the campaign than a laptop sharing
+ * the queue (capacity-weighted claims).
+ *
  * The loop also performs lease reclamation between cells, so a fleet
  * of workers collectively recovers cells whose worker died — no
  * dispatcher involvement needed.
@@ -63,6 +69,18 @@ struct WorkerOptions
 
     /** Stop after completing this many cells (0 = unlimited). */
     std::size_t maxCells = 0;
+
+    /**
+     * Concurrent cells this worker holds — the capacity weight of
+     * the machine. N > 1 runs N claim → simulate loops on an
+     * internal thread pool, each leasing (and heartbeating) its own
+     * cell under the sub-identity "<workerId>-pK", so one daemon on
+     * a 32-core box can drain like 32 capacity-1 workers while
+     * @ref maxCells, @ref drain, and @ref shouldStop apply to the
+     * pool as a whole (maxCells is an exact shared budget, never
+     * overshot).
+     */
+    std::size_t capacity = 1;
 
     /** Cooperative stop; checked between cells. May be null. */
     std::function<bool()> shouldStop;

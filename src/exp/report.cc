@@ -125,12 +125,29 @@ csvRow(const RunResult &res)
     return row;
 }
 
+CsvWriter::CsvWriter(std::ostream &os, bool flushEachRow)
+    : os_(os), flushEachRow_(flushEachRow)
+{
+    os_ << csvHeader() << "\n";
+    if (flushEachRow_)
+        os_.flush();
+}
+
+void
+CsvWriter::append(const RunResult &res)
+{
+    os_ << csvRow(res) << "\n";
+    if (flushEachRow_)
+        os_.flush();
+    ++rows_;
+}
+
 void
 writeCsv(std::ostream &os, const std::vector<RunResult> &results)
 {
-    os << csvHeader() << "\n";
+    CsvWriter writer(os);
     for (const auto &res : results)
-        os << csvRow(res) << "\n";
+        writer.append(res);
 }
 
 std::string

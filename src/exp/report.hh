@@ -12,6 +12,7 @@
 #ifndef SYSSCALE_EXP_REPORT_HH
 #define SYSSCALE_EXP_REPORT_HH
 
+#include <cstddef>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -36,6 +37,30 @@ std::string csvRow(const RunResult &res);
 
 /** The header matching csvRow(). */
 std::string csvHeader();
+
+/**
+ * Incremental CSV emitter: the header is written on construction,
+ * then one row per append(). writeCsv() is exactly a CsvWriter fed
+ * the whole vector, so a streamed file and a batch-written file of
+ * the same rows are byte-identical. @p flushEachRow forces a flush
+ * after the header and every row — for streaming sinks that must
+ * stay tailable mid-campaign; batch emitters keep the stream's own
+ * buffering (flushing changes no bytes, only syscall count).
+ */
+class CsvWriter
+{
+  public:
+    explicit CsvWriter(std::ostream &os, bool flushEachRow = false);
+
+    void append(const RunResult &res);
+
+    std::size_t rows() const { return rows_; }
+
+  private:
+    std::ostream &os_;
+    bool flushEachRow_;
+    std::size_t rows_ = 0;
+};
 
 /** Write header + one row per result. */
 void writeCsv(std::ostream &os,

@@ -8,6 +8,13 @@
  * and the headline acceptance property — a distributed drain
  * assembling output byte-identical to a single-process
  * ExperimentRunner run of the same grid.
+ *
+ * Campaign operations on top: the read-only inspection APIs behind
+ * `sweep_queue` (counts, probe-aged leases, decoded cells —
+ * tolerant of files vanishing mid-scan), retry-failed / purge,
+ * clock-skew-free lease staleness, capacity-weighted workers, and
+ * spec-order result streaming whose CSV is byte-identical to
+ * end-of-run assembly.
  */
 
 #include <gtest/gtest.h>
@@ -15,6 +22,7 @@
 #include <unistd.h>
 
 #include <chrono>
+#include <cmath>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -548,6 +556,369 @@ TEST(Dispatch, ResumesFromAWarmCacheWithoutEnqueueing)
     EXPECT_EQ(again.localWork.simulated, 0u);
 }
 
+
+TEST(WorkQueue, StatusReportsCountsAndProbeAgedLeases)
+{
+    const TempDir dir("status");
+    dist::WorkQueue queue(dir.sub("q"));
+
+    // Build the queue state claim-by-claim so each tryClaim has
+    // exactly one candidate: one failed cell, one claimed cell
+    // (live lease), two pending, one quarantined file. Seeds
+    // differ because ids are presentation-only — the content key
+    // ignores them.
+    queue.enqueue(fastSpec("failing", 1));
+    dist::Claim failedClaim;
+    ASSERT_TRUE(queue.tryClaim("w2", failedClaim));
+    exp::RunResult res;
+    res.governor = "fixed";
+    res.error = "boom";
+    queue.fail(failedClaim, res);
+
+    dist::Claim claim;
+    queue.enqueue(fastSpec("claimed", 2));
+    ASSERT_TRUE(queue.tryClaim("w1", claim));
+    queue.enqueue(fastSpec("a", 3));
+    queue.enqueue(fastSpec("b", 4));
+    {
+        std::ofstream os(dir.sub("q") + "/corrupt/junk");
+        os << "quarantined bytes\n";
+    }
+
+    const dist::QueueStatus s = queue.status();
+    EXPECT_EQ(s.pending, 2u);
+    EXPECT_EQ(s.claimed, 1u);
+    EXPECT_EQ(s.failed, 1u);
+    EXPECT_EQ(s.corrupt, 1u);
+    ASSERT_EQ(s.leases.size(), 1u);
+    EXPECT_EQ(s.leases[0].workerId, "w1");
+    EXPECT_EQ(s.leases[0].key, claim.key);
+    // A just-written lease aged against a just-touched probe file:
+    // near zero either way, and sane.
+    EXPECT_LT(std::abs(s.leases[0].ageSeconds), 60.0);
+
+    // Backdated lease ages grow accordingly (probe minus mtime).
+    backdate(queue.leasePath(claim.key, "w1"),
+             std::chrono::seconds(120));
+    const dist::QueueStatus aged = queue.status();
+    ASSERT_EQ(aged.leases.size(), 1u);
+    EXPECT_GT(aged.leases[0].ageSeconds, 100.0);
+}
+
+TEST(WorkQueue, InspectionToleratesFilesVanishingMidScan)
+{
+    const TempDir dir("vanish");
+    dist::WorkQueue queue(dir.sub("q"));
+    std::vector<std::string> events;
+    queue.onEvent = [&](const std::string &e) {
+        events.push_back(e);
+    };
+
+    const std::string keyA = queue.enqueue(fastSpec("a", 1));
+    const std::string keyB = queue.enqueue(fastSpec("b", 2));
+    dist::Claim claim;
+    ASSERT_TRUE(queue.tryClaim("w1", claim));
+
+    // The lease is released by its worker at exactly the moment
+    // status() moves from the directory listing to the stat: the
+    // inspection must skip it — not crash, not count it corrupt,
+    // not report anything.
+    const std::string leaseName = claim.key + ".w1";
+    queue.onScanFile = [&](const std::string &name) {
+        if (name == leaseName) {
+            std::filesystem::remove(
+                queue.leasePath(claim.key, "w1"));
+        }
+    };
+    const dist::QueueStatus s = queue.status();
+    EXPECT_TRUE(s.leases.empty())
+        << "a vanished lease must be skipped, not aged";
+    EXPECT_EQ(s.corrupt, 0u);
+    EXPECT_EQ(queue.counters().corrupt, 0u);
+    EXPECT_TRUE(events.empty()) << events.front();
+
+    // Same for a pending spec vanishing between ls and read: the
+    // un-claimed cell disappears mid-listCells and must simply not
+    // show up.
+    const std::string pendingKey = claim.key == keyA ? keyB : keyA;
+    const std::string pendingName = pendingKey + ".spec";
+    queue.onScanFile = [&](const std::string &name) {
+        if (name == pendingName) {
+            std::filesystem::remove(
+                std::filesystem::path(dir.sub("q")) / "pending" /
+                name);
+        }
+    };
+    const std::vector<dist::CellInfo> cells = queue.listCells();
+    for (const dist::CellInfo &cell : cells) {
+        EXPECT_FALSE(cell.state == "pending" &&
+                     cell.key == pendingKey)
+            << "a vanished pending cell must be skipped";
+    }
+    EXPECT_EQ(queue.counters().corrupt, 0u);
+    EXPECT_TRUE(events.empty());
+}
+
+TEST(WorkQueue, ListCellsDecodesSpecsWithoutPerturbingTheQueue)
+{
+    const TempDir dir("lscells");
+    dist::WorkQueue queue(dir.sub("q"));
+
+    // Claim first while the queue holds a single cell, then add the
+    // pending one — no dependence on directory iteration order.
+    const exp::ExperimentSpec claimedSpec =
+        fastSpec("claimed-cell", 2);
+    const std::string claimedKey = queue.enqueue(claimedSpec);
+    dist::Claim claim;
+    ASSERT_TRUE(queue.tryClaim("w1", claim));
+    ASSERT_EQ(claim.key, claimedKey);
+    queue.enqueue(fastSpec("pending-cell"));
+
+    // A garbage file with a plausible name: listed as unparsable
+    // but NOT quarantined — inspection is read-only; only the claim
+    // path quarantines.
+    {
+        std::ofstream os(queue.pendingPath("0123456789abcdef"));
+        os << "not a spec\n";
+    }
+
+    const std::vector<dist::CellInfo> cells = queue.listCells();
+    ASSERT_EQ(cells.size(), 3u);
+    // Sorted by state: claimed < failed < pending.
+    EXPECT_EQ(cells[0].state, "claimed");
+    EXPECT_EQ(cells[0].specId, "claimed-cell");
+    EXPECT_EQ(cells[0].workerId, "w1");
+    EXPECT_GE(cells[0].leaseAgeSeconds, -1.0);
+    bool sawPending = false, sawGarbage = false;
+    for (const dist::CellInfo &cell : cells) {
+        sawPending |= cell.specId == "pending-cell";
+        sawGarbage |= cell.specId == "(unparsable)";
+    }
+    EXPECT_TRUE(sawPending);
+    EXPECT_TRUE(sawGarbage);
+    EXPECT_TRUE(std::filesystem::exists(
+        queue.pendingPath("0123456789abcdef")))
+        << "inspection must never quarantine";
+    EXPECT_EQ(queue.counters().corrupt, 0u);
+}
+
+TEST(WorkQueue, RetryFailedRequeuesTheRetainedSpec)
+{
+    const TempDir dir("retry");
+    dist::WorkQueue queue(dir.sub("q"));
+
+    const exp::ExperimentSpec spec = fastSpec("cell");
+    const std::string key = queue.enqueue(spec);
+    dist::Claim claim;
+    ASSERT_TRUE(queue.tryClaim("w1", claim));
+    exp::RunResult res;
+    res.governor = "fixed";
+    res.error = "deliberate failure";
+    queue.fail(claim, res);
+
+    // The failure keeps the marker AND the spec bytes.
+    EXPECT_EQ(queue.scan().failed, 1u);
+    EXPECT_TRUE(std::filesystem::exists(queue.failedPath(key) +
+                                        ".spec"));
+
+    // retry-failed puts the cell straight back on the queue…
+    EXPECT_EQ(queue.retryFailed(), 1u);
+    EXPECT_EQ(queue.scan().failed, 0u);
+    EXPECT_EQ(queue.scan().pending, 1u);
+    EXPECT_FALSE(std::filesystem::exists(queue.failedPath(key)));
+    EXPECT_FALSE(std::filesystem::exists(queue.failedPath(key) +
+                                         ".spec"));
+
+    // …content intact: a worker claims exactly the original spec.
+    dist::Claim again;
+    ASSERT_TRUE(queue.tryClaim("w2", again));
+    EXPECT_TRUE(again.spec == spec);
+}
+
+TEST(WorkQueue, PurgeEmptiesEveryQueueDirectory)
+{
+    const TempDir dir("purge");
+    dist::WorkQueue queue(dir.sub("q"));
+
+    queue.enqueue(fastSpec("a", 1));
+    queue.enqueue(fastSpec("b", 2));
+    dist::Claim claim;
+    ASSERT_TRUE(queue.tryClaim("w1", claim));
+    {
+        std::ofstream os(dir.sub("q") + "/corrupt/junk");
+        os << "junk\n";
+    }
+
+    EXPECT_GE(queue.purge(), 4u); // pending + claim + lease + junk
+    EXPECT_TRUE(queue.scan().drained());
+    EXPECT_EQ(queue.scan().failed, 0u);
+    EXPECT_EQ(queue.status().corrupt, 0u);
+    EXPECT_TRUE(queue.listCells().empty());
+}
+
+TEST(WorkQueue, ProbeStalenessIgnoresTheObserversWallClock)
+{
+    const TempDir dir("probe");
+    dist::WorkQueue queue(dir.sub("q"));
+    const exp::ExperimentSpec spec = fastSpec("cell");
+    const std::string key = queue.enqueue(spec);
+    dist::Claim claim;
+    ASSERT_TRUE(queue.tryClaim("w1", claim));
+
+    // Observer wall clock running an hour FAST: a wall-clock-based
+    // staleness test would see every fresh lease as 1h old and
+    // reclaim it. The probe comparison must not.
+    queue.wallClock = [] {
+        return std::filesystem::file_time_type::clock::now() +
+               std::chrono::hours(1);
+    };
+    EXPECT_EQ(queue.reclaimStale(std::chrono::seconds(30)), 0u)
+        << "a fresh lease must survive a fast observer clock";
+    EXPECT_TRUE(std::filesystem::exists(
+        queue.leasePath(key, "w1")));
+
+    // Observer wall clock running two hours SLOW: wall-clock
+    // staleness would never fire and the dead worker's cell would
+    // be stuck forever. The probe comparison reclaims it.
+    backdate(queue.leasePath(key, "w1"),
+             std::chrono::seconds(3600));
+    queue.wallClock = [] {
+        return std::filesystem::file_time_type::clock::now() -
+               std::chrono::hours(2);
+    };
+    EXPECT_EQ(queue.reclaimStale(std::chrono::seconds(30)), 1u)
+        << "a stale lease must be reclaimed under a slow observer "
+           "clock";
+    EXPECT_TRUE(std::filesystem::exists(queue.pendingPath(key)));
+
+    // The decisions really came from the probe file, not the
+    // injected clock.
+    bool sawProbe = false;
+    for (const auto &entry : std::filesystem::directory_iterator(
+             dir.sub("q") + "/tmp")) {
+        sawProbe |= entry.path().filename().string().rfind(
+                        ".probe.", 0) == 0;
+    }
+    EXPECT_TRUE(sawProbe);
+}
+
+TEST(Worker, CapacityPoolDrainsWithZeroDuplicateSimulations)
+{
+    const TempDir dir("capacity");
+    exp::ResultCache cache(dir.sub("cache"));
+    dist::WorkQueue queue(dir.sub("q"));
+
+    const auto specs = smallGrid();
+    for (const auto &spec : specs)
+        queue.enqueue(spec);
+
+    // One daemon, capacity 2: the internal pool holds (and
+    // heartbeats) two leased cells at once but must behave exactly
+    // like two cooperating capacity-1 workers — every cell
+    // simulated exactly once, nothing lost, queue left empty.
+    dist::WorkerOptions opts;
+    opts.workerId = "big-box";
+    opts.capacity = 2;
+    opts.drain = true;
+    opts.poll = std::chrono::milliseconds(10);
+    const dist::WorkerStats stats =
+        dist::runWorker(dir.sub("q"), cache, opts);
+
+    EXPECT_EQ(stats.claimed, specs.size());
+    EXPECT_EQ(stats.simulated, specs.size())
+        << "zero duplicate simulations across the pool";
+    EXPECT_EQ(stats.failures, 0u);
+    EXPECT_TRUE(queue.scan().drained());
+    EXPECT_TRUE(queue.status().leases.empty());
+    for (const auto &spec : specs) {
+        exp::RunResult out;
+        EXPECT_TRUE(cache.lookup(spec, out)) << spec.id;
+    }
+}
+
+TEST(Worker, CapacityPoolSharesTheMaxCellsBudgetExactly)
+{
+    const TempDir dir("budget");
+    exp::ResultCache cache(dir.sub("cache"));
+    dist::WorkQueue queue(dir.sub("q"));
+
+    const auto specs = smallGrid();
+    ASSERT_EQ(specs.size(), 4u);
+    for (const auto &spec : specs)
+        queue.enqueue(spec);
+
+    // maxCells applies to the pool as a whole and is reserved
+    // before each claim, so capacity 2 with a budget of 2 completes
+    // exactly 2 cells — never 3.
+    dist::WorkerOptions opts;
+    opts.workerId = "bounded";
+    opts.capacity = 2;
+    opts.maxCells = 2;
+    opts.poll = std::chrono::milliseconds(10);
+    const dist::WorkerStats stats =
+        dist::runWorker(dir.sub("q"), cache, opts);
+
+    EXPECT_EQ(stats.cacheHits + stats.simulated, 2u);
+    EXPECT_EQ(queue.scan().pending, 2u);
+    EXPECT_EQ(queue.scan().claimed, 0u);
+}
+
+TEST(Dispatch, StreamsRowsInSpecOrderByteIdenticalToAssembly)
+{
+    const TempDir dir("stream");
+    exp::ResultCache cache(dir.sub("cache"));
+
+    // A grid with a failing cell in the middle: streamed rows must
+    // cover error rows too, and still arrive in spec order.
+    std::vector<exp::ExperimentSpec> specs = smallGrid();
+    exp::ExperimentSpec broken;
+    broken.id = "broken";
+    broken.labels = {{"cell", "broken"}};
+    specs.insert(specs.begin() + 2, broken);
+
+    std::vector<std::size_t> order;
+    std::ostringstream streamed;
+    exp::CsvWriter writer(streamed);
+    dist::DispatchOptions opts;
+    opts.spawnWorkers = 2;
+    opts.poll = std::chrono::milliseconds(10);
+    opts.onResult = [&](std::size_t index,
+                        const exp::RunResult &res) {
+        order.push_back(index);
+        writer.append(res);
+    };
+    const dist::DispatchOutcome outcome =
+        dist::runDistributed(specs, dir.sub("q"), cache, opts);
+
+    // Every row streamed exactly once, in spec order (the reorder
+    // buffer hides completion order).
+    ASSERT_EQ(order.size(), specs.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        EXPECT_EQ(order[i], i);
+
+    // The streamed CSV is byte-identical to writing the assembled
+    // vector at the end — the acceptance property behind
+    // `sweep_grid --distributed --stream-csv`.
+    EXPECT_EQ(streamed.str(), toCsv(outcome.results));
+    EXPECT_FALSE(outcome.results[2].ok);
+
+    // A warm re-dispatch streams everything from the phase-1 cache
+    // scan (the failed cell re-runs), same order, same bytes.
+    std::vector<std::size_t> order2;
+    std::ostringstream streamed2;
+    exp::CsvWriter writer2(streamed2);
+    opts.onResult = [&](std::size_t index,
+                        const exp::RunResult &res) {
+        order2.push_back(index);
+        writer2.append(res);
+    };
+    const dist::DispatchOutcome again =
+        dist::runDistributed(specs, dir.sub("q"), cache, opts);
+    ASSERT_EQ(order2.size(), specs.size());
+    for (std::size_t i = 0; i < order2.size(); ++i)
+        EXPECT_EQ(order2[i], i);
+    EXPECT_EQ(streamed2.str(), toCsv(again.results));
+}
 
 TEST(Dispatch, CleansUpClaimsOfWorkersThatDiedAfterPublishing)
 {

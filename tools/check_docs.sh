@@ -7,7 +7,12 @@
 #   2. every bench/bench_*.cc binary is mentioned in the README's
 #      "Reproducing paper figures" table,
 #   3. every scenario registered in src/workloads/scenario.cc is
-#      documented in docs/EXPERIMENTS.md.
+#      documented in docs/EXPERIMENTS.md,
+#   4. every sweep_queue subcommand (the kSubcommands registry in
+#      tools/sweep_queue.cc) is documented in docs/OPERATIONS.md,
+#   5. every --flag the sweep tools accept (extracted from their
+#      `arg == "--x"` dispatch) is documented somewhere in the
+#      README or docs/.
 #
 # POSIX sh + grep/sed only, so it runs anywhere the build does.
 
@@ -80,6 +85,45 @@ for s in $scenarios; do
              "scenario '$s' (add it to the scenario table)"
         errors=$((errors + 1))
     fi
+done
+
+# --- 4. OPERATIONS.md documents every sweep_queue subcommand --------
+queue_src=tools/sweep_queue.cc
+subcommands=$(sed -n '/kSubcommands\[\]/,/};/p' "$queue_src" |
+              grep -o '"[a-z-]*"' | tr -d '"')
+if [ -z "$subcommands" ]; then
+    echo "check_docs: could not extract subcommands from" \
+         "$queue_src"
+    errors=$((errors + 1))
+fi
+for cmd in $subcommands; do
+    if ! grep -q "sweep_queue $cmd" docs/OPERATIONS.md; then
+        echo "check_docs: docs/OPERATIONS.md does not document" \
+             "'sweep_queue $cmd'"
+        errors=$((errors + 1))
+    fi
+done
+
+# --- 5. every sweep-tool flag is documented -------------------------
+# Flags are extracted from the exact-match dispatch comparisons
+# (`arg == "--x"`), which appear as standalone quoted strings; usage
+# text never matches because its strings carry more than the flag.
+for tool in tools/sweep_grid.cc tools/sweep_worker.cc \
+            tools/sweep_queue.cc; do
+    flags=$(grep -o '"--[a-z0-9-]*"' "$tool" | tr -d '"' | sort -u)
+    if [ -z "$flags" ]; then
+        echo "check_docs: could not extract flags from $tool"
+        errors=$((errors + 1))
+    fi
+    for flag in $flags; do
+        [ "$flag" = "--help" ] && continue
+        if ! grep -qF -- "$flag" README.md docs/EXPERIMENTS.md \
+                docs/OPERATIONS.md; then
+            echo "check_docs: flag $flag ($(basename "$tool"))" \
+                 "is not documented in README.md or docs/"
+            errors=$((errors + 1))
+        fi
+    done
 done
 
 if [ "$errors" -ne 0 ]; then

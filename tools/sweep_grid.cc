@@ -166,6 +166,10 @@ usage()
         "  --stall-timeout-s N  abort a --distributed sweep after N\n"
         "                     seconds without any cell completing\n"
         "                     (default: 0 = wait forever)\n"
+        "  --stream-csv       with --distributed --csv: write rows\n"
+        "                     to the CSV as cells resolve (spec\n"
+        "                     order; the finished file is byte-\n"
+        "                     identical to a non-streamed run)\n"
         "  --ddr4             use the DDR4 SoC population\n"
         "  --csv FILE         write CSV ('-' = stdout)\n"
         "  --json FILE        write JSON ('-' = stdout)\n"
@@ -219,6 +223,7 @@ main(int argc, char **argv)
     std::string distributed_dir;
     std::size_t spawn_workers = 0;
     long stall_timeout_s = 0;
+    bool stream_csv = false;
     bool ddr4 = false;
     bool quiet = false;
     bool no_cache = false;
@@ -259,10 +264,17 @@ main(int argc, char **argv)
         } else if (arg == "--distributed") {
             distributed_dir = value();
         } else if (arg == "--spawn-workers") {
-            spawn_workers = static_cast<std::size_t>(
-                std::atol(value().c_str()));
+            const long n = std::atol(value().c_str());
+            if (n < 0) {
+                std::fprintf(stderr, "sweep_grid: --spawn-workers "
+                                     "must be >= 0\n");
+                return 2;
+            }
+            spawn_workers = static_cast<std::size_t>(n);
         } else if (arg == "--stall-timeout-s") {
             stall_timeout_s = std::atol(value().c_str());
+        } else if (arg == "--stream-csv") {
+            stream_csv = true;
         } else if (arg == "--ddr4") {
             ddr4 = true;
         } else if (arg == "--csv") {
@@ -367,6 +379,13 @@ main(int argc, char **argv)
                              "--distributed\n");
         return 2;
     }
+    if (!distributed_dir.empty() && jobs > 0) {
+        std::fprintf(stderr,
+                     "sweep_grid: --jobs controls the in-process "
+                     "runner only; with --distributed use "
+                     "--spawn-workers for local parallelism\n");
+        return 2;
+    }
     if (!distributed_dir.empty() && !cache) {
         std::fprintf(stderr,
                      "sweep_grid: --distributed publishes results "
@@ -374,10 +393,18 @@ main(int argc, char **argv)
                      "or set SYSSCALE_CACHE_DIR\n");
         return 2;
     }
+    if (stream_csv &&
+        (distributed_dir.empty() || csv_path.empty())) {
+        std::fprintf(stderr,
+                     "sweep_grid: --stream-csv needs --distributed "
+                     "and --csv\n");
+        return 2;
+    }
 
     const auto wall_start = std::chrono::steady_clock::now();
     std::vector<exp::RunResult> results;
     std::size_t simulated_here = 0;
+    bool csv_streamed = false;
 
     if (!distributed_dir.empty()) {
         dist::DispatchOptions dopts;
@@ -389,6 +416,35 @@ main(int argc, char **argv)
                              line.c_str());
             };
         }
+
+        // --stream-csv: open the sink and write the header up
+        // front, then append each row as its cell resolves (the
+        // dispatcher delivers rows in spec order). The finished
+        // file is byte-identical to the end-of-run emit() path;
+        // mid-campaign it is a valid CSV prefix, tailable from
+        // another terminal.
+        std::ofstream stream_file;
+        std::unique_ptr<exp::CsvWriter> stream_writer;
+        if (stream_csv) {
+            std::ostream *stream_os = &std::cout;
+            if (csv_path != "-") {
+                stream_file.open(csv_path);
+                if (!stream_file) {
+                    std::fprintf(stderr,
+                                 "sweep_grid: cannot write %s\n",
+                                 csv_path.c_str());
+                    return 2;
+                }
+                stream_os = &stream_file;
+            }
+            stream_writer = std::make_unique<exp::CsvWriter>(
+                *stream_os, /*flushEachRow=*/true);
+            dopts.onResult = [&](std::size_t,
+                                 const exp::RunResult &res) {
+                stream_writer->append(res);
+            };
+        }
+
         std::fprintf(stderr,
                      "sweep_grid: dispatching %zu cells through "
                      "queue %s (%zu local worker thread(s))\n",
@@ -402,6 +458,15 @@ main(int argc, char **argv)
         } catch (const std::exception &e) {
             std::fprintf(stderr, "sweep_grid: %s\n", e.what());
             return 2;
+        }
+        if (stream_writer) {
+            csv_streamed = true;
+            if (csv_path != "-") {
+                std::fprintf(stderr,
+                             "wrote %s (%zu rows, streamed)\n",
+                             csv_path.c_str(),
+                             stream_writer->rows());
+            }
         }
     } else {
         exp::RunnerOptions opts;
@@ -474,7 +539,7 @@ main(int argc, char **argv)
                              "--cache-dir or SYSSCALE_CACHE_DIR)\n");
     }
 
-    if (!csv_path.empty())
+    if (!csv_path.empty() && !csv_streamed)
         emit(csv_path, false, results);
     if (!json_path.empty())
         emit(json_path, true, results);

@@ -1,0 +1,250 @@
+/**
+ * @file
+ * sweep_queue: inspect and repair a distributed sweep queue.
+ *
+ * The operator's window into a running campaign (see
+ * docs/OPERATIONS.md). All inspection is read-only — `status` and
+ * `ls` never claim, quarantine, or reclaim, so they are safe to run
+ * against a live fleet at any time:
+ *
+ *   sweep_queue status --queue /nfs/q        # counts + lease ages
+ *   sweep_queue ls --queue /nfs/q            # every cell, decoded
+ *   sweep_queue retry-failed --queue /nfs/q  # failed -> pending
+ *   sweep_queue purge --queue /nfs/q         # destructive reset
+ *
+ * Lease ages are measured against a probe file touched on the queue
+ * filesystem itself, so they are exact even when the observing
+ * machine's wall clock disagrees with the workers'.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dist/work_queue.hh"
+
+using namespace sysscale;
+
+namespace {
+
+/**
+ * The command registry; tools/check_docs.sh extracts these names
+ * and insists each is documented in docs/OPERATIONS.md.
+ */
+const char *const kSubcommands[] = {
+    "status",
+    "ls",
+    "retry-failed",
+    "purge",
+};
+
+void
+usage()
+{
+    std::printf(
+        "usage: sweep_queue <command> --queue DIR [options]\n"
+        "commands:\n"
+        "  status               occupancy counts + per-worker lease\n"
+        "                       ages (read-only)\n"
+        "  ls                   list every cell with its decoded\n"
+        "                       spec id (read-only)\n"
+        "  retry-failed         put failed cells back in pending\n"
+        "  purge                delete every file in the queue\n"
+        "options:\n"
+        "  --queue DIR          queue directory (required; must\n"
+        "                       already exist)\n"
+        "  --lease-timeout-s N  staleness threshold used to flag\n"
+        "                       leases in status/ls output\n"
+        "                       (default: 30)\n");
+}
+
+bool
+isSubcommand(const std::string &name)
+{
+    for (const char *const cmd : kSubcommands) {
+        if (name == cmd)
+            return true;
+    }
+    return false;
+}
+
+std::string
+formatAge(double seconds)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.1fs", seconds);
+    return buf;
+}
+
+int
+cmdStatus(dist::WorkQueue &queue, double staleAfter)
+{
+    const dist::QueueStatus s = queue.status();
+    std::printf("queue %s: %zu pending, %zu claimed, %zu failed, "
+                "%zu corrupt\n",
+                queue.dir().c_str(), s.pending, s.claimed, s.failed,
+                s.corrupt);
+
+    // Group leases by worker so a fleet summary reads at a glance:
+    // one line per worker, its held cells, and its freshest/oldest
+    // lease age.
+    std::map<std::string, std::vector<double>> byWorker;
+    for (const dist::LeaseInfo &lease : s.leases)
+        byWorker[lease.workerId].push_back(lease.ageSeconds);
+    if (byWorker.empty()) {
+        std::printf("workers: none (no live leases)\n");
+    } else {
+        std::printf("workers:\n");
+        for (const auto &kv : byWorker) {
+            double newest = kv.second.front();
+            double oldest = kv.second.front();
+            for (const double age : kv.second) {
+                newest = age < newest ? age : newest;
+                oldest = age > oldest ? age : oldest;
+            }
+            std::printf("  %-24s %zu lease(s), newest %s, "
+                        "oldest %s%s\n",
+                        kv.first.c_str(), kv.second.size(),
+                        formatAge(newest).c_str(),
+                        formatAge(oldest).c_str(),
+                        oldest > staleAfter ? " [stale]" : "");
+        }
+    }
+    return 0;
+}
+
+int
+cmdLs(dist::WorkQueue &queue, double staleAfter)
+{
+    const std::vector<dist::CellInfo> cells = queue.listCells();
+    if (cells.empty()) {
+        std::printf("queue %s is empty\n", queue.dir().c_str());
+        return 0;
+    }
+    for (const dist::CellInfo &cell : cells) {
+        std::string detail;
+        if (cell.state == "claimed") {
+            detail = "worker=" + cell.workerId;
+            detail += cell.leaseAgeSeconds < 0
+                          ? " lease=missing"
+                          : " lease=" +
+                                formatAge(cell.leaseAgeSeconds);
+            if (cell.leaseAgeSeconds > staleAfter)
+                detail += " [stale]";
+        } else if (cell.state == "failed") {
+            detail = "error=" + cell.error;
+        }
+        std::printf("%-8s %s  %-40s %s\n", cell.state.c_str(),
+                    cell.key.c_str(), cell.specId.c_str(),
+                    detail.c_str());
+    }
+    return 0;
+}
+
+int
+cmdRetryFailed(dist::WorkQueue &queue)
+{
+    const std::size_t cleared = queue.retryFailed();
+    std::printf("retry-failed: %zu failed cell(s) cleared on %s\n",
+                cleared, queue.dir().c_str());
+    return 0;
+}
+
+int
+cmdPurge(dist::WorkQueue &queue)
+{
+    const std::size_t removed = queue.purge();
+    std::printf("purge: removed %zu file(s) from %s\n", removed,
+                queue.dir().c_str());
+    return 0;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string command;
+    std::string queue_dir;
+    long lease_timeout_s = 30;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "sweep_queue: %s needs a value\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--queue") {
+            queue_dir = value();
+        } else if (arg == "--lease-timeout-s") {
+            lease_timeout_s = std::atol(value().c_str());
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "sweep_queue: unknown option %s\n",
+                         arg.c_str());
+            usage();
+            return 2;
+        } else if (command.empty()) {
+            command = arg;
+        } else {
+            std::fprintf(stderr,
+                         "sweep_queue: unexpected argument %s\n",
+                         arg.c_str());
+            usage();
+            return 2;
+        }
+    }
+
+    if (command.empty() || !isSubcommand(command)) {
+        std::fprintf(stderr, "sweep_queue: %s\n",
+                     command.empty()
+                         ? "a command is required"
+                         : ("unknown command \"" + command + "\"")
+                               .c_str());
+        usage();
+        return 2;
+    }
+    if (queue_dir.empty()) {
+        std::fprintf(stderr, "sweep_queue: --queue is required\n");
+        return 2;
+    }
+    if (lease_timeout_s <= 0) {
+        std::fprintf(stderr, "sweep_queue: --lease-timeout-s must "
+                             "be positive\n");
+        return 2;
+    }
+    // Creating directories on a typo'd path would be the opposite
+    // of inspection — insist the queue already exists.
+    if (!std::filesystem::is_directory(queue_dir)) {
+        std::fprintf(stderr, "sweep_queue: no queue at \"%s\"\n",
+                     queue_dir.c_str());
+        return 2;
+    }
+
+    try {
+        dist::WorkQueue queue(queue_dir);
+        const double staleAfter =
+            static_cast<double>(lease_timeout_s);
+        if (command == "status")
+            return cmdStatus(queue, staleAfter);
+        if (command == "ls")
+            return cmdLs(queue, staleAfter);
+        if (command == "retry-failed")
+            return cmdRetryFailed(queue);
+        return cmdPurge(queue);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "sweep_queue: %s\n", e.what());
+        return 2;
+    }
+}

@@ -9,6 +9,8 @@
  *
  *   sweep_worker --queue /nfs/q --cache-dir /nfs/cache          # daemon
  *   sweep_worker --queue /nfs/q --cache-dir /nfs/cache --drain  # batch
+ *   sweep_worker --queue /nfs/q --cache-dir /nfs/cache \
+ *                --capacity 32                      # big machine
  *
  * Claims are atomic renames, results publish through the
  * content-addressed cache, and a lease heartbeat makes crashes
@@ -49,7 +51,13 @@ usage()
         "                       $SYSSCALE_CACHE_DIR)\n"
         "  --drain              exit once the queue is empty\n"
         "                       (default: keep serving)\n"
+        "  --capacity N         concurrent cells this worker holds\n"
+        "                       (internal pool; default: 1 — set to\n"
+        "                       the machine's core count to weight\n"
+        "                       claims by machine size)\n"
         "  --max-cells N        stop after completing N cells\n"
+        "                       (shared by the whole --capacity "
+        "pool)\n"
         "  --poll-ms N          idle scan period (default: 500)\n"
         "  --heartbeat-ms N     lease refresh period (default: "
         "1000)\n"
@@ -88,6 +96,14 @@ main(int argc, char **argv)
             cache_dir = value();
         } else if (arg == "--drain") {
             opts.drain = true;
+        } else if (arg == "--capacity") {
+            const long n = std::atol(value().c_str());
+            if (n < 1) {
+                std::fprintf(stderr, "sweep_worker: --capacity "
+                                     "must be >= 1\n");
+                return 2;
+            }
+            opts.capacity = static_cast<std::size_t>(n);
         } else if (arg == "--max-cells") {
             opts.maxCells = static_cast<std::size_t>(
                 std::atol(value().c_str()));
@@ -169,9 +185,10 @@ main(int argc, char **argv)
         opts.workerId.empty() ? dist::makeWorkerId() : opts.workerId;
     opts.workerId = id;
     std::fprintf(stderr,
-                 "sweep_worker: %s serving queue %s (cache %s%s)\n",
+                 "sweep_worker: %s serving queue %s (cache %s, "
+                 "capacity %zu%s)\n",
                  id.c_str(), queue_dir.c_str(),
-                 cache->dir().c_str(),
+                 cache->dir().c_str(), opts.capacity,
                  opts.drain ? ", drain mode" : "");
 
     dist::WorkerStats stats;
