@@ -58,25 +58,24 @@ main(int argc, char **argv)
     std::printf("%-28s %12s %12s %8s\n", "metric", "baseline",
                 "sysscale", "delta");
 
-    auto row = [](const char *metric, double b, double s,
-                  const char *fmt) {
-        std::printf("%-28s ", metric);
-        std::printf(fmt, b);
-        std::printf(" ");
-        std::printf(fmt, s);
-        std::printf(" %+7.1f%%\n", (s / b - 1.0) * 100.0);
+    // A literal format with a runtime precision: a variable format
+    // string defeats compile-time checking (-Wformat-overflow flags
+    // it under the sanitizer profile's optimizer settings).
+    auto row = [](const char *metric, double b, double s, int prec) {
+        std::printf("%-28s %12.*f %12.*f %+7.1f%%\n", metric, prec,
+                    b, prec, s, (s / b - 1.0) * 100.0);
     };
 
-    row("perf (Ginstr/s)", base.ips / 1e9, sys.ips / 1e9, "%12.3f");
-    row("avg power (W)", base.avgPower, sys.avgPower, "%12.3f");
-    row("energy (J)", base.energy, sys.energy, "%12.3f");
-    row("EDP (J*s)", base.edp, sys.edp, "%12.4f");
+    row("perf (Ginstr/s)", base.ips / 1e9, sys.ips / 1e9, 3);
+    row("avg power (W)", base.avgPower, sys.avgPower, 3);
+    row("energy (J)", base.energy, sys.energy, 3);
+    row("EDP (J*s)", base.edp, sys.edp, 4);
     row("avg core clock (GHz)", base.avgCoreFreq / 1e9,
-        sys.avgCoreFreq / 1e9, "%12.3f");
+        sys.avgCoreFreq / 1e9, 3);
     row("mem latency (ns)", base.avgMemLatencyNs, sys.avgMemLatencyNs,
-        "%12.1f");
+        1);
     row("mem bandwidth (GB/s)", base.avgMemBandwidth / 1e9,
-        sys.avgMemBandwidth / 1e9, "%12.2f");
+        sys.avgMemBandwidth / 1e9, 2);
 
     std::printf("\nsysscale: %llu transitions, %.1f%% of time at the "
                 "low point, %llu QoS violations\n",

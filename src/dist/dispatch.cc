@@ -132,6 +132,8 @@ runDistributed(const std::vector<exp::ExperimentSpec> &specs,
     // try so the spawned workers are always joined before an error
     // propagates (a joinable std::thread destructor is terminate()).
     try {
+        // lint:allow nondeterminism -- host-side stall clock for the
+        // watch loop; never feeds a simulated quantity
         auto lastProgress = std::chrono::steady_clock::now();
         while (!unresolved.empty()) {
             // One listing of pending/ + claimed/ per poll serves
@@ -215,6 +217,7 @@ runDistributed(const std::vector<exp::ExperimentSpec> &specs,
 
             queue.reclaimStale(opts.leaseTimeout);
 
+            // lint:allow nondeterminism -- host-side stall clock
             const auto now = std::chrono::steady_clock::now();
             if (progressed) {
                 lastProgress = now;

@@ -274,6 +274,8 @@ WorkQueue::heartbeatPath(const std::string &lease,
 {
     // Rewritten in place: the mtime is the signal, the content is
     // diagnostic only. A torn write is harmless.
+    // lint:allow raw-queue-write -- mtime-only heartbeat; a torn
+    // write is harmless by design (content is diagnostic)
     std::ofstream os(lease, std::ios::binary | std::ios::trunc);
     if (os)
         os << workerId << "\n";
@@ -421,6 +423,8 @@ WorkQueue::probeNow() const
     const fs::path probe = fs::path(dir_) / "tmp" /
                            (".probe." + std::to_string(::getpid()));
     {
+        // lint:allow raw-queue-write -- mtime-only probe under
+        // tmp/; never read as data, only stat'ed for its clock
         std::ofstream os(probe, std::ios::binary | std::ios::trunc);
         if (os)
             os << "probe\n";
@@ -430,6 +434,8 @@ WorkQueue::probeNow() const
     if (!ec)
         return mtime;
     return wallClock ? wallClock()
+                     // lint:allow nondeterminism -- this IS the
+                     // injectable wallClock seam's default
                      : fs::file_time_type::clock::now();
 }
 

@@ -12,7 +12,10 @@
 #      tools/sweep_queue.cc) is documented in docs/OPERATIONS.md,
 #   5. every --flag the sweep tools accept (extracted from their
 #      `arg == "--x"` dispatch) is documented somewhere in the
-#      README or docs/.
+#      README or docs/,
+#   6. every check registered in tools/lint_invariants.py (the
+#      @check("name", ...) registry) is documented in
+#      docs/ANALYSIS.md.
 #
 # POSIX sh + grep/sed only, so it runs anywhere the build does.
 
@@ -124,6 +127,22 @@ for tool in tools/sweep_grid.cc tools/sweep_worker.cc \
             errors=$((errors + 1))
         fi
     done
+done
+
+# --- 6. ANALYSIS.md documents every registered lint check -----------
+lint_src=tools/lint_invariants.py
+lint_checks=$(grep -o '@check("[a-z-]*"' "$lint_src" |
+              sed 's/@check("//; s/"$//')
+if [ -z "$lint_checks" ]; then
+    echo "check_docs: could not extract lint checks from $lint_src"
+    errors=$((errors + 1))
+fi
+for c in $lint_checks; do
+    if ! grep -q "\`$c\`" docs/ANALYSIS.md; then
+        echo "check_docs: docs/ANALYSIS.md does not document lint" \
+             "check '$c' (add it to the check registry table)"
+        errors=$((errors + 1))
+    fi
 done
 
 if [ "$errors" -ne 0 ]; then

@@ -1,0 +1,19 @@
+// Clean fixture: deterministic, tmp-staged, scanned as if under
+// src/dist/ — must produce zero findings.
+#include <fstream>
+#include <random>
+#include <string>
+
+unsigned seededDraw(unsigned seed)
+{
+    std::mt19937 rng(seed); // deterministic: seed comes from the spec
+    return rng();
+}
+
+void stagedWrite(const std::string &dir, const std::string &key,
+                 const std::string &text)
+{
+    const std::string tmpPath = dir + "/tmp/" + key + ".0";
+    std::ofstream os(tmpPath, std::ios::binary | std::ios::trunc);
+    os << text;
+}

@@ -1,0 +1,19 @@
+// Clean fixture: every quantity names its unit (or is genuinely
+// dimensionless) — must produce zero findings.
+#ifndef LINT_FIXTURE_CLEAN_HH
+#define LINT_FIXTURE_CLEAN_HH
+
+#include <chrono>
+
+struct GoodFields
+{
+    double windowMs = 100.0;
+    double avgLatencyNs = 0.0;
+    double leaseAgeSeconds = 0.0;
+    double idlePowerW = 0.0;
+    double packageEnergyMj = 0.0;
+    double utilization = 0.0; // dimensionless, no keyword
+    std::chrono::milliseconds heartbeat{1000}; // type carries the unit
+};
+
+#endif

@@ -1,0 +1,33 @@
+// Known-bad fixture: every line below must trip the nondeterminism
+// check when scanned as if it lived under src/.  Mentions of
+// std::rand in comments like this one must NOT trip it.
+#include <chrono>
+#include <cstdlib>
+#include <random>
+
+int badSeed()
+{
+    std::random_device rd; // finding: nondeterministic seed
+    return static_cast<int>(rd());
+}
+
+int badRand()
+{
+    return std::rand(); // finding: libc rand
+}
+
+double badClock()
+{
+    const auto now = std::chrono::system_clock::now(); // finding
+    return std::chrono::duration<double>(
+               now.time_since_epoch())
+        .count();
+}
+
+double waivedClock()
+{
+    // lint:allow nondeterminism -- fixture: host-side seam example
+    const auto t = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(t.time_since_epoch())
+        .count();
+}

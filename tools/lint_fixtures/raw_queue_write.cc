@@ -1,0 +1,20 @@
+// Known-bad fixture: a queue-layer write that skips the tmp+rename
+// protocol.  A crashed writer leaves a torn pending/ file a reader
+// can claim.  Scanned as if it lived under src/dist/.
+#include <fstream>
+#include <string>
+
+void publishRaw(const std::string &dir, const std::string &key,
+                const std::string &text)
+{
+    std::ofstream os(dir + "/pending/" + key); // finding: raw write
+    os << text;
+}
+
+void publishStaged(const std::string &dir, const std::string &key,
+                   const std::string &text)
+{
+    const std::string tmp = dir + "/tmp/" + key;
+    std::ofstream os(tmp); // ok: staged, renamed by the caller
+    os << text;
+}

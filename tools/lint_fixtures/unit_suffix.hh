@@ -1,0 +1,18 @@
+// Known-bad fixture: duration/power fields with no unit in the name.
+// Scanned as if it lived under src/.  Is that timeout seconds?
+// Milliseconds?  The reader cannot know; the review in PR 4 caught a
+// real heartbeat-vs-lease mixup exactly like this.
+#ifndef LINT_FIXTURE_UNIT_SUFFIX_HH
+#define LINT_FIXTURE_UNIT_SUFFIX_HH
+
+struct BadFields
+{
+    double leaseTimeout = 30.0;  // finding: unit-less duration
+    double drawPower = 0.0;      // finding: unit-less power
+    double latencyNs = 0.0;      // ok: camelCase unit suffix
+    double lease_age_s = 0.0;    // ok: snake unit suffix
+    // lint:allow unit-suffix -- fixture: dimensionless scale factor
+    double energyScale = 1.0;
+};
+
+#endif

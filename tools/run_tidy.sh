@@ -1,0 +1,170 @@
+#!/bin/sh
+# clang-tidy ratchet (docs/ANALYSIS.md).
+#
+# Runs the .clang-tidy profile over every first-party translation
+# unit, normalizes the findings (repo-relative paths, line/column
+# numbers stripped so moving code never counts as a new finding), and
+# compares them against the committed baseline
+# tools/tidy_baseline.txt:
+#
+#   * a normalized finding with more occurrences than the baseline
+#     records is NEW -> exit 1 (CI fails),
+#   * a finding that disappeared is burn-down; run with
+#     --update-baseline to shrink the file and commit it,
+#   * the baseline never grows except by deliberate commit.
+#
+# Usage: tools/run_tidy.sh [--update-baseline] [--build-dir DIR]
+#
+# Gating: exits 0 with a notice when clang-tidy is not installed
+# (e.g. the gcc-only dev container); CI installs it and runs the real
+# ratchet.  Override the binary with $CLANG_TIDY.
+#
+# Bootstrap: while the baseline file contains the marker line
+# "# status: uninitialized" the script reports findings and exits 0,
+# printing the --update-baseline instruction — the one-time state
+# before the first machine with clang-tidy commits the real baseline.
+# Once initialized, any new finding fails.
+
+set -u
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+cd "$repo_root" || exit 2
+
+baseline=tools/tidy_baseline.txt
+build_dir=build
+update=0
+
+while [ $# -gt 0 ]; do
+    case "$1" in
+      --update-baseline) update=1 ;;
+      --build-dir) shift; build_dir=$1 ;;
+      *) echo "usage: tools/run_tidy.sh [--update-baseline]" \
+             "[--build-dir DIR]" >&2; exit 2 ;;
+    esac
+    shift
+done
+
+# ---- locate clang-tidy (gated, not required) ------------------------
+tidy=${CLANG_TIDY:-}
+if [ -z "$tidy" ]; then
+    for cand in clang-tidy clang-tidy-19 clang-tidy-18 clang-tidy-17 \
+                clang-tidy-16 clang-tidy-15 clang-tidy-14; do
+        if command -v "$cand" >/dev/null 2>&1; then
+            tidy=$cand
+            break
+        fi
+    done
+fi
+if [ -z "$tidy" ]; then
+    echo "run_tidy: clang-tidy not installed; skipping (the CI tidy" \
+         "job runs the real ratchet)"
+    exit 0
+fi
+
+# ---- compile database ----------------------------------------------
+if [ ! -f "$build_dir/compile_commands.json" ]; then
+    echo "run_tidy: generating $build_dir/compile_commands.json"
+    cmake -B "$build_dir" -S . >/dev/null || exit 2
+fi
+if [ ! -f "$build_dir/compile_commands.json" ]; then
+    echo "run_tidy: no compile_commands.json in $build_dir" >&2
+    exit 2
+fi
+
+# ---- run over every first-party TU ---------------------------------
+# tests/ TUs are included: concurrency checks on the test harness
+# matter (it spawns workers).  gtest/benchmark system headers stay
+# outside HeaderFilterRegex.
+sources=$(find src tools bench tests -name '*.cc' | sort)
+
+raw=$(mktemp) || exit 2
+current=$(mktemp) || exit 2
+trap 'rm -f "$raw" "$current"' EXIT
+
+status=0
+for tu in $sources; do
+    "$tidy" -p "$build_dir" --quiet "$tu" >>"$raw" 2>/dev/null ||
+        status=$?
+done
+# clang-tidy exits non-zero on findings too; a missing-binary error
+# would have been caught above, so only report, never die, here.
+[ "$status" -ne 0 ] && [ ! -s "$raw" ] &&
+    echo "run_tidy: warning: clang-tidy exited $status with no output"
+
+# ---- normalize ------------------------------------------------------
+# "/abs/path/src/foo.cc:12:34: warning: msg [check]" ->
+# "src/foo.cc: warning: msg [check]", counted per distinct finding so
+# a second identical instance in one file still registers as new.
+grep -E ':[0-9]+:[0-9]+: (warning|error):' "$raw" |
+    sed "s|^$repo_root/||" |
+    sed -E 's/:[0-9]+:[0-9]+:/:/' |
+    sort | uniq -c | sed -E 's/^ *([0-9]+) /\1 /' >"$current"
+
+if [ "$update" -eq 1 ]; then
+    {
+        echo "# clang-tidy ratchet baseline (tools/run_tidy.sh)."
+        echo "# Format: <count> <file>: <severity>: <message> [check]"
+        echo "# Regenerate with: tools/run_tidy.sh --update-baseline"
+        echo "# status: initialized"
+        cat "$current"
+    } >"$baseline"
+    echo "run_tidy: baseline updated ($(grep -c . "$current")" \
+         "distinct finding(s)); commit $baseline"
+    exit 0
+fi
+
+bootstrap=0
+grep -q '^# status: uninitialized' "$baseline" 2>/dev/null &&
+    bootstrap=1
+
+# ---- ratchet compare ------------------------------------------------
+# A current line is NEW when its count exceeds the baseline count for
+# the same normalized finding (including count 0 = not in baseline).
+new_findings=$(
+    awk 'NR==FNR {
+             if ($0 ~ /^#/) next
+             count = $1; $1 = ""; base[$0] = count; next
+         }
+         {
+             count = $1; $1 = ""
+             if (!($0 in base) || count + 0 > base[$0] + 0)
+                 print count $0
+         }' "$baseline" "$current"
+)
+
+# Baseline first: it always has header lines, so the NR==FNR file
+# split is safe even when the current run is completely clean.
+gone=$(
+    awk 'NR==FNR {
+             if ($0 ~ /^#/) next
+             $1 = ""; base[$0] = 1; next
+         }
+         { $1 = ""; delete base[$0] }
+         END { n = 0; for (k in base) n++; print n }' \
+        "$baseline" "$current"
+)
+
+total=$(grep -c . "$current")
+echo "run_tidy: $total distinct finding(s) currently," \
+     "$gone burned down vs baseline"
+
+if [ -n "$new_findings" ]; then
+    echo "run_tidy: NEW findings vs $baseline:"
+    echo "$new_findings" | sed 's/^/  /'
+    if [ "$bootstrap" -eq 1 ]; then
+        echo "run_tidy: baseline is uninitialized (bootstrap mode):" \
+             "not failing. Initialize it on a machine with" \
+             "clang-tidy via: tools/run_tidy.sh --update-baseline"
+        exit 0
+    fi
+    echo "run_tidy: fix them, or if pre-existing debt moved," \
+         "regenerate with --update-baseline and justify in review"
+    exit 1
+fi
+
+if [ "$gone" -gt 0 ]; then
+    echo "run_tidy: baseline can shrink — run" \
+         "'tools/run_tidy.sh --update-baseline' and commit"
+fi
+echo "run_tidy: OK (no new findings)"
+exit 0

@@ -1,0 +1,23 @@
+# Sanitizer runtime configuration for the analysis matrix.  Source
+# this (POSIX sh) before running instrumented binaries, locally or in
+# CI:
+#
+#     . tools/sanitize/env.sh
+#     cd build-asan && ctest --output-on-failure
+#
+# halt_on_error=1 everywhere: the matrix is a gate, so the first
+# finding fails the run instead of scrolling past.  Suppression files
+# live next to this script; see docs/ANALYSIS.md for the policy on
+# adding entries (third-party only, with reason strings).
+
+sanitize_dir=$(CDPATH= cd -- "$(dirname -- "$0")" 2>/dev/null && pwd)
+# When sourced (no meaningful $0), fall back to the repo-root layout.
+if [ ! -f "$sanitize_dir/asan.supp" ]; then
+    sanitize_dir=$(pwd)/tools/sanitize
+fi
+
+ASAN_OPTIONS="suppressions=$sanitize_dir/asan.supp:detect_leaks=1:halt_on_error=1:detect_stack_use_after_return=1"
+LSAN_OPTIONS="suppressions=$sanitize_dir/lsan.supp"
+UBSAN_OPTIONS="suppressions=$sanitize_dir/ubsan.supp:print_stacktrace=1:halt_on_error=1"
+TSAN_OPTIONS="suppressions=$sanitize_dir/tsan.supp:halt_on_error=1:second_deadlock_stack=1"
+export ASAN_OPTIONS LSAN_OPTIONS UBSAN_OPTIONS TSAN_OPTIONS

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "dist/work_queue.hh"
+#include "exp/report.hh"
 
 using namespace sysscale;
 
@@ -59,7 +60,9 @@ usage()
         "                       already exist)\n"
         "  --lease-timeout-s N  staleness threshold used to flag\n"
         "                       leases in status/ls output\n"
-        "                       (default: 30)\n");
+        "                       (default: 30)\n"
+        "  --json               status only: machine-readable output\n"
+        "                       (one JSON object; scraper-friendly)\n");
 }
 
 bool
@@ -78,6 +81,43 @@ formatAge(double seconds)
     char buf[32];
     std::snprintf(buf, sizeof(buf), "%.1fs", seconds);
     return buf;
+}
+
+/**
+ * `status --json`: one JSON object on stdout, so a scraper (cron,
+ * dashboard exporter) can poll pending/claimed/failed/corrupt counts
+ * and lease ages without parsing the human layout. Emitted through
+ * the same exp::formatDouble/jsonQuote helpers as every other JSON
+ * surface — writer/reader drift is impossible by construction.
+ */
+int
+cmdStatusJson(dist::WorkQueue &queue, double staleAfter)
+{
+    const dist::QueueStatus s = queue.status();
+    std::string doc = "{\n";
+    doc += "  \"queue\": " + exp::jsonQuote(queue.dir()) + ",\n";
+    doc += "  \"pending\": " + std::to_string(s.pending) + ",\n";
+    doc += "  \"claimed\": " + std::to_string(s.claimed) + ",\n";
+    doc += "  \"failed\": " + std::to_string(s.failed) + ",\n";
+    doc += "  \"corrupt\": " + std::to_string(s.corrupt) + ",\n";
+    doc += "  \"lease_timeout_s\": " +
+           exp::formatDouble(staleAfter) + ",\n";
+    doc += "  \"leases\": [";
+    bool first = true;
+    for (const dist::LeaseInfo &lease : s.leases) {
+        doc += first ? "\n" : ",\n";
+        first = false;
+        doc += "    {\"key\": " + exp::jsonQuote(lease.key) +
+               ", \"worker\": " + exp::jsonQuote(lease.workerId) +
+               ", \"age_s\": " + exp::formatDouble(lease.ageSeconds) +
+               ", \"stale\": " +
+               (lease.ageSeconds > staleAfter ? "true" : "false") +
+               "}";
+    }
+    doc += first ? "]\n" : "\n  ]\n";
+    doc += "}\n";
+    std::fputs(doc.c_str(), stdout);
+    return 0;
 }
 
 int
@@ -171,6 +211,7 @@ main(int argc, char **argv)
     std::string command;
     std::string queue_dir;
     long lease_timeout_s = 30;
+    bool json = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -187,6 +228,8 @@ main(int argc, char **argv)
             queue_dir = value();
         } else if (arg == "--lease-timeout-s") {
             lease_timeout_s = std::atol(value().c_str());
+        } else if (arg == "--json") {
+            json = true;
         } else if (arg == "--help" || arg == "-h") {
             usage();
             return 0;
@@ -236,8 +279,14 @@ main(int argc, char **argv)
         dist::WorkQueue queue(queue_dir);
         const double staleAfter =
             static_cast<double>(lease_timeout_s);
+        if (json && command != "status") {
+            std::fprintf(stderr, "sweep_queue: --json only applies "
+                                 "to status\n");
+            return 2;
+        }
         if (command == "status")
-            return cmdStatus(queue, staleAfter);
+            return json ? cmdStatusJson(queue, staleAfter)
+                        : cmdStatus(queue, staleAfter);
         if (command == "ls")
             return cmdLs(queue, staleAfter);
         if (command == "retry-failed")
