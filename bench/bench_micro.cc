@@ -9,6 +9,7 @@
 #include "bench/harness.hh"
 #include "core/threshold_trainer.hh"
 #include "sim/random.hh"
+#include "workloads/battery.hh"
 #include "workloads/spec.hh"
 
 using namespace sysscale;
@@ -127,6 +128,28 @@ BM_SocStep(benchmark::State &state)
         chip.run(100 * kTicksPerUs); // one model step
 }
 BENCHMARK(BM_SocStep);
+
+/**
+ * Fig. 9-class idle-heavy run (video playback: C0/C2/C8 = 10/5/85)
+ * with the constant-step replay path toggled by the benchmark arg
+ * (0 = off, 1 = on). The strict perf ledger requires the enabled
+ * variant to hold a >= 2x wall-clock advantage over the disabled
+ * one; each iteration simulates 10ms.
+ */
+void
+BM_Fig9IdleRun(benchmark::State &state)
+{
+    Simulator sim;
+    soc::Soc chip(sim, soc::skylakeConfig());
+    chip.display().attachPanel(0, io::PanelConfig{});
+    workloads::ProfileAgent agent(workloads::videoPlayback());
+    chip.setWorkload(&agent);
+    chip.setSkipAhead(state.range(0) != 0);
+    chip.run(kTicksPerMs);
+    for (auto _ : state)
+        chip.run(10 * kTicksPerMs);
+}
+BENCHMARK(BM_Fig9IdleRun)->Arg(0)->Arg(1);
 
 void
 BM_DisplayPanelBandwidth(benchmark::State &state)

@@ -71,6 +71,13 @@ class PinnedFreqAgent : public soc::WorkloadAgent
         return inner_.finished(now);
     }
 
+    Tick
+    demandHorizon(Tick now) override
+    {
+        // The override is time-invariant, so the inner horizon holds.
+        return inner_.demandHorizon(now);
+    }
+
   private:
     soc::WorkloadAgent &inner_;
     Hertz freq_;

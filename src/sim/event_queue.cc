@@ -18,6 +18,22 @@ Event::~Event()
                     name_.c_str());
 }
 
+bool
+EventQueue::entryLess(const Entry &a, const Entry &b)
+{
+    if (a.when != b.when)
+        return a.when < b.when;
+    if (a.priority != b.priority)
+        return a.priority < b.priority;
+    return a.seq < b.seq;
+}
+
+bool
+EventQueue::isLive(const Entry &e) const
+{
+    return e.ev->generation_ == e.generation && e.ev->scheduled_;
+}
+
 void
 EventQueue::schedule(Event *ev, Tick when)
 {
@@ -34,8 +50,8 @@ EventQueue::schedule(Event *ev, Tick when)
     ev->when_ = when;
     ev->seq_ = nextSeq_++;
     ++ev->generation_;
-    heap_.push(Entry{when, ev->priority(), ev->seq_,
-                     ev->generation_, ev});
+    buckets_[dayOf(when) % kNumBuckets].push_back(
+        Entry{when, ev->priority(), ev->seq_, ev->generation_, ev});
     ++live_;
 }
 
@@ -46,10 +62,19 @@ EventQueue::deschedule(Event *ev)
     SYSSCALE_ASSERT(ev->scheduled_,
                     "event '%s' descheduled while not scheduled",
                     ev->name().c_str());
-    // Lazy deletion: bump the generation so the heap entry is skipped.
+    // Lazy deletion: bump the generation so the bucket entry is
+    // skipped (and swept) by the next scan that visits it.
     ev->scheduled_ = false;
     ++ev->generation_;
     --live_;
+    ++dead_;
+
+    // Pathological churn into far-future buckets could otherwise pile
+    // up corpses faster than day-by-day scanning sweeps them.
+    if (dead_ > kNumBuckets && dead_ > 4 * live_) {
+        for (auto &bucket : buckets_)
+            pruneBucket(bucket);
+    }
 }
 
 void
@@ -61,27 +86,71 @@ EventQueue::reschedule(Event *ev, Tick when)
 }
 
 void
-EventQueue::skim()
+EventQueue::pruneBucket(std::vector<Entry> &bucket)
 {
-    while (!heap_.empty()) {
-        const Entry &top = heap_.top();
-        if (top.ev->generation_ == top.generation &&
-            top.ev->scheduled_) {
-            return;
+    for (std::size_t i = 0; i < bucket.size();) {
+        if (isLive(bucket[i])) {
+            ++i;
+            continue;
         }
-        heap_.pop();
+        bucket[i] = bucket.back();
+        bucket.pop_back();
+        --dead_;
     }
 }
 
-bool
-EventQueue::step()
+EventQueue::EntryRef
+EventQueue::findMin()
 {
-    skim();
-    if (heap_.empty())
-        return false;
+    if (live_ == 0)
+        return EntryRef{0, 0, false};
 
-    Entry top = heap_.top();
-    heap_.pop();
+    // Walk days forward from now; all events of a day share one
+    // bucket, so the first day with a live entry yields the global
+    // minimum.
+    std::uint64_t day = dayOf(now_);
+    for (std::size_t probes = 0; probes < kNumBuckets; ++probes, ++day) {
+        const std::size_t bi = day % kNumBuckets;
+        std::vector<Entry> &bucket = buckets_[bi];
+        pruneBucket(bucket);
+        std::size_t best = kNpos;
+        for (std::size_t i = 0; i < bucket.size(); ++i) {
+            if (dayOf(bucket[i].when) != day)
+                continue; // different rotation of the calendar
+            if (best == kNpos || entryLess(bucket[i], bucket[best]))
+                best = i;
+        }
+        if (best != kNpos)
+            return EntryRef{bi, best, true};
+    }
+
+    // Sparse queue: nothing within one calendar rotation of now.
+    // live_ > 0, so a direct scan over the few survivors finds the
+    // minimum without day filtering.
+    EntryRef ref{0, 0, false};
+    for (std::size_t bi = 0; bi < kNumBuckets; ++bi) {
+        std::vector<Entry> &bucket = buckets_[bi];
+        pruneBucket(bucket);
+        for (std::size_t i = 0; i < bucket.size(); ++i) {
+            if (!ref.found ||
+                entryLess(bucket[i],
+                          buckets_[ref.bucket][ref.slot])) {
+                ref = EntryRef{bi, i, true};
+            }
+        }
+    }
+    SYSSCALE_ASSERT(ref.found, "live events but none found");
+    return ref;
+}
+
+void
+EventQueue::fireAt(const EntryRef &ref)
+{
+    std::vector<Entry> &bucket = buckets_[ref.bucket];
+    const Entry top = bucket[ref.slot];
+    bucket[ref.slot] = bucket.back();
+    bucket.pop_back();
+
     SYSSCALE_ASSERT(top.when >= now_, "event queue went backwards");
     now_ = top.when;
 
@@ -90,24 +159,54 @@ EventQueue::step()
     --live_;
     ++processed_;
     ev->process();
+}
+
+bool
+EventQueue::step()
+{
+    const EntryRef ref = findMin();
+    if (!ref.found)
+        return false;
+    fireAt(ref);
     return true;
+}
+
+Tick
+EventQueue::nextPendingTick()
+{
+    const EntryRef ref = findMin();
+    return ref.found ? buckets_[ref.bucket][ref.slot].when : kMaxTick;
+}
+
+void
+EventQueue::advanceNow(Tick when)
+{
+    SYSSCALE_ASSERT(when >= now_, "advanceNow() into the past");
+    SYSSCALE_ASSERT(when <= nextPendingTick(),
+                    "advanceNow() past a pending event");
+    now_ = when;
 }
 
 std::uint64_t
 EventQueue::runUntil(Tick limit)
 {
+    const Tick prev_limit = runLimit_;
+    runLimit_ = limit;
+
     std::uint64_t fired = 0;
     while (true) {
-        skim();
-        if (heap_.empty())
+        const EntryRef ref = findMin();
+        if (!ref.found)
             break;
-        if (heap_.top().when > limit)
+        if (buckets_[ref.bucket][ref.slot].when > limit)
             break;
-        step();
+        fireAt(ref);
         ++fired;
     }
     if (now_ < limit)
         now_ = limit;
+
+    runLimit_ = prev_limit;
     return fired;
 }
 

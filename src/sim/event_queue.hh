@@ -6,14 +6,27 @@
  * sequence). Components either subclass Event or use
  * EventFunctionWrapper to run a lambda at a given time, mirroring the
  * gem5 kernel at a much smaller scale.
+ *
+ * Storage is a calendar queue: an array of buckets, each holding the
+ * events of the "days" (fixed-width tick ranges) that alias onto it.
+ * The day width is sized to the SoC step interval — the cadence that
+ * dominates every simulation — so the common dequeue touches exactly
+ * one bucket holding a handful of entries instead of re-heapifying a
+ * binary heap. Dequeue scans the current day's bucket for the
+ * (tick, priority, seq)-minimum; when no event lives within one full
+ * rotation of the calendar (a sparse queue between PMU evaluations or
+ * after a skip-ahead), a single global scan over the few live entries
+ * finds the minimum directly. Descheduled events are invalidated
+ * lazily by a generation counter, exactly as the old heap did, and
+ * swept out of whichever bucket a scan next visits.
  */
 
 #ifndef SYSSCALE_SIM_EVENT_QUEUE_HH
 #define SYSSCALE_SIM_EVENT_QUEUE_HH
 
+#include <array>
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <string>
 #include <vector>
 
@@ -90,7 +103,7 @@ class EventFunctionWrapper : public Event
 };
 
 /**
- * The kernel: a time-ordered queue of events plus the current tick.
+ * The kernel: a time-ordered calendar of events plus the current tick.
  */
 class EventQueue
 {
@@ -135,6 +148,28 @@ class EventQueue
     /** Run a single event if one is pending. @return true if fired. */
     bool step();
 
+    /**
+     * Tick of the earliest pending event, kMaxTick when the queue is
+     * empty. Prunes dead entries as a side effect, hence non-const.
+     */
+    Tick nextPendingTick();
+
+    /**
+     * Jump now() forward to @p when without firing anything. The
+     * caller asserts that nothing observable happens in the skipped
+     * span: @p when must not lie beyond the next pending event.
+     * This is the kernel half of the SoC's idle skip-ahead.
+     */
+    void advanceNow(Tick when);
+
+    /**
+     * Inclusive limit of the innermost runUntil() in progress, or 0
+     * when none is active. Event handlers that advance time
+     * themselves (skip-ahead batching) must not advance past it —
+     * the caller of runUntil() expects now() == limit on return.
+     */
+    Tick runLimit() const { return runLimit_; }
+
     /** Total number of events processed over the queue's lifetime. */
     std::uint64_t processedCount() const { return processed_; }
 
@@ -148,27 +183,46 @@ class EventQueue
         Event *ev;
     };
 
-    struct EntryGreater
+    /** Bucket and slot of a located entry. */
+    struct EntryRef
     {
-        bool
-        operator()(const Entry &a, const Entry &b) const
-        {
-            if (a.when != b.when)
-                return a.when > b.when;
-            if (a.priority != b.priority)
-                return a.priority > b.priority;
-            return a.seq > b.seq;
-        }
+        std::size_t bucket;
+        std::size_t slot;
+        bool found;
     };
 
-    /** Pop dead (descheduled/rescheduled) entries off the heap top. */
-    void skim();
+    /**
+     * Calendar geometry. The day width (2^kDayShift ticks ≈ 134 µs)
+     * brackets the 100 µs SoC step interval, so consecutive steps
+     * land in the same or adjacent buckets; 64 buckets cover one
+     * PMU sample interval (1 ms) several times over before aliasing.
+     */
+    static constexpr int kDayShift = 27;
+    static constexpr std::size_t kNumBuckets = 64;
+    static constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
 
-    std::priority_queue<Entry, std::vector<Entry>, EntryGreater> heap_;
+    static std::uint64_t dayOf(Tick when) { return when >> kDayShift; }
+
+    static bool entryLess(const Entry &a, const Entry &b);
+
+    bool isLive(const Entry &e) const;
+
+    /** Swap-remove every dead (descheduled/stale) entry. */
+    void pruneBucket(std::vector<Entry> &bucket);
+
+    /** Locate the (tick, priority, seq)-minimum live entry. */
+    EntryRef findMin();
+
+    /** Remove the entry at @p ref, advance time, and fire it. */
+    void fireAt(const EntryRef &ref);
+
+    std::array<std::vector<Entry>, kNumBuckets> buckets_;
     Tick now_ = 0;
+    Tick runLimit_ = 0;
     std::uint64_t nextSeq_ = 0;
     std::uint64_t processed_ = 0;
     std::size_t live_ = 0;
+    std::size_t dead_ = 0; //!< Lazily-deleted entries still in buckets.
 };
 
 } // namespace sysscale

@@ -1,7 +1,9 @@
 #include "soc/soc.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
 
 #include "sim/logging.hh"
 
@@ -13,7 +15,29 @@ namespace {
 /** LLC capacity the workload profiles were characterized at. */
 constexpr std::size_t kProfileLlcBytes = 4ull * 1024 * 1024;
 
+/** Skip-ahead default override: -1 = follow the environment. */
+std::atomic<int> g_skip_ahead_override{-1};
+
 } // namespace
+
+bool
+Soc::skipAheadDefault()
+{
+    const int o = g_skip_ahead_override.load(std::memory_order_relaxed);
+    if (o >= 0)
+        return o != 0;
+    // lint:allow nondeterminism -- opt-out knob only; the replay path
+    // it gates is byte-identical to the slow path by construction
+    static const bool env_on =
+        std::getenv("SYSSCALE_NO_SKIP_AHEAD") == nullptr;
+    return env_on;
+}
+
+void
+Soc::setSkipAheadDefault(bool on)
+{
+    g_skip_ahead_override.store(on ? 1 : 0, std::memory_order_relaxed);
+}
 
 Soc::Soc(Simulator &sim, SocConfig cfg)
     : SimObject(sim, nullptr, "soc"), cfg_(std::move(cfg)),
@@ -28,9 +52,12 @@ Soc::Soc(Simulator &sim, SocConfig cfg)
                      "steps with isochronous demand unmet"),
       stallTicks_(this, "stall_ticks",
                   "memory-blocked time charged by DVFS flows"),
-      steps_(this, "steps", "model steps executed")
+      steps_(this, "steps", "model steps executed"),
+      replayedSteps_(this, "replayed_steps",
+                     "steps served by the skip-ahead replay path")
 {
     cfg_.validate();
+    skipAhead_ = skipAheadDefault();
 
     dram_ = std::make_unique<dram::DramDevice>(sim, this,
                                                cfg_.dramSpec,
@@ -158,10 +185,98 @@ Soc::applyComputePStates(const IntervalDemand &demand,
     }
 }
 
+bool
+Soc::planValidAt(Tick t) const
+{
+    const StepPlan &p = plan_;
+    if (!p.valid || t >= p.demandValidUntil)
+        return false;
+    if (pendingStall_ != 0 || workload_ != p.workload)
+        return false;
+    // Exact (bitwise) comparisons throughout: the replay path only
+    // engages when its inputs are *identical*, never merely close.
+    if (transitions_.value() != p.transitionsSeen ||
+        throttle_ != p.throttle ||
+        computeBudget_ != p.computeBudget ||
+        coreFreqCap_ != p.coreFreqCap ||
+        hdc_.dutyFactor() != p.dutyFactor ||
+        cfg_.tdp != p.tdp ||
+        lastMemLatencyNs_ != p.latencyInNs ||
+        cpu_->frequency() != p.cpuFreq ||
+        gfx_->frequency() != p.gfxFreq) {
+        return false;
+    }
+    return isoBandwidthDemand() == p.iso &&
+           display_->power() + isp_->power() == p.ioEnginePower;
+}
+
+void
+Soc::replaySteps(Tick interval)
+{
+    // Serve the step event that just fired from the cached plan.
+    ++steps_;
+    ++replayedSteps_;
+    commitStep(interval, true);
+
+    // Idle skip-ahead: batch further grid steps while nothing can
+    // observe the difference — no event pending at or before the
+    // next virtual step, the workload's demand horizon not reached,
+    // the enclosing runUntil() window not overrun, and the replayed
+    // tail itself not drifting (throttle walk, latency snap). Each
+    // virtual step applies the identical mutation sequence at the
+    // identical tick; the kernel just never round-trips an event per
+    // step. Nothing in the commit half schedules events, so the
+    // pending horizon is stable across the batch.
+    Tick t = now();
+    const Tick horizon = eventq().nextPendingTick();
+    const Tick limit = eventq().runLimit();
+    while (true) {
+        const Tick next = t + interval;
+        if (next >= horizon || next > limit ||
+            next >= plan_.demandValidUntil ||
+            throttle_ != plan_.throttle ||
+            lastMemLatencyNs_ != plan_.latencyInNs) {
+            break;
+        }
+        eventq().advanceNow(next);
+        t = next;
+        ++steps_;
+        ++replayedSteps_;
+        commitStep(interval, true);
+    }
+    eventq().schedule(&stepEvent_, t + interval);
+}
+
 void
 Soc::step()
 {
     const Tick interval = cfg_.stepInterval;
+
+    if (skipAhead_) {
+        if (planValidAt(now())) {
+            planMissStreak_ = 0;
+            planSkipCountdown_ = 0;
+            planJustCaptured_ = false;
+            replaySteps(interval);
+            return;
+        }
+        // A capture that produced no replay before the next slow step
+        // means the step dynamics are live (a latency limit cycle, a
+        // stall-consuming memory phase, a governor retuning every
+        // sample): back off capturing exponentially so non-replaying
+        // workloads stop paying the fingerprint-and-horizon cost on
+        // every step. Keyed on the capture itself, not on plan_.valid
+        // — a capture voided by consumed stall must back off too. Any
+        // successful replay resets the backoff.
+        if (planJustCaptured_) {
+            planJustCaptured_ = false;
+            plan_.valid = false;
+            if (planMissStreak_ < kPlanBackoffMax)
+                ++planMissStreak_;
+            planSkipCountdown_ = (1u << planMissStreak_) - 1;
+        }
+    }
+
     ++steps_;
 
     // The demand scratch persists across steps so the per-thread
@@ -171,6 +286,17 @@ Soc::step()
     demand.clear();
     if (workload_ && !workload_->finished(now()))
         workload_->demandAt(now(), demand);
+
+    // How long the demand just presented is guaranteed to hold —
+    // the replay plan captured below is dead beyond this tick. Both
+    // the horizon query and the capture are skipped entirely while
+    // the backoff is draining.
+    const bool capture_plan = skipAhead_ && planSkipCountdown_ == 0;
+    if (planSkipCountdown_ > 0)
+        --planSkipCountdown_;
+    Tick demand_horizon = kMaxTick;
+    if (capture_plan && workload_)
+        demand_horizon = workload_->demandHorizon(now());
 
     const compute::CStateResidency &res = demand.residency;
     const double dram_frac = res.dramActiveFraction();
@@ -249,11 +375,53 @@ Soc::step()
             break;
     }
 
+    // The commit half always reads this step's compute-phase outputs
+    // through the plan, replayed or not.
+    plan_.dramFrac = dram_frac;
+    plan_.execFrac = exec_frac;
+    plan_.md = md;
+    plan_.gfxDemandC0 = gfx_demand_c0;
+    plan_.missScale = miss_scale;
+
+    // Capture the replay fingerprint before the commit half mutates
+    // any of the fingerprinted state. A step that consumed transition
+    // stall baked stall_frac into exec_frac and must not be replayed;
+    // the fingerprint's pendingStall check handles consistency, the
+    // valid flag handles this capture.
+    if (capture_plan) {
+        planJustCaptured_ = true;
+        plan_.valid = stall_consumed == 0;
+        plan_.demandValidUntil = demand_horizon;
+        plan_.workload = workload_;
+        plan_.transitionsSeen = transitions_.value();
+        plan_.throttle = throttle_;
+        plan_.computeBudget = computeBudget_;
+        plan_.coreFreqCap = coreFreqCap_;
+        plan_.dutyFactor = hdc_.dutyFactor();
+        plan_.tdp = cfg_.tdp;
+        plan_.latencyInNs = lastMemLatencyNs_;
+        plan_.cpuFreq = cpu_->frequency();
+        plan_.gfxFreq = gfx_->frequency();
+        plan_.iso = iso;
+        plan_.ioEnginePower = display_->power() + isp_->power();
+    }
+
+    commitStep(interval, false);
+    eventq().schedule(&stepEvent_, now() + interval);
+}
+
+inline void
+Soc::commitStep(Tick interval, bool replay)
+{
+    const StepPlan &p = plan_;
+    const IntervalDemand &demand = demandScratch_;
+    const double dram_frac = p.dramFrac;
+
     // IO traffic crosses the fabric; CPU/GFX reach the MC via LLC.
     interconnect::FabricResult fr;
     if (dram_frac > 1e-9) {
         fr = fabric_->service(
-            interconnect::FabricDemand{md.ioIso, md.ioBestEffort},
+            interconnect::FabricDemand{p.md.ioIso, p.md.ioBestEffort},
             interval);
     }
 
@@ -263,11 +431,21 @@ Soc::step()
     if (dram_frac > 1e-9) {
         const Tick active_ticks = static_cast<Tick>(
             static_cast<double>(interval) * dram_frac);
-        ms = mc_->service(md, std::max<Tick>(1, active_ticks));
+        ms = mc_->service(p.md, std::max<Tick>(1, active_ticks));
         vddq_power = mc_->lastDramPower() * dram_frac +
                      dram_->selfRefreshPower() * (1.0 - dram_frac);
         mc_util = ms.utilization;
-        lastMemLatencyNs_ = ms.loadedLatencyNs;
+        // Bitwise latency stabilization: hold the previous estimate
+        // while the fresh one sits inside the fixpoint tolerance.
+        // The step's fixpoint already treats such a move as
+        // converged; snapping here keeps steady phases at one exact
+        // value instead of limit-cycling in the last float bits,
+        // which is what lets the replay fingerprint (and therefore
+        // skip-ahead) engage on active-but-steady workloads.
+        if (std::abs(ms.loadedLatencyNs - lastMemLatencyNs_) >
+            kMemLatencyTolNs) {
+            lastMemLatencyNs_ = ms.loadedLatencyNs;
+        }
     }
 
     if (ms.qosViolation || fr.qosViolation)
@@ -277,18 +455,18 @@ Soc::step()
     double stall_cycles = 0.0;
     double instr = 0.0;
     const Tick exec_ticks = static_cast<Tick>(
-        static_cast<double>(interval) * exec_frac);
+        static_cast<double>(interval) * p.execFrac);
     if (exec_ticks > 0) {
         const double cpu_grant =
-            md.cpuRead > 1e-9
-                ? std::clamp(ms.achievedCpuRead / md.cpuRead, 1e-3,
+            p.md.cpuRead > 1e-9
+                ? std::clamp(ms.achievedCpuRead / p.md.cpuRead, 1e-3,
                              1.0)
                 : 1.0;
         for (const auto &w : demand.threadWork) {
             if (w.cpiBase <= 0.0)
                 continue;
             compute::CoreWork scaled = w;
-            scaled.mpki *= miss_scale;
+            scaled.mpki *= p.missScale;
             const compute::CoreResult r = cpu_->retire(
                 scaled, lastMemLatencyNs_, cpu_grant, exec_ticks);
             stall_cycles += r.stallCycles;
@@ -297,11 +475,11 @@ Soc::step()
 
         if (gfxActive_) {
             const double gfx_grant =
-                md.gfx > 1e-9
-                    ? std::clamp(ms.achievedGfx / md.gfx, 1e-3, 1.0)
+                p.md.gfx > 1e-9
+                    ? std::clamp(ms.achievedGfx / p.md.gfx, 1e-3, 1.0)
                     : 1.0;
             gfx_->render(demand.gfxWork,
-                         gfx_demand_c0 * gfx_grant, exec_ticks);
+                         p.gfxDemandC0 * gfx_grant, exec_ticks);
         }
     }
 
@@ -316,8 +494,34 @@ Soc::step()
     counters_->accumulate(gfx_misses, cpu_occ, stall_cycles, io_rpq,
                           interval);
 
-    const Watt step_power = integratePower(
-        demand, mc_util, fr.utilization, vddq_power, interval);
+    // Rail power: a replayed step re-issues the captured watts in
+    // the captured order — the energy meter sees the identical
+    // addPower() sequence the slow path produced, without paying the
+    // power-model math again.
+    Watt step_power;
+    if (replay) {
+        meter_.addPower(power::Rail::VCore,
+                        p.railWatts[power::railIndex(
+                            power::Rail::VCore)], interval);
+        meter_.addPower(power::Rail::VGfx,
+                        p.railWatts[power::railIndex(
+                            power::Rail::VGfx)], interval);
+        meter_.addPower(power::Rail::VSA,
+                        p.railWatts[power::railIndex(
+                            power::Rail::VSA)], interval);
+        meter_.addPower(power::Rail::VIO,
+                        p.railWatts[power::railIndex(
+                            power::Rail::VIO)], interval);
+        meter_.addPower(power::Rail::VDDQ,
+                        p.railWatts[power::railIndex(
+                            power::Rail::VDDQ)], interval);
+        meter_.addPower(power::Rail::VSA, cfg_.platformFloor,
+                        interval);
+        step_power = p.stepPower;
+    } else {
+        step_power = integratePower(demand, mc_util, fr.utilization,
+                                    vddq_power, interval);
+    }
 
     // Reactive power capping: budget models are estimates; when the
     // measured average runs above TDP the compute grant is walked
@@ -342,7 +546,6 @@ Soc::step()
         lowPointSeconds_ += secs;
 
     (void)instr;
-    eventq().schedule(&stepEvent_, now() + interval);
 }
 
 Watt
@@ -407,8 +610,19 @@ Soc::integratePower(const IntervalDemand &demand, double mc_util,
     // on the V_SA meter channel (same supply branch on the board).
     meter_.addPower(power::Rail::VSA, cfg_.platformFloor, interval);
 
-    return v_core + v_gfx + v_sa + v_io + vddq_power +
-           cfg_.platformFloor;
+    const Watt total = v_core + v_gfx + v_sa + v_io + vddq_power +
+                       cfg_.platformFloor;
+
+    // Record the per-rail watts so a fingerprint-identical step can
+    // replay this exact addPower() sequence (commitStep, replay).
+    plan_.railWatts[power::railIndex(power::Rail::VCore)] = v_core;
+    plan_.railWatts[power::railIndex(power::Rail::VGfx)] = v_gfx;
+    plan_.railWatts[power::railIndex(power::Rail::VSA)] = v_sa;
+    plan_.railWatts[power::railIndex(power::Rail::VIO)] = v_io;
+    plan_.railWatts[power::railIndex(power::Rail::VDDQ)] = vddq_power;
+    plan_.stepPower = total;
+
+    return total;
 }
 
 RunMetrics

@@ -240,8 +240,104 @@ class Soc : public SimObject
     /** Transition-flow stall not yet charged to a step (carry-over). */
     Tick pendingStallTicks() const { return pendingStall_; }
 
+    /** @name Idle skip-ahead. @{ */
+
+    /**
+     * Enable/disable the constant-step replay fast path for this
+     * instance. When enabled (the default), steps whose inputs are
+     * fingerprint-identical to the previous slow step are replayed
+     * from a cached plan — and runs of such steps inside one run()
+     * window are batched into a single event, advancing simulated
+     * time analytically. Every replay applies the exact floating-
+     * point operation sequence of the slow path, so all reported
+     * metrics are byte-identical either way (pinned by
+     * tests/test_skip_ahead.cc).
+     */
+    void
+    setSkipAhead(bool on)
+    {
+        skipAhead_ = on;
+        plan_.valid = false;
+    }
+
+    bool skipAheadEnabled() const { return skipAhead_; }
+
+    /**
+     * Process-wide default for new Soc instances. Initialized from
+     * the environment (SYSSCALE_NO_SKIP_AHEAD disables) and
+     * overridable by tools (sweep_grid --no-skip-ahead).
+     */
+    static bool skipAheadDefault();
+    static void setSkipAheadDefault(bool on);
+
+    /** Steps served by the replay fast path (diagnostics). */
+    std::uint64_t
+    replayedStepCount() const
+    {
+        return static_cast<std::uint64_t>(replayedSteps_.value());
+    }
+    /** @} */
+
   private:
+    /**
+     * Cached outcome of one slow-path step: the fingerprint of every
+     * input it depended on plus the intermediate results the commit
+     * half consumes. While the fingerprint matches, step() replays
+     * the commit half from this plan instead of recomputing demand,
+     * P-state grants, the latency fixpoint, and rail power.
+     */
+    struct StepPlan
+    {
+        bool valid = false;
+
+        /** @name Input fingerprint. @{ */
+        Tick demandValidUntil = 0;  //!< Workload horizon at capture.
+        WorkloadAgent *workload = nullptr;
+        double transitionsSeen = 0.0;
+        double throttle = 1.0;
+        Watt computeBudget = 0.0;
+        Hertz coreFreqCap = 0.0;
+        double dutyFactor = 0.0;
+        Watt tdp = 0.0;
+        double latencyInNs = 0.0;     //!< lastMemLatencyNs_ at capture.
+        Hertz cpuFreq = 0.0;        //!< Granted P-states; catches
+        Hertz gfxFreq = 0.0;        //!< out-of-band overrides.
+        BytesPerSec iso = 0.0;
+        Watt ioEnginePower = 0.0;   //!< Display + ISP (CSR-driven).
+        /** @} */
+
+        /** @name Cached compute-half results. @{ */
+        double dramFrac = 0.0;
+        double execFrac = 0.0;
+        mem::MemDemand md{};
+        double gfxDemandC0 = 0.0;
+        double missScale = 1.0;
+        /** @} */
+
+        /** @name Rail power recorded by integratePower(). @{ */
+        std::array<Watt, power::kNumRails> railWatts{};
+        Watt stepPower = 0.0;
+        /** @} */
+    };
+
     void step();
+
+    /** Whether plan_ can replay the step beginning at @p t. */
+    bool planValidAt(Tick t) const;
+
+    /**
+     * The commit half of a step, shared verbatim between the slow
+     * path and the replay fast path: memory/fabric service, retire,
+     * counter and power integration, EWMAs, and run accumulators —
+     * all driven from plan_. @p replay selects the cached rail watts
+     * over a fresh integratePower() pass. Force-inlined: both call
+     * sites are per-step hot paths, and the compile-time-constant
+     * @p replay folds the branchy halves away.
+     */
+    [[gnu::always_inline]] void commitStep(Tick interval, bool replay);
+
+    /** Fast path: replay + batch grid steps, then reschedule. */
+    void replaySteps(Tick interval);
     void applyComputePStates(const IntervalDemand &demand,
                              std::size_t active_threads,
                              double avg_activity);
@@ -280,6 +376,24 @@ class Soc : public SimObject
     Watt computeBudget_ = 0.0;
     Hertz coreFreqCap_ = 0.0;
     bool gfxActive_ = false;
+    bool skipAhead_ = true; //!< Rebound to skipAheadDefault() in ctor.
+    StepPlan plan_;
+
+    /** Capture-backoff cap: skip at most 2^max - 1 steps. */
+    static constexpr std::uint8_t kPlanBackoffMax = 6;
+
+    /** Consecutive plans invalidated before a single replay. */
+    std::uint8_t planMissStreak_ = 0;
+
+    /** Slow steps left before the next plan capture (0 = capture). */
+    std::uint16_t planSkipCountdown_ = 0;
+
+    /**
+     * The previous slow step captured a plan (valid or not). If the
+     * next step is another slow step, that capture bought nothing and
+     * the backoff deepens; a replay clears it.
+     */
+    bool planJustCaptured_ = false;
     double lastMemLatencyNs_ = 60.0;
     BytesPerSec bwEwma_ = 0.0;
     Watt powerEwma_ = 0.0;
@@ -300,6 +414,7 @@ class Soc : public SimObject
     stats::Scalar qosViolations_;
     stats::Scalar stallTicks_;
     stats::Scalar steps_;
+    stats::Scalar replayedSteps_;
 };
 
 } // namespace soc

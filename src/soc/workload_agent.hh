@@ -66,6 +66,12 @@ struct IntervalDemand
 
 /**
  * A running workload.
+ *
+ * demandAt() must be observationally pure: given the same @p now it
+ * fills the same demand and leaves no externally visible state
+ * behind (internal cursors/caches are fine). The SoC's idle
+ * skip-ahead relies on this — steps whose inputs are unchanged are
+ * replayed from a cached plan without consulting the agent again.
  */
 class WorkloadAgent
 {
@@ -77,6 +83,18 @@ class WorkloadAgent
 
     /** True once the workload has no more work (open-ended if not). */
     virtual bool finished(Tick now) const = 0;
+
+    /**
+     * Earliest tick at which this agent's demand may next change.
+     *
+     * The contract: for every t in [now, demandHorizon(now)), both
+     * demandAt(t) and finished(t) are guaranteed identical to their
+     * values at @p now. Returning @p now (the default) promises
+     * nothing and disables skip-ahead across this agent; kMaxTick
+     * means the demand never changes again. A smaller-than-necessary
+     * horizon is always safe — it only costs recomputation.
+     */
+    virtual Tick demandHorizon(Tick now) { return now; }
 };
 
 } // namespace soc

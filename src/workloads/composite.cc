@@ -108,6 +108,35 @@ CompositeAgent::demandAt(Tick now, soc::IntervalDemand &demand)
         demand.gfxWork.activity = gfx_activity_weighted / gfx_cycle_sum;
 }
 
+Tick
+CompositeAgent::demandHorizon(Tick now)
+{
+    Tick horizon = kMaxTick;
+    for (const Member &m : members_) {
+        if (now < m.start) {
+            // Silent until arrival; the arrival edge changes demand.
+            horizon = std::min(horizon, m.start);
+            continue;
+        }
+        if (m.stop != 0 && now >= m.stop)
+            continue; // departed for good
+        if (m.stop != 0)
+            horizon = std::min(horizon, m.stop);
+
+        const Tick local = now - m.start;
+        const Tick member_h = m.agent->demandHorizon(local);
+        if (member_h <= local)
+            return now; // member promises nothing
+        // Translate the member's local horizon back to absolute time,
+        // saturating (kMaxTick means "never changes").
+        const Tick absolute =
+            member_h >= kMaxTick - m.start ? kMaxTick
+                                           : m.start + member_h;
+        horizon = std::min(horizon, absolute);
+    }
+    return horizon > now ? horizon : now;
+}
+
 bool
 CompositeAgent::finished(Tick now) const
 {

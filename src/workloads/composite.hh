@@ -71,6 +71,13 @@ class CompositeAgent : public soc::WorkloadAgent
      */
     bool finished(Tick now) const override;
 
+    /**
+     * Minimum over every member edge that could change the merged
+     * demand: pending arrivals, departures, and each active member's
+     * own horizon (translated from its local clock).
+     */
+    Tick demandHorizon(Tick now) override;
+
   private:
     struct Member
     {

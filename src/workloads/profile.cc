@@ -129,5 +129,39 @@ ProfileAgent::finished(Tick now) const
     return offset >= profile_.period() * repeats_;
 }
 
+Tick
+ProfileAgent::demandHorizon(Tick now)
+{
+    // Before the phase clock starts, demandAt() pins the offset at 0;
+    // conservatively promise constancy only up to the start.
+    if (now < start_)
+        return start_;
+
+    const Tick period = profile_.period();
+    const Tick offset = now - start_;
+
+    // A finished profile never produces demand again, and finished()
+    // is monotone — the horizon is unbounded.
+    Tick finish = kMaxTick;
+    if (repeats_ != 0) {
+        const Tick finish_offset = period * repeats_;
+        if (offset >= finish_offset)
+            return kMaxTick;
+        finish = start_ + finish_offset;
+    }
+
+    // A single-phase profile presents the same demand every tick of
+    // every repetition; only the finish edge remains.
+    if (profile_.numPhases() == 1)
+        return finish;
+
+    // The demand next changes at the current phase's end boundary.
+    const Tick t = offset % period;
+    (void)currentPhase(offset); // position the cursor
+    const Tick boundary =
+        offset - t + cursorBegin_ + profile_.phase(cursorIndex_).duration;
+    return std::min(start_ + boundary, finish);
+}
+
 } // namespace workloads
 } // namespace sysscale

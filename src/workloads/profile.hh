@@ -137,6 +137,7 @@ class ProfileAgent : public soc::WorkloadAgent
 
     void demandAt(Tick now, soc::IntervalDemand &demand) override;
     bool finished(Tick now) const override;
+    Tick demandHorizon(Tick now) override;
 
     const WorkloadProfile &profile() const { return profile_; }
 

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Skip-ahead equivalence battery.
+ *
+ * The constant-step replay path (Soc skip-ahead) is a pure
+ * performance optimization: every observable output — CSV/JSON
+ * reports, run metrics, counter snapshots, scripted-mutation timing —
+ * must be byte-identical with the optimization on and off. These
+ * tests pin that contract on the paper-shaped workloads where
+ * skip-ahead actually engages (the Fig. 9 battery-life suite, whose
+ * profiles are 60-90% idle) plus a mid-idle ScenarioScript mutation,
+ * and assert the fast path really ran (replayedStepCount() > 0) so a
+ * regression that silently disables it cannot pass as "equivalent".
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "compute/cstates.hh"
+#include "exp/experiment.hh"
+#include "exp/report.hh"
+#include "io/display.hh"
+#include "sim/sim_object.hh"
+#include "soc/soc.hh"
+#include "workloads/battery.hh"
+#include "workloads/profile.hh"
+#include "workloads/scenario.hh"
+
+using namespace sysscale;
+
+namespace {
+
+/** Scoped override of the process-wide skip-ahead default. */
+class SkipAheadGuard
+{
+  public:
+    explicit SkipAheadGuard(bool on)
+        : prev_(soc::Soc::skipAheadDefault())
+    {
+        soc::Soc::setSkipAheadDefault(on);
+    }
+
+    ~SkipAheadGuard() { soc::Soc::setSkipAheadDefault(prev_); }
+
+  private:
+    bool prev_;
+};
+
+/**
+ * Run @p specs serially through exp::runCell() and render the full
+ * result set exactly as sweep_grid would: CSV then JSON. Any byte of
+ * divergence between two calls fails the comparison. hostSeconds is
+ * host wall-clock — the one field that legitimately changes with the
+ * optimization (that is the point of it) — so it is zeroed out.
+ */
+std::string
+renderCells(const std::vector<exp::ExperimentSpec> &specs)
+{
+    std::vector<exp::RunResult> results;
+    for (const auto &spec : specs) {
+        results.push_back(exp::runCell(spec));
+        EXPECT_TRUE(results.back().ok) << results.back().error;
+        results.back().hostSeconds = 0.0;
+    }
+    std::ostringstream os;
+    exp::writeCsv(os, results);
+    exp::writeJson(os, results);
+    return os.str();
+}
+
+/** Fig. 9-class cells: battery suite x {fixed, sysscale}. */
+std::vector<exp::ExperimentSpec>
+fig9Cells()
+{
+    std::vector<exp::ExperimentSpec> specs;
+    for (const auto &w : workloads::batterySuite()) {
+        for (const char *gov : {"fixed", "sysscale"}) {
+            exp::ExperimentSpec spec;
+            spec.id = w.name() + "/" + gov;
+            spec.workload = w;
+            spec.governor = gov;
+            spec.camera = w.name() == "video-conferencing";
+            spec.warmup = 50 * kTicksPerMs;
+            spec.window = 250 * kTicksPerMs;
+            spec.labels = {{"workload", w.name()},
+                           {"governor", gov}};
+            specs.push_back(std::move(spec));
+        }
+    }
+    return specs;
+}
+
+/** A mostly-idle single-phase profile (standby-like). */
+workloads::WorkloadProfile
+standbyProfile()
+{
+    workloads::Phase p;
+    p.duration = kTicksPerSec;
+    p.work.cpiBase = 1.0;
+    p.residency = compute::CStateResidency({0.05, 0.0, 0.0, 0.0, 0.95});
+    p.coreFreqRequest = workloads::kBatteryCoreFreq;
+    return workloads::WorkloadProfile("standby", workloads::WorkloadClass::Micro,
+                                      {p});
+}
+
+} // anonymous namespace
+
+TEST(SkipAhead, Fig9BatteryCellsByteIdentical)
+{
+    std::string on, off;
+    {
+        SkipAheadGuard guard(true);
+        on = renderCells(fig9Cells());
+    }
+    {
+        SkipAheadGuard guard(false);
+        off = renderCells(fig9Cells());
+    }
+    EXPECT_EQ(on, off);
+}
+
+TEST(SkipAhead, VideoconfScenarioByteIdentical)
+{
+    // The registered "videoconf" scenario: call layer + camera/display
+    // actions on top of a base workload — exercises skip-ahead
+    // invalidation across CompositeAgent arrivals and scripted SoC
+    // mutations.
+    std::vector<exp::ExperimentSpec> specs;
+    exp::ExperimentSpec spec;
+    spec.id = "web-browsing/videoconf";
+    spec.workload = workloads::webBrowsing();
+    spec.scenario = workloads::scenarioByName("videoconf");
+    spec.governor = "sysscale";
+    spec.warmup = 50 * kTicksPerMs;
+    spec.window = 400 * kTicksPerMs;
+    specs.push_back(std::move(spec));
+
+    std::string on, off;
+    {
+        SkipAheadGuard guard(true);
+        on = renderCells(specs);
+    }
+    {
+        SkipAheadGuard guard(false);
+        off = renderCells(specs);
+    }
+    EXPECT_EQ(on, off);
+}
+
+TEST(SkipAhead, FastPathEngagesOnIdleHeavyRuns)
+{
+    Simulator sim(1);
+    soc::Soc chip(sim, soc::skylakeConfig());
+    workloads::ProfileAgent agent(standbyProfile());
+    chip.setWorkload(&agent);
+    chip.setSkipAhead(true);
+
+    chip.run(200 * kTicksPerMs);
+    EXPECT_GT(chip.replayedStepCount(), 0u);
+
+    // Disabled: the replay counter must stay frozen.
+    const std::uint64_t replayed = chip.replayedStepCount();
+    chip.setSkipAhead(false);
+    chip.run(100 * kTicksPerMs);
+    EXPECT_EQ(chip.replayedStepCount(), replayed);
+}
+
+TEST(SkipAhead, MidIdleTdpStepFiresAtExactTick)
+{
+    // A TDP step scheduled mid-standby, off the step grid: the script
+    // event must fire at exactly its tick in both modes, with the
+    // same observable SoC state before and after.
+    const Tick at = 100 * kTicksPerMs + 37;
+
+    for (const bool skip : {true, false}) {
+        Simulator sim(1);
+        soc::Soc chip(sim, soc::skylakeConfig(4.5));
+        workloads::ProfileAgent agent(standbyProfile());
+        chip.setWorkload(&agent);
+        chip.setSkipAhead(skip);
+
+        workloads::ScenarioScript script(
+            sim, chip,
+            {{at, workloads::ScenarioActionKind::SetTdp, 3.0}});
+
+        chip.run(at - 1); // one tick short of the action
+        EXPECT_EQ(sim.now(), at - 1) << "skip=" << skip;
+        EXPECT_EQ(script.applied(), 0u) << "skip=" << skip;
+        EXPECT_DOUBLE_EQ(chip.config().tdp, 4.5) << "skip=" << skip;
+
+        chip.run(1); // lands exactly on the action tick
+        EXPECT_EQ(sim.now(), at) << "skip=" << skip;
+        EXPECT_EQ(script.applied(), 1u) << "skip=" << skip;
+        EXPECT_DOUBLE_EQ(chip.config().tdp, 3.0) << "skip=" << skip;
+
+        if (skip) { // the idle lead-in must have used the fast path
+            EXPECT_GT(chip.replayedStepCount(), 0u);
+        }
+    }
+}
+
+TEST(SkipAhead, MetricsBitIdenticalAcrossModes)
+{
+    // Direct-run variant of the report comparison: every RunMetrics
+    // field the reports derive from must be bitwise equal.
+    auto measure = [](bool skip) {
+        Simulator sim(1);
+        soc::Soc chip(sim, soc::skylakeConfig());
+        chip.display().attachPanel(
+            0, io::PanelConfig{io::PanelResolution::HD, 60.0, 4});
+        workloads::ProfileAgent agent(workloads::videoPlayback());
+        chip.setWorkload(&agent);
+        chip.setSkipAhead(skip);
+        chip.run(100 * kTicksPerMs);
+        return chip.run(300 * kTicksPerMs);
+    };
+
+    const soc::RunMetrics on = measure(true);
+    const soc::RunMetrics off = measure(false);
+    EXPECT_EQ(on.instructions, off.instructions);
+    EXPECT_EQ(on.frames, off.frames);
+    EXPECT_EQ(on.avgPower, off.avgPower);
+    EXPECT_EQ(on.energy, off.energy);
+    EXPECT_EQ(on.avgMemLatencyNs, off.avgMemLatencyNs);
+    EXPECT_EQ(on.avgMemBandwidth, off.avgMemBandwidth);
+    for (power::Rail r : power::kAllRails)
+        EXPECT_EQ(on.railEnergy[power::railIndex(r)],
+                  off.railEnergy[power::railIndex(r)]);
+}

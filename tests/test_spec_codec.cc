@@ -120,7 +120,7 @@ TEST(SpecCodec, HeaderCarriesFormatVersion)
 {
     const std::string text =
         exp::serializeSpec(exp::ExperimentSpec{});
-    EXPECT_EQ(text.rfind("sysscale-spec v3\n", 0), 0u)
+    EXPECT_EQ(text.rfind("sysscale-spec v4\n", 0), 0u)
         << "bump this test AND the golden keys together with "
            "kSpecFormatVersion";
 }
@@ -231,10 +231,10 @@ TEST(SpecCodec, GoldenKeys)
     exp::ExperimentSpec stream;
     stream.id = "golden-a";
     stream.workload = workloads::streamMicro();
-    EXPECT_EQ(exp::specKey(stream), "872e28008e436128");
+    EXPECT_EQ(exp::specKey(stream), "a2440b327d76890f");
 
     exp::ExperimentSpec rich = richSpec();
-    EXPECT_EQ(exp::specKey(rich), "5408a82a63d011a7");
+    EXPECT_EQ(exp::specKey(rich), "f9f77dc8baaf64d4");
 }
 
 TEST(SpecCodec, SerializableOnlyWithoutRuntimeHooks)

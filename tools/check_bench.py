@@ -12,10 +12,10 @@ Benchmarks are matched by name and compared on per-iteration cpu_time
 more than --tolerance percent is a REGRESSION, faster by more is an
 improvement worth re-baselining.
 
-Warn-only by default: the ledger trajectory is young and the CI boxes
-are noisy, so regressions print loudly but exit 0.  Pass --strict to
-turn regressions into exit 1 — flip CI to that once a few PRs of
-baselines exist and the noise floor is known.
+Warn-only by default for ad-hoc use; CI's "Perf ledger (strict)"
+step passes --strict (regressions exit 1) with a widened --tolerance
+to absorb shared-runner noise.  See docs/ANALYSIS.md for the
+re-baselining recipe.
 """
 
 import argparse
@@ -32,12 +32,23 @@ def load(path):
     for b in doc.get("benchmarks", []):
         # Aggregate reruns (_mean/_median/...) would double-count;
         # keep plain iterations plus an explicit _median if present —
-        # the median wins when both exist.
+        # the median wins when both exist.  Dispersion aggregates
+        # (_stddev/_cv) are not timings and are skipped outright, so
+        # a repetitions-recorded baseline compares cleanly against a
+        # single-run CI dump.
         name = b.get("name", "")
+        agg = b.get("aggregate_name", "")
+        if not agg:
+            for suffix in ("_median", "_mean", "_stddev", "_cv"):
+                if name.endswith(suffix):
+                    agg = suffix[1:]
+                    break
+        if agg not in ("", "mean", "median"):
+            continue
         base = name.split("_mean")[0].split("_median")[0]
         unit = UNIT_NS.get(b.get("time_unit", "ns"), 1.0)
         cpu_ns = float(b.get("cpu_time", 0.0)) * unit
-        if name.endswith("_median") or base not in out:
+        if agg == "median" or base not in out:
             out[base] = cpu_ns
     return out
 

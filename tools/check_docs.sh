@@ -15,7 +15,11 @@
 #      README or docs/,
 #   6. every check registered in tools/lint_invariants.py (the
 #      @check("name", ...) registry) is documented in
-#      docs/ANALYSIS.md.
+#      docs/ANALYSIS.md,
+#   7. the idle skip-ahead opt-outs (the --no-skip-ahead flag and the
+#      SYSSCALE_NO_SKIP_AHEAD environment variable) are documented in
+#      docs/EXPERIMENTS.md — the byte-identity escape hatch must stay
+#      discoverable.
 #
 # POSIX sh + grep/sed only, so it runs anywhere the build does.
 
@@ -141,6 +145,15 @@ for c in $lint_checks; do
     if ! grep -q "\`$c\`" docs/ANALYSIS.md; then
         echo "check_docs: docs/ANALYSIS.md does not document lint" \
              "check '$c' (add it to the check registry table)"
+        errors=$((errors + 1))
+    fi
+done
+
+# --- 7. skip-ahead opt-outs are documented --------------------------
+for knob in --no-skip-ahead SYSSCALE_NO_SKIP_AHEAD; do
+    if ! grep -qF -- "$knob" docs/EXPERIMENTS.md; then
+        echo "check_docs: docs/EXPERIMENTS.md does not document the" \
+             "skip-ahead opt-out '$knob'"
         errors=$((errors + 1))
     fi
 done

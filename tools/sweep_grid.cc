@@ -176,6 +176,10 @@ usage()
         "  --cache-dir DIR    reuse finished cells from DIR\n"
         "                     (default: $SYSSCALE_CACHE_DIR)\n"
         "  --no-cache         disable the cell cache entirely\n"
+        "  --no-skip-ahead    disable the constant-step replay fast\n"
+        "                     path (outputs are byte-identical either\n"
+        "                     way; this trades speed for a slow-path\n"
+        "                     cross-check, like SYSSCALE_NO_SKIP_AHEAD)\n"
         "  --cache-stats      report hit/miss/store counts\n"
         "  --quiet            no per-cell progress\n"
         "  --list             list governors and workloads\n");
@@ -285,6 +289,8 @@ main(int argc, char **argv)
             cache_dir = value();
         } else if (arg == "--no-cache") {
             no_cache = true;
+        } else if (arg == "--no-skip-ahead") {
+            soc::Soc::setSkipAheadDefault(false);
         } else if (arg == "--cache-stats") {
             cache_stats = true;
         } else if (arg == "--quiet") {

@@ -1,0 +1,194 @@
+#!/usr/bin/env python3
+"""Unit tests for the perf-ledger comparator (tools/check_bench.py).
+
+The comparator is the strict CI gate behind the committed
+bench/BENCH_pr*.json baselines, so its matching, aggregation, unit
+normalization, tolerance arithmetic, and exit codes are pinned here.
+Registered as the check_bench ctest target.
+"""
+
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import check_bench  # noqa: E402
+
+
+def bench_doc(entries):
+    """A google-benchmark JSON document with the given benchmarks.
+
+    Each entry is (name, cpu_time) or (name, cpu_time, time_unit).
+    A _mean/_median/_stddev/_cv name suffix also stamps the
+    aggregate_name field, like real google-benchmark output.
+    """
+    benchmarks = []
+    for entry in entries:
+        b = {"name": entry[0], "cpu_time": entry[1],
+             "time_unit": entry[2] if len(entry) > 2 else "ns"}
+        for agg in ("mean", "median", "stddev", "cv"):
+            if entry[0].endswith("_" + agg):
+                b["aggregate_name"] = agg
+        benchmarks.append(b)
+    return {"benchmarks": benchmarks}
+
+
+class LoadTest(unittest.TestCase):
+    def load(self, entries):
+        with tempfile.NamedTemporaryFile(
+                "w", suffix=".json", delete=False) as f:
+            json.dump(bench_doc(entries), f)
+            path = f.name
+        try:
+            return check_bench.load(path)
+        finally:
+            os.unlink(path)
+
+    def test_plain_names_match_directly(self):
+        out = self.load([("BM_SocStep", 800.0), ("BM_Other", 5.0)])
+        self.assertEqual(out, {"BM_SocStep": 800.0, "BM_Other": 5.0})
+
+    def test_first_plain_iteration_wins_over_later_ones(self):
+        out = self.load([("BM_X", 10.0), ("BM_X", 99.0)])
+        self.assertEqual(out, {"BM_X": 10.0})
+
+    def test_mean_aggregate_folds_to_base_name(self):
+        # A _mean row only fills the slot when no plain row came first.
+        out = self.load([("BM_X_mean", 12.0)])
+        self.assertEqual(out, {"BM_X": 12.0})
+        out = self.load([("BM_X", 10.0), ("BM_X_mean", 12.0)])
+        self.assertEqual(out, {"BM_X": 10.0})
+
+    def test_median_aggregate_overrides_everything(self):
+        out = self.load([("BM_X", 10.0), ("BM_X_mean", 12.0),
+                         ("BM_X_median", 11.0)])
+        self.assertEqual(out, {"BM_X": 11.0})
+
+    def test_dispersion_aggregates_are_skipped(self):
+        # _stddev/_cv rows are spreads, not timings: they must not
+        # surface as benchmarks of their own (they would show up as
+        # phantom "dropped" rows against a single-run CI dump).
+        out = self.load([("BM_X", 10.0), ("BM_X_median", 11.0),
+                         ("BM_X_stddev", 3.0), ("BM_X_cv", 0.1)])
+        self.assertEqual(out, {"BM_X": 11.0})
+
+    def test_aggregates_only_recording_loads_cleanly(self):
+        # --benchmark_report_aggregates_only emits no plain rows at
+        # all; the median must still land under the base name.
+        out = self.load([("BM_X_mean", 12.0), ("BM_X_median", 11.0),
+                         ("BM_X_stddev", 3.0), ("BM_X_cv", 0.1)])
+        self.assertEqual(out, {"BM_X": 11.0})
+
+    def test_time_units_normalize_to_ns(self):
+        out = self.load([("BM_Ns", 1.5, "ns"), ("BM_Us", 1.5, "us"),
+                         ("BM_Ms", 1.5, "ms"), ("BM_S", 1.5, "s")])
+        self.assertEqual(out["BM_Ns"], 1.5)
+        self.assertEqual(out["BM_Us"], 1.5e3)
+        self.assertEqual(out["BM_Ms"], 1.5e6)
+        self.assertEqual(out["BM_S"], 1.5e9)
+
+    def test_unknown_unit_falls_back_to_ns(self):
+        out = self.load([("BM_X", 2.0, "fortnights")])
+        self.assertEqual(out, {"BM_X": 2.0})
+
+    def test_empty_document(self):
+        with tempfile.NamedTemporaryFile(
+                "w", suffix=".json", delete=False) as f:
+            json.dump({}, f)
+            path = f.name
+        try:
+            self.assertEqual(check_bench.load(path), {})
+        finally:
+            os.unlink(path)
+
+
+class MainTest(unittest.TestCase):
+    def run_main(self, base_entries, cur_entries, extra_args=()):
+        paths = []
+        for entries in (base_entries, cur_entries):
+            with tempfile.NamedTemporaryFile(
+                    "w", suffix=".json", delete=False) as f:
+                json.dump(bench_doc(entries), f)
+                paths.append(f.name)
+        try:
+            return check_bench.main(paths + list(extra_args))
+        finally:
+            for p in paths:
+                os.unlink(p)
+
+    def test_identical_runs_pass(self):
+        entries = [("BM_X", 100.0), ("BM_Y", 5.0)]
+        self.assertEqual(self.run_main(entries, entries), 0)
+        self.assertEqual(
+            self.run_main(entries, entries, ["--strict"]), 0)
+
+    def test_regression_warns_but_passes_by_default(self):
+        rc = self.run_main([("BM_X", 100.0)], [("BM_X", 150.0)])
+        self.assertEqual(rc, 0)
+
+    def test_regression_fails_strict(self):
+        rc = self.run_main([("BM_X", 100.0)], [("BM_X", 150.0)],
+                           ["--strict"])
+        self.assertEqual(rc, 1)
+
+    def test_tolerance_edge_is_not_a_regression(self):
+        # delta must be strictly beyond the tolerance to regress:
+        # exactly +10% passes, the next representable step fails.
+        self.assertEqual(
+            self.run_main([("BM_X", 100.0)], [("BM_X", 110.0)],
+                          ["--strict"]), 0)
+        self.assertEqual(
+            self.run_main([("BM_X", 100.0)], [("BM_X", 110.001)],
+                          ["--strict"]), 1)
+
+    def test_custom_tolerance(self):
+        args = ["--strict", "--tolerance", "50"]
+        self.assertEqual(
+            self.run_main([("BM_X", 100.0)], [("BM_X", 149.0)], args),
+            0)
+        self.assertEqual(
+            self.run_main([("BM_X", 100.0)], [("BM_X", 151.0)], args),
+            1)
+
+    def test_improvement_is_not_a_failure(self):
+        rc = self.run_main([("BM_X", 100.0)], [("BM_X", 10.0)],
+                           ["--strict"])
+        self.assertEqual(rc, 0)
+
+    def test_cross_unit_comparison(self):
+        # 1.0us baseline vs 2.0ms current = a 2000x regression even
+        # though the raw cpu_time numbers moved the other way.
+        rc = self.run_main([("BM_X", 900.0, "us")],
+                           [("BM_X", 2.0, "ms")], ["--strict"])
+        self.assertEqual(rc, 1)
+
+    def test_new_benchmark_without_baseline_passes(self):
+        rc = self.run_main([("BM_X", 100.0)],
+                           [("BM_X", 100.0), ("BM_New", 1.0)],
+                           ["--strict"])
+        self.assertEqual(rc, 0)
+
+    def test_dropped_benchmark_passes(self):
+        rc = self.run_main([("BM_X", 100.0), ("BM_Gone", 1.0)],
+                           [("BM_X", 100.0)], ["--strict"])
+        self.assertEqual(rc, 0)
+
+    def test_zero_baseline_is_skipped(self):
+        rc = self.run_main([("BM_X", 0.0)], [("BM_X", 100.0)],
+                           ["--strict"])
+        self.assertEqual(rc, 0)
+
+    def test_median_aggregates_drive_the_comparison(self):
+        # The baseline's plain row regressed but its median did not:
+        # medians win, so strict passes.
+        rc = self.run_main(
+            [("BM_X", 100.0), ("BM_X_median", 200.0)],
+            [("BM_X", 205.0), ("BM_X_median", 205.0)], ["--strict"])
+        self.assertEqual(rc, 0)
+
+
+if __name__ == "__main__":
+    unittest.main()
