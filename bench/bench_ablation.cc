@@ -69,9 +69,10 @@ variantFactory(int which)
 {
     return [which] {
         return std::unique_ptr<soc::PmuPolicy>(
-            new core::SysScaleGovernor(
-                core::SysScaleGovernor::defaultThresholds(), {},
-                knockout(which)));
+            new core::GovernorHost(
+                std::make_unique<core::SysScaleGovernor>(
+                    core::SysScaleGovernor::defaultThresholds(),
+                    core::LinearImpactModel{}, knockout(which))));
     };
 }
 
@@ -79,7 +80,8 @@ exp::GovernorFactory
 noRedistFactory()
 {
     return [] {
-        return std::unique_ptr<soc::PmuPolicy>(new NoRedistSysScale());
+        return std::unique_ptr<soc::PmuPolicy>(new core::GovernorHost(
+            std::make_unique<NoRedistSysScale>()));
     };
 }
 

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Energy/QoS frontier across the whole governor zoo.
+ *
+ * Runs every registered governor (at its default parameters) on
+ * three scenarios — the fig2-class video-playback workload, the
+ * fig9-class web-browsing workload, and the dynamic "videoconf"
+ * scenario script layered on the video-conferencing profile — and
+ * emits one CSV row per (scenario, governor) cell: energy, average
+ * power, the scenario's QoS metric (fps when the workload renders
+ * frames, ips otherwise), the relative performance against the
+ * fixed-top-point baseline, EDP, QoS violations, transitions,
+ * low-point residency, and a Pareto marker on the (minimize energy,
+ * maximize QoS) frontier.
+ *
+ * The CSV goes to stdout and is deterministic: byte-identical
+ * across SYSSCALE_BENCH_JOBS settings and across cache cold/hot
+ * runs (the cache split report goes to stderr). Options:
+ * --cache-dir DIR, --no-cache.
+ */
+
+#include <string>
+#include <vector>
+
+#include "bench/harness.hh"
+#include "core/governor_registry.hh"
+#include "exp/agg.hh"
+#include "exp/report.hh"
+#include "workloads/battery.hh"
+#include "workloads/scenario.hh"
+
+using namespace sysscale;
+
+namespace {
+
+struct FrontierScenario
+{
+    std::string name;
+    workloads::WorkloadProfile profile;
+    bool camera = false;
+    std::string script; //!< workloads::scenarioByName key, or "".
+};
+
+/** The per-scenario QoS metric: fps for rendering workloads. */
+double
+qosOf(const exp::RunResult &res, bool use_fps)
+{
+    return use_fps ? res.metrics.fps : res.metrics.ips;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::banner("Frontier",
+                  "energy/QoS frontier across the governor zoo");
+    const auto cache = bench::benchCache(argc, argv);
+
+    const std::vector<FrontierScenario> scenarios = {
+        {"fig2-video-playback", workloads::videoPlayback(), false,
+         ""},
+        {"fig9-web-browsing", workloads::webBrowsing(), false, ""},
+        {"videoconf", workloads::videoConferencing(), true,
+         "videoconf"},
+    };
+    const std::vector<std::string> governors =
+        core::governorNames();
+
+    std::vector<exp::ExperimentSpec> specs;
+    for (const auto &sc : scenarios) {
+        for (const auto &gov : governors) {
+            bench::RunConfig rc;
+            rc.camera = sc.camera;
+            rc.window = 3 * kTicksPerSec;
+            exp::ExperimentSpec spec = bench::makeSpec(sc.profile,
+                                                       rc);
+            spec.governor = gov;
+            if (!sc.script.empty())
+                spec.scenario = workloads::scenarioByName(sc.script);
+            spec.id = sc.name + "/" + gov;
+            spec.labels = {{"scenario", sc.name},
+                           {"governor", gov}};
+            specs.push_back(std::move(spec));
+        }
+    }
+
+    const auto results = bench::runBatch(specs, cache.get());
+    for (const auto &res : results)
+        bench::checkResult(res);
+
+    std::printf("scenario,governor,energy_j,avg_power_w,qos_metric,"
+                "qos,qos_vs_fixed_pct,edp,qos_violations,"
+                "transitions,low_residency,pareto\n");
+
+    for (const exp::agg::Group &g :
+         exp::agg::groupBy(results, "scenario")) {
+        const exp::RunResult *base =
+            exp::agg::findRow(g.rows, "governor", "fixed");
+        if (!base) {
+            std::fprintf(stderr,
+                         "frontier: no fixed baseline for %s\n",
+                         g.key.c_str());
+            return 1;
+        }
+        // One QoS metric per scenario so rows stay comparable: fps
+        // when the baseline renders frames, ips otherwise.
+        const bool use_fps = base->metrics.fps > 0.0;
+
+        // Pareto front on (minimize energy, maximize QoS): a row is
+        // on the front unless some other row is at least as good on
+        // both axes and strictly better on one.
+        const auto dominated = [&](const exp::RunResult *r) {
+            for (const exp::RunResult *o : g.rows) {
+                if (o == r)
+                    continue;
+                const bool no_worse =
+                    o->metrics.energy <= r->metrics.energy &&
+                    qosOf(*o, use_fps) >= qosOf(*r, use_fps);
+                const bool better =
+                    o->metrics.energy < r->metrics.energy ||
+                    qosOf(*o, use_fps) > qosOf(*r, use_fps);
+                if (no_worse && better)
+                    return true;
+            }
+            return false;
+        };
+
+        for (const exp::RunResult *r : g.rows) {
+            const double qos = qosOf(*r, use_fps);
+            std::printf(
+                "%s,%s,%s,%s,%s,%s,%s,%s,%llu,%llu,%s,%d\n",
+                g.key.c_str(),
+                exp::agg::findLabel(*r, "governor")->c_str(),
+                exp::formatDouble(r->metrics.energy).c_str(),
+                exp::formatDouble(r->metrics.avgPower).c_str(),
+                use_fps ? "fps" : "ips",
+                exp::formatDouble(qos).c_str(),
+                exp::formatDouble(
+                    bench::pct(qosOf(*base, use_fps), qos))
+                    .c_str(),
+                exp::formatDouble(r->metrics.edp).c_str(),
+                static_cast<unsigned long long>(
+                    r->metrics.qosViolations),
+                static_cast<unsigned long long>(
+                    r->metrics.transitions),
+                exp::formatDouble(r->metrics.lowPointResidency)
+                    .c_str(),
+                dominated(r) ? 0 : 1);
+        }
+    }
+    return 0;
+}

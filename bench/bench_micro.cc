@@ -7,6 +7,8 @@
 #include <benchmark/benchmark.h>
 
 #include "bench/harness.hh"
+#include "core/governor.hh"
+#include "core/governor_registry.hh"
 #include "core/threshold_trainer.hh"
 #include "sim/random.hh"
 #include "workloads/battery.hh"
@@ -150,6 +152,40 @@ BM_Fig9IdleRun(benchmark::State &state)
         chip.run(10 * kTicksPerMs);
 }
 BENCHMARK(BM_Fig9IdleRun)->Arg(0)->Arg(1);
+
+/**
+ * Cost of one governor evaluation interval through the full
+ * policy/driver stack: GovernorHost::evaluate() -> decide() ->
+ * driver request (with notifier dispatch when the point moves).
+ * One variant per registered governor, at default parameters, so
+ * the perf ledger watches every policy in the zoo.
+ */
+void
+BM_GovernorDecide(benchmark::State &state, const std::string &name)
+{
+    Simulator sim;
+    soc::Soc chip(sim, soc::skylakeConfig());
+    chip.display().attachPanel(0, io::PanelConfig{});
+    core::GovernorHost host(core::makeGovernor(name, {}));
+    host.reset(chip);
+    soc::CounterSnapshot avg;
+    avg[soc::Counter::LlcStalls] = 1e5;
+    avg[soc::Counter::LlcOccupancyTracer] = 8.0;
+    avg[soc::Counter::IoRpq] = 12.0;
+    for (auto _ : state)
+        host.evaluate(chip, avg);
+}
+
+const int kGovernorDecideRegistered = [] {
+    for (const auto &entry : core::governorRegistry()) {
+        benchmark::RegisterBenchmark(
+            ("BM_GovernorDecide/" + entry.name).c_str(),
+            [name = entry.name](benchmark::State &st) {
+                BM_GovernorDecide(st, name);
+            });
+    }
+    return 0;
+}();
 
 void
 BM_DisplayPanelBandwidth(benchmark::State &state)

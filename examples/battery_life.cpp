@@ -17,7 +17,7 @@ using namespace sysscale;
 namespace {
 
 soc::RunMetrics
-measure(soc::PmuPolicy &policy)
+measure(core::Governor &governor)
 {
     Simulator sim(1);
     soc::Soc chip(sim, soc::skylakeConfig());
@@ -26,7 +26,8 @@ measure(soc::PmuPolicy &policy)
 
     workloads::ProfileAgent agent(workloads::videoPlayback());
     chip.setWorkload(&agent);
-    chip.pmu().setPolicy(&policy);
+    core::GovernorHost host(governor);
+    chip.pmu().setPolicy(&host);
 
     chip.run(200 * kTicksPerMs);
     return chip.run(3 * kTicksPerSec);

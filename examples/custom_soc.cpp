@@ -24,7 +24,8 @@ main()
     soc::Soc chip(sim, cfg);
 
     core::SysScaleGovernor gov;
-    chip.pmu().setPolicy(&gov);
+    core::GovernorHost host(gov);
+    chip.pmu().setPolicy(&host);
 
     workloads::ProfileAgent agent(
         workloads::specBenchmark("453.povray"));

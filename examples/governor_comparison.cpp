@@ -20,7 +20,8 @@ using namespace sysscale;
 namespace {
 
 soc::RunMetrics
-measure(const workloads::WorkloadProfile &w, soc::PmuPolicy &policy)
+measure(const workloads::WorkloadProfile &w,
+        core::Governor &governor)
 {
     Simulator sim(1);
     soc::Soc chip(sim, soc::skylakeConfig());
@@ -28,7 +29,8 @@ measure(const workloads::WorkloadProfile &w, soc::PmuPolicy &policy)
         io::PanelResolution::HD, 60.0, 4});
     workloads::ProfileAgent agent(w);
     chip.setWorkload(&agent);
-    chip.pmu().setPolicy(&policy);
+    core::GovernorHost host(governor);
+    chip.pmu().setPolicy(&host);
     chip.run(200 * kTicksPerMs);
     return chip.run(2 * kTicksPerSec);
 }
@@ -62,7 +64,7 @@ main()
         const bool gfx =
             w.klass() == workloads::WorkloadClass::Graphics;
 
-        auto value = [&](soc::PmuPolicy &p) {
+        auto value = [&](core::Governor &p) {
             const soc::RunMetrics m = measure(w, p);
             if (battery)
                 return m.avgPower;

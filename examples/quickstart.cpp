@@ -21,7 +21,7 @@ namespace {
 /** One measured run of @p profile under @p policy. */
 soc::RunMetrics
 measure(const workloads::WorkloadProfile &profile,
-        soc::PmuPolicy &policy)
+        core::Governor &governor)
 {
     Simulator sim(/*seed=*/1);
     soc::Soc chip(sim, soc::skylakeConfig());
@@ -32,7 +32,8 @@ measure(const workloads::WorkloadProfile &profile,
 
     workloads::ProfileAgent agent(profile);
     chip.setWorkload(&agent);
-    chip.pmu().setPolicy(&policy);
+    core::GovernorHost host(governor);
+    chip.pmu().setPolicy(&host);
 
     chip.run(200 * kTicksPerMs);          // warm up
     return chip.run(2 * kTicksPerSec);    // measure

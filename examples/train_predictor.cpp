@@ -117,7 +117,8 @@ main()
     soc::Soc chip(sim, soc::skylakeConfig());
     chip.display().attachPanel(0, io::PanelConfig{});
     core::SysScaleGovernor gov(thr, model);
-    chip.pmu().setPolicy(&gov);
+    core::GovernorHost host(gov);
+    chip.pmu().setPolicy(&host);
     workloads::ProfileAgent agent(
         workloads::specBenchmark("416.gamess"));
     chip.setWorkload(&agent);

@@ -1,0 +1,100 @@
+#include "core/governor.hh"
+
+#include "core/governor_driver.hh"
+#include "sim/logging.hh"
+
+namespace sysscale {
+namespace core {
+
+GovernorHost::GovernorHost(std::unique_ptr<Governor> gov)
+    : owned_(std::move(gov)), gov_(owned_.get())
+{
+    SYSSCALE_ASSERT(gov_ != nullptr,
+                    "governor host needs a policy instance");
+}
+
+GovernorHost::GovernorHost(Governor &gov) : gov_(&gov) {}
+
+GovernorHost::~GovernorHost()
+{
+    if (inited_)
+        gov_->teardown();
+}
+
+const char *
+GovernorHost::name() const
+{
+    return gov_->name();
+}
+
+std::size_t
+GovernorHost::firmwareBytes() const
+{
+    return gov_->firmwareBytes();
+}
+
+void
+GovernorHost::reset(soc::Soc &soc)
+{
+    if (inited_)
+        gov_->teardown();
+
+    // One fresh driver per installation: mechanics state (flow,
+    // latency accounting, constraints) can never leak between SoCs
+    // even if the policy object itself is reused.
+    driver_ = std::make_unique<GovernorDriver>(
+        soc, gov_->flowOptions(), gov_->redistributes());
+    stats_ = TransitionStats{};
+
+    driver_->subscribePre([this](const TransitionRecord &rec) {
+        (void)rec;
+        ++stats_.requested;
+    });
+    driver_->subscribePost([this](const TransitionRecord &rec) {
+        if (rec.executed) {
+            ++stats_.executed;
+            if (rec.increased)
+                ++stats_.increases;
+            else
+                ++stats_.decreases;
+            stats_.totalLatency += rec.latency;
+            if (rec.latency > stats_.maxLatency)
+                stats_.maxLatency = rec.latency;
+        }
+        gov_->notify(rec);
+    });
+
+    gov_->init(*driver_, soc);
+    inited_ = true;
+    driver_->refreshBudget();
+}
+
+void
+GovernorHost::evaluate(soc::Soc &soc, const soc::CounterSnapshot &avg)
+{
+    SYSSCALE_ASSERT(driver_ != nullptr,
+                    "governor '%s' evaluated before reset",
+                    gov_->name());
+    gov_->decide(*driver_, soc, avg);
+}
+
+GovernorDriver &
+GovernorHost::driver()
+{
+    SYSSCALE_ASSERT(driver_ != nullptr,
+                    "governor '%s' has no driver before reset",
+                    gov_->name());
+    return *driver_;
+}
+
+const GovernorDriver &
+GovernorHost::driver() const
+{
+    SYSSCALE_ASSERT(driver_ != nullptr,
+                    "governor '%s' has no driver before reset",
+                    gov_->name());
+    return *driver_;
+}
+
+} // namespace core
+} // namespace sysscale

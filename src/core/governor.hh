@@ -1,0 +1,169 @@
+/**
+ * @file
+ * The governor policy-layer interface (CPUFreq-style split).
+ *
+ * Mirroring the Linux CPUFreq architecture, power-management policy
+ * and mechanics live in separate layers:
+ *
+ *  - A Governor (this file) is pure *policy*: it looks at counters
+ *    and SoC state and decides which operating point it wants. It
+ *    never touches SoC mutators directly (the repo-invariant linter
+ *    enforces this) — every grant goes through the driver.
+ *  - The GovernorDriver (governor_driver.hh) owns *mechanics*:
+ *    executing the Fig. 5 transition flow, enforcing transition-
+ *    latency constraints, recomputing power budgets, and publishing
+ *    pre/post transition notifiers that stats subscribe to.
+ *  - The GovernorHost (below) adapts a Governor onto the PMU's
+ *    PmuPolicy slot: it builds one driver per installation, wires
+ *    the governor's notify() hook to the post-transition notifier,
+ *    and accounts per-governor transition statistics.
+ *
+ * Concrete policies register by name in governor_registry.hh; see
+ * docs/ARCHITECTURE.md for the layer diagram and docs/EXPERIMENTS.md
+ * for the "adding a governor" cookbook.
+ */
+
+#ifndef SYSSCALE_CORE_GOVERNOR_HH
+#define SYSSCALE_CORE_GOVERNOR_HH
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/transition_flow.hh"
+#include "soc/pmu.hh"
+#include "soc/soc.hh"
+
+namespace sysscale {
+namespace core {
+
+class GovernorDriver;
+
+/**
+ * Key=value parameters a governor is constructed with. Serialized
+ * through the spec codec (format v5) so parameterized governors are
+ * first-class grid axes with stable cache keys.
+ */
+using GovernorParams =
+    std::vector<std::pair<std::string, std::string>>;
+
+/**
+ * One operating-point transition, as seen by the notifier chain.
+ * Pre-transition subscribers observe the intent (latency fields
+ * still zero); post-transition subscribers observe the outcome.
+ */
+struct TransitionRecord
+{
+    soc::OperatingPoint from;
+    soc::OperatingPoint to;
+
+    /** Flow latency (post only; 0 in the pre notification). */
+    Tick latency = 0;
+
+    /** Frequency went up (post only). */
+    bool increased = false;
+
+    /** The flow actually ran (post only). */
+    bool executed = false;
+};
+
+/**
+ * Uniform policy interface: init / decide / notify / teardown.
+ */
+class Governor
+{
+  public:
+    virtual ~Governor() = default;
+
+    /** Policy name for reports. */
+    virtual const char *name() const = 0;
+
+    /** Firmware bytes this policy adds to the PMU image (Sec. 5). */
+    virtual std::size_t firmwareBytes() const { return 0; }
+
+    /** Transition-flow feature knobs this policy runs with. */
+    virtual FlowOptions flowOptions() const { return FlowOptions{}; }
+
+    /** Whether saved IO/memory budget is redistributed to compute. */
+    virtual bool redistributes() const { return true; }
+
+    /** Called once when installed, before the first decide(). */
+    virtual void
+    init(GovernorDriver &drv, soc::Soc &soc)
+    {
+        (void)drv;
+        (void)soc;
+    }
+
+    /**
+     * Evaluation-interval hook: request an operating point through
+     * the driver from the window-averaged counters.
+     */
+    virtual void decide(GovernorDriver &drv, soc::Soc &soc,
+                        const soc::CounterSnapshot &avg) = 0;
+
+    /** Post-transition notification (after the flow applied). */
+    virtual void notify(const TransitionRecord &rec) { (void)rec; }
+
+    /** Called when the policy is uninstalled or the host dies. */
+    virtual void teardown() {}
+};
+
+/** Per-governor transition accounting fed by the notifiers. */
+struct TransitionStats
+{
+    std::uint64_t requested = 0; //!< Pre notifications seen.
+    std::uint64_t executed = 0;  //!< Flows that actually ran.
+    std::uint64_t increases = 0; //!< Executed upward transitions.
+    std::uint64_t decreases = 0; //!< Executed downward transitions.
+    Tick totalLatency = 0;       //!< Sum of executed flow latencies.
+    Tick maxLatency = 0;         //!< Slowest executed flow.
+};
+
+/**
+ * Adapts a Governor onto the PMU's PmuPolicy slot. Owns (or borrows)
+ * the policy and owns one GovernorDriver per installation; the
+ * driver is rebuilt on every reset() so cached policy objects can
+ * never leak mechanics state between SoCs.
+ */
+class GovernorHost : public soc::PmuPolicy
+{
+  public:
+    /** Own @p gov (registry path). */
+    explicit GovernorHost(std::unique_ptr<Governor> gov);
+
+    /** Borrow @p gov (tests/benches that inspect policy state). */
+    explicit GovernorHost(Governor &gov);
+
+    ~GovernorHost() override;
+
+    const char *name() const override;
+    std::size_t firmwareBytes() const override;
+
+    void reset(soc::Soc &soc) override;
+    void evaluate(soc::Soc &soc,
+                  const soc::CounterSnapshot &avg) override;
+
+    Governor &governor() { return *gov_; }
+    const Governor &governor() const { return *gov_; }
+
+    /** The mechanics layer; valid after reset() installed it. */
+    GovernorDriver &driver();
+    const GovernorDriver &driver() const;
+
+    /** Per-governor transition accounting (notifier-fed). */
+    const TransitionStats &transitionStats() const { return stats_; }
+
+  private:
+    std::unique_ptr<Governor> owned_;
+    Governor *gov_;
+    std::unique_ptr<GovernorDriver> driver_;
+    TransitionStats stats_;
+    bool inited_ = false;
+};
+
+} // namespace core
+} // namespace sysscale
+
+#endif // SYSSCALE_CORE_GOVERNOR_HH

@@ -1,0 +1,98 @@
+#include "core/governor_driver.hh"
+
+namespace sysscale {
+namespace core {
+
+GovernorDriver::GovernorDriver(soc::Soc &soc, FlowOptions opts,
+                               bool redistribute)
+    : soc_(soc), opts_(opts), redistribute_(redistribute),
+      flow_(soc, opts)
+{
+}
+
+void
+GovernorDriver::subscribePre(TransitionCallback cb)
+{
+    pre_.push_back(std::move(cb));
+}
+
+void
+GovernorDriver::subscribePost(TransitionCallback cb)
+{
+    post_.push_back(std::move(cb));
+}
+
+Tick
+GovernorDriver::estimateTransitionLatency(
+    const soc::OperatingPoint &target) const
+{
+    return flow_.estimate(target);
+}
+
+bool
+GovernorDriver::requestOpPoint(const soc::OperatingPoint &target)
+{
+    const soc::OperatingPoint from = soc_.currentOpPoint();
+    const bool changes = !(from == target);
+
+    if (changes && latencyLimit_ != 0 &&
+        flow_.estimate(target) > latencyLimit_) {
+        ++denied_;
+        refreshBudget();
+        return false;
+    }
+
+    TransitionRecord rec;
+    rec.from = from;
+    rec.to = target;
+    if (changes) {
+        for (const TransitionCallback &cb : pre_)
+            cb(rec);
+    }
+
+    const FlowReport report = flow_.execute(target);
+    if (report.executed) {
+        ++flowRuns_;
+        lastFlowLatency_ = report.totalLatency;
+        totalFlowLatency_ += report.totalLatency;
+    }
+
+    rec.latency = report.totalLatency;
+    rec.increased = report.increased;
+    rec.executed = report.executed;
+    if (changes) {
+        for (const TransitionCallback &cb : post_)
+            cb(rec);
+    }
+
+    refreshBudget();
+    return true;
+}
+
+void
+GovernorDriver::refreshBudget()
+{
+    // Without redistribution the compute domain keeps the worst-case
+    // allocation of the *high* point — saved IO/memory power is
+    // simply not spent (pure MemScale/CoScale, Sec. 6).
+    const soc::OperatingPoint &billing =
+        redistribute_ ? soc_.currentOpPoint()
+                      : soc_.opPoints().high();
+
+    // PMU budget tables cost a trained interface; a governor running
+    // unoptimized MRC (MemScale/CoScale) physically draws more than
+    // it budgets, which is part of why the paper calls unoptimized
+    // registers able to "negate potential benefits" (Sec. 3).
+    const Watt iomem =
+        soc::ioMemBudgetDemand(soc_.config(), billing, true);
+    soc_.setComputeBudget(soc_.pbm().computeBudget(iomem, 0.0));
+}
+
+void
+GovernorDriver::setCoreFreqCap(Hertz cap)
+{
+    soc_.setCoreFreqCap(cap);
+}
+
+} // namespace core
+} // namespace sysscale

@@ -2,66 +2,24 @@
 
 #include <algorithm>
 
+#include "core/governor_driver.hh"
 #include "sim/logging.hh"
 
 namespace sysscale {
 namespace core {
 
-GovernorBase::GovernorBase(std::string name, FlowOptions opts,
-                           bool redistribute)
-    : name_(std::move(name)), opts_(opts), redistribute_(redistribute)
-{
-}
-
-void
-GovernorBase::reset(soc::Soc &soc)
-{
-    flow_ = std::make_unique<TransitionFlow>(soc, opts_);
-    updateBudget(soc);
-}
-
-void
-GovernorBase::moveTo(soc::Soc &soc, const soc::OperatingPoint &target)
-{
-    SYSSCALE_ASSERT(flow_ != nullptr, "governor '%s' not reset",
-                    name_.c_str());
-    const FlowReport report = flow_->execute(target);
-    if (report.executed) {
-        ++flowRuns_;
-        lastFlowLatency_ = report.totalLatency;
-    }
-    updateBudget(soc);
-}
-
-void
-GovernorBase::updateBudget(soc::Soc &soc)
-{
-    // Without redistribution the compute domain keeps the worst-case
-    // allocation of the *high* point — saved IO/memory power is
-    // simply not spent (pure MemScale/CoScale, Sec. 6).
-    const soc::OperatingPoint &billing =
-        redistribute_ ? soc.currentOpPoint() : soc.opPoints().high();
-
-    // PMU budget tables cost a trained interface; a governor running
-    // unoptimized MRC (MemScale/CoScale) physically draws more than
-    // it budgets, which is part of why the paper calls unoptimized
-    // registers able to "negate potential benefits" (Sec. 3).
-    const Watt iomem =
-        soc::ioMemBudgetDemand(soc.config(), billing, true);
-    soc.setComputeBudget(soc.pbm().computeBudget(iomem, 0.0));
-}
-
 FixedGovernor::FixedGovernor()
-    : GovernorBase("baseline", FlowOptions{}, /*redistribute=*/false)
+    : PolicyBase("baseline", FlowOptions{}, /*redistribute=*/false)
 {
 }
 
 void
-FixedGovernor::evaluate(soc::Soc &soc, const soc::CounterSnapshot &avg)
+FixedGovernor::decide(GovernorDriver &drv, soc::Soc &soc,
+                      const soc::CounterSnapshot &avg)
 {
     (void)avg;
     // Pinned at the high point; budgets never move.
-    moveTo(soc, soc.opPoints().high());
+    drv.requestOpPoint(soc.opPoints().high());
 }
 
 Thresholds
@@ -73,21 +31,22 @@ SysScaleGovernor::defaultThresholds()
     thr.counter[soc::counterIndex(Counter::LlcOccupancyTracer)] = 5.0;
     thr.counter[soc::counterIndex(Counter::LlcStalls)] = 4.5e5;
     thr.counter[soc::counterIndex(Counter::IoRpq)] = 6.0;
-    thr.staticBw = 0.0; // derived from the low point at reset
+    thr.staticBw = 0.0; // derived from the low point at init
     return thr;
 }
 
 SysScaleGovernor::SysScaleGovernor(Thresholds thresholds,
                                    LinearImpactModel model,
                                    FlowOptions opts)
-    : GovernorBase("sysscale", opts, /*redistribute=*/true),
+    : PolicyBase("sysscale", opts, /*redistribute=*/true),
       thresholds_(thresholds), model_(model)
 {
 }
 
 void
-SysScaleGovernor::reset(soc::Soc &soc)
+SysScaleGovernor::init(GovernorDriver &drv, soc::Soc &soc)
 {
+    (void)drv;
     if (thresholds_.staticBw <= 0.0) {
         // Condition 1 gate: static demand the low point can carry
         // while honoring isochronous QoS.
@@ -103,13 +62,11 @@ SysScaleGovernor::reset(soc::Soc &soc)
     for (double &t : up.counter)
         t *= kUpHysteresis;
     upPredictor_ = DemandPredictor(up, model_);
-
-    GovernorBase::reset(soc);
 }
 
 void
-SysScaleGovernor::evaluate(soc::Soc &soc,
-                           const soc::CounterSnapshot &avg)
+SysScaleGovernor::decide(GovernorDriver &drv, soc::Soc &soc,
+                         const soc::CounterSnapshot &avg)
 {
     const BytesPerSec static_demand =
         table_.staticDemand(soc.csr());
@@ -126,17 +83,17 @@ SysScaleGovernor::evaluate(soc::Soc &soc,
     const soc::OperatingPoint &target =
         lastCond_.any() ? soc.opPoints().high()
                         : soc.opPoints().low();
-    moveTo(soc, target);
+    drv.requestOpPoint(target);
 }
 
 MemScaleGovernor::MemScaleGovernor(bool redistribute)
-    : GovernorBase(redistribute ? "memscale-r" : "memscale",
-                   FlowOptions{/*scaleFabric=*/false,
-                               /*scaleVsa=*/false,
-                               /*scaleVio=*/false,
-                               /*useOptimizedMrc=*/false,
-                               /*sramMrc=*/false},
-                   redistribute)
+    : PolicyBase(redistribute ? "memscale-r" : "memscale",
+                 FlowOptions{/*scaleFabric=*/false,
+                             /*scaleVsa=*/false,
+                             /*scaleVio=*/false,
+                             /*useOptimizedMrc=*/false,
+                             /*sramMrc=*/false},
+                 redistribute)
 {
 }
 
@@ -157,7 +114,7 @@ MemScaleGovernor::memOnlyLowPoint(soc::Soc &soc) const
 }
 
 void
-MemScaleGovernor::epochDecision(soc::Soc &soc,
+MemScaleGovernor::epochDecision(GovernorDriver &drv, soc::Soc &soc,
                                 const soc::CounterSnapshot &avg,
                                 double stall_thr, double occ_thr,
                                 double max_low_rho)
@@ -196,27 +153,28 @@ MemScaleGovernor::epochDecision(soc::Soc &soc,
                 backoffLen_ = 2;
             }
         }
-        moveTo(soc, soc.opPoints().high());
+        drv.requestOpPoint(soc.opPoints().high());
         return;
     }
 
     if (at_high && evalCount_ < backoffUntil_) {
-        updateBudget(soc);
+        drv.refreshBudget();
         return;
     }
 
     if (at_high)
         lastWentLow_ = evalCount_;
-    moveTo(soc, memOnlyLowPoint(soc));
+    drv.requestOpPoint(memOnlyLowPoint(soc));
 }
 
 void
-MemScaleGovernor::evaluate(soc::Soc &soc,
-                           const soc::CounterSnapshot &avg)
+MemScaleGovernor::decide(GovernorDriver &drv, soc::Soc &soc,
+                         const soc::CounterSnapshot &avg)
 {
     // Memory-side epoch model: conservative gates because MemScale
     // only observes the memory subsystem [Deng+, ASPLOS'11].
-    epochDecision(soc, avg, kMemStallThr, kMemOccThr, kMemMaxLowRho);
+    epochDecision(drv, soc, avg, kMemStallThr, kMemOccThr,
+                  kMemMaxLowRho);
 }
 
 CoScaleGovernor::CoScaleGovernor(bool redistribute)
@@ -226,13 +184,13 @@ CoScaleGovernor::CoScaleGovernor(bool redistribute)
 }
 
 void
-CoScaleGovernor::evaluate(soc::Soc &soc,
-                          const soc::CounterSnapshot &avg)
+CoScaleGovernor::decide(GovernorDriver &drv, soc::Soc &soc,
+                        const soc::CounterSnapshot &avg)
 {
     // Joint CPU+memory epoch model: looser gates than MemScale
     // because the joint model also sees CPU slack — but still no IO
     // or graphics visibility and no static demand table.
-    epochDecision(soc, avg, kJointStallThr, kJointOccThr,
+    epochDecision(drv, soc, avg, kJointStallThr, kJointOccThr,
                   kJointMaxLowRho);
 
     // Joint CPU coordination: a heavily memory-bound workload gains
@@ -244,9 +202,9 @@ CoScaleGovernor::evaluate(soc::Soc &soc,
     const double boundness = std::min(1.0, stalls / kStallRef);
     if (boundness > 0.9) {
         const Hertz fmax = soc.cpu().pstates().max().freq;
-        soc.setCoreFreqCap(fmax * kBoundCapShare);
+        drv.setCoreFreqCap(fmax * kBoundCapShare);
     } else {
-        soc.setCoreFreqCap(0.0);
+        drv.setCoreFreqCap(0.0);
     }
 }
 

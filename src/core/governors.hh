@@ -1,10 +1,12 @@
 /**
  * @file
- * Power-management governors.
+ * The paper's governors, re-homed on the policy layer.
  *
- * All governors plug into the PMU behind soc::PmuPolicy and drive
- * the same TransitionFlow; what distinguishes them is which knobs
- * their FlowOptions unlock and how they decide:
+ * Every class here is pure policy (core/governor.hh): it reads
+ * counters and SoC state and requests operating points through the
+ * GovernorDriver, which owns the transition flow and the budget
+ * arithmetic. What distinguishes the governors is which FlowOptions
+ * knobs they unlock and how they decide:
  *
  *  - FixedGovernor: the paper's baseline — IO and memory domains
  *    pinned at the high operating point, worst-case budgets.
@@ -20,73 +22,57 @@
  *  - CoScaleGovernor: coordinated CPU + memory DVFS [Deng+,
  *    MICRO'12]: MemScale's memory handling plus a CPU frequency cap
  *    when the workload is memory bound. -Redist likewise.
+ *
+ * The real-world-shaped governors (ondemand, conservative,
+ * userspace, latency-budget, adaptive) live in governor_zoo.hh; all
+ * of them register by name in governor_registry.hh.
  */
 
 #ifndef SYSSCALE_CORE_GOVERNORS_HH
 #define SYSSCALE_CORE_GOVERNORS_HH
 
-#include <memory>
 #include <string>
 
 #include "core/demand_predictor.hh"
+#include "core/governor.hh"
 #include "core/static_table.hh"
 #include "core/transition_flow.hh"
-#include "soc/pmu.hh"
-#include "soc/soc.hh"
 
 namespace sysscale {
 namespace core {
 
 /**
- * Shared governor plumbing: flow ownership and budget arithmetic.
+ * Shared policy plumbing: name, flow knobs, redistribution flag.
  */
-class GovernorBase : public soc::PmuPolicy
+class PolicyBase : public Governor
 {
   public:
-    GovernorBase(std::string name, FlowOptions opts,
-                 bool redistribute);
+    PolicyBase(std::string name, FlowOptions opts, bool redistribute)
+        : name_(std::move(name)), opts_(opts),
+          redistribute_(redistribute)
+    {
+    }
 
     const char *name() const override { return name_.c_str(); }
-
-    void reset(soc::Soc &soc) override;
-
-    bool redistributes() const { return redistribute_; }
-    const FlowOptions &flowOptions() const { return opts_; }
-
-    /** Flow executions performed (diagnostics). */
-    std::uint64_t flowRuns() const { return flowRuns_; }
-
-    /** Latency of the most recent flow execution. */
-    Tick lastFlowLatency() const { return lastFlowLatency_; }
+    FlowOptions flowOptions() const override { return opts_; }
+    bool redistributes() const override { return redistribute_; }
 
   protected:
-    /**
-     * Move the SoC to @p target (no-op if already there) and update
-     * the compute budget according to the redistribution setting.
-     */
-    void moveTo(soc::Soc &soc, const soc::OperatingPoint &target);
-
-    /** Recompute the compute-domain budget. */
-    void updateBudget(soc::Soc &soc);
-
     std::string name_;
     FlowOptions opts_;
     bool redistribute_;
-    std::unique_ptr<TransitionFlow> flow_;
-    std::uint64_t flowRuns_ = 0;
-    Tick lastFlowLatency_ = 0;
 };
 
 /**
  * The paper's baseline: domains pinned at the high point.
  */
-class FixedGovernor : public GovernorBase
+class FixedGovernor : public PolicyBase
 {
   public:
     FixedGovernor();
 
-    void evaluate(soc::Soc &soc, const soc::CounterSnapshot &avg)
-        override;
+    void decide(GovernorDriver &drv, soc::Soc &soc,
+                const soc::CounterSnapshot &avg) override;
 
     std::size_t firmwareBytes() const override { return 64; }
 };
@@ -94,13 +80,13 @@ class FixedGovernor : public GovernorBase
 /**
  * SysScale (paper Sec. 4).
  */
-class SysScaleGovernor : public GovernorBase
+class SysScaleGovernor : public PolicyBase
 {
   public:
     /**
      * @param thresholds Trained counter thresholds (Sec. 4.2); the
      *        static-demand gate is derived from the low point's
-     *        capacity at reset when left at zero.
+     *        capacity at init when left at zero.
      * @param model Fig. 6 linear impact model (diagnostics only).
      * @param opts Feature knobs (defaults = full SysScale; ablations
      *        toggle individual features).
@@ -110,9 +96,9 @@ class SysScaleGovernor : public GovernorBase
                               LinearImpactModel model = {},
                               FlowOptions opts = {});
 
-    void reset(soc::Soc &soc) override;
-    void evaluate(soc::Soc &soc, const soc::CounterSnapshot &avg)
-        override;
+    void init(GovernorDriver &drv, soc::Soc &soc) override;
+    void decide(GovernorDriver &drv, soc::Soc &soc,
+                const soc::CounterSnapshot &avg) override;
 
     /** Sec. 5: ~0.6KB of PMU firmware. */
     std::size_t firmwareBytes() const override { return 600; }
@@ -153,13 +139,13 @@ class SysScaleGovernor : public GovernorBase
 /**
  * MemScale [16] with optional budget redistribution (MemScale-R).
  */
-class MemScaleGovernor : public GovernorBase
+class MemScaleGovernor : public PolicyBase
 {
   public:
     explicit MemScaleGovernor(bool redistribute);
 
-    void evaluate(soc::Soc &soc, const soc::CounterSnapshot &avg)
-        override;
+    void decide(GovernorDriver &drv, soc::Soc &soc,
+                const soc::CounterSnapshot &avg) override;
 
     std::size_t firmwareBytes() const override { return 256; }
 
@@ -185,7 +171,8 @@ class MemScaleGovernor : public GovernorBase
      * that had to be reverted quickly (epoch governors thrash on
      * phased workloads otherwise).
      */
-    void epochDecision(soc::Soc &soc, const soc::CounterSnapshot &avg,
+    void epochDecision(GovernorDriver &drv, soc::Soc &soc,
+                       const soc::CounterSnapshot &avg,
                        double stall_thr, double occ_thr,
                        double max_low_rho);
 
@@ -204,8 +191,8 @@ class CoScaleGovernor : public MemScaleGovernor
   public:
     explicit CoScaleGovernor(bool redistribute);
 
-    void evaluate(soc::Soc &soc, const soc::CounterSnapshot &avg)
-        override;
+    void decide(GovernorDriver &drv, soc::Soc &soc,
+                const soc::CounterSnapshot &avg) override;
 
     std::size_t firmwareBytes() const override { return 384; }
 

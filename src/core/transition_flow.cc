@@ -1,6 +1,7 @@
 #include "core/transition_flow.hh"
 
 #include <algorithm>
+#include <cmath>
 
 #include "sim/logging.hh"
 
@@ -14,6 +15,33 @@ TransitionFlow::TransitionFlow(soc::Soc &soc, FlowOptions opts)
         SYSSCALE_FATAL("V_SA cannot be lowered without scaling the "
                        "fabric that shares the rail (Fig. 1)");
     }
+}
+
+Tick
+TransitionFlow::estimate(const soc::OperatingPoint &target) const
+{
+    const soc::OperatingPoint current = soc_.currentOpPoint();
+    if (current == target)
+        return 0;
+
+    // Rails ramp in parallel; the larger swing dominates.
+    const Volt vsa_target =
+        opts_.scaleVsa ? target.vSa : current.vSa;
+    const Volt vio_target =
+        opts_.scaleVio ? target.vIo : current.vIo;
+    const double dv = std::max(std::fabs(vsa_target - current.vSa),
+                               std::fabs(vio_target - current.vIo));
+    const Tick ramp = static_cast<Tick>(
+        dv / soc_.config().vrSlewRate * kTicksPerSec);
+
+    Tick total = kFirmwareLatency + ramp + kSrEntryLatency;
+    total += opts_.sramMrc ? soc_.mrc().loadLatency()
+                           : kMrcFirmwareRecalc;
+    total += std::max(kPllRelockLatency,
+                      soc_.mc().ddrio().relockLatency());
+    // Self-refresh exit relocks at SR-entry scale; drain excluded.
+    total += kSrEntryLatency + kReleaseLatency;
+    return total;
 }
 
 FlowReport

@@ -89,6 +89,17 @@ class TransitionFlow
      */
     FlowReport execute(const soc::OperatingPoint &target);
 
+    /**
+     * Model estimate of what execute(@p target) would cost, without
+     * touching the hardware: fixed step latencies + the voltage ramp
+     * at the configured slew rate + the MRC path (SRAM load or
+     * firmware recompute). The traffic-dependent block-and-drain
+     * step is excluded (it depends on in-flight transactions), so
+     * this is a tight lower bound — the right shape for a latency-
+     * budget constraint. Returns 0 when already at @p target.
+     */
+    Tick estimate(const soc::OperatingPoint &target) const;
+
     /** @name Fixed step latencies (Sec. 5). @{ */
 
     /** Firmware decision/dispatch overhead (step 1 + glue, <1us). */

@@ -1,10 +1,12 @@
 #include "exp/experiment.hh"
 
 #include <algorithm>
+#include <cassert>
 #include <chrono>
 #include <cstdio>
 #include <stdexcept>
 
+#include "core/governor_registry.hh"
 #include "core/governors.hh"
 #include "core/transition_flow.hh"
 #include "io/display.hh"
@@ -88,56 +90,66 @@ class PinnedFreqAgent : public soc::WorkloadAgent
 const std::vector<std::string> &
 governorNames()
 {
-    static const std::vector<std::string> names = {
-        "fixed",     "sysscale", "memscale", "memscale-r",
-        "coscale",   "coscale-r", "collect",
-    };
+    // The core registry, plus the policy-less "collect" sentinel.
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> n = core::governorNames();
+        n.push_back("collect");
+        return n;
+    }();
     return names;
 }
 
 bool
 isGovernorName(const std::string &name)
 {
-    if (name.empty())
-        return true;
-    for (const auto &n : governorNames()) {
-        if (n == name)
-            return true;
-    }
-    return false;
+    return name.empty() || name == "collect" ||
+           core::isRegisteredGovernor(name);
 }
 
 GovernorFactory
-governorFactory(const std::string &name)
+governorFactory(const std::string &name, const GovernorParams &params)
 {
     using Policy = std::unique_ptr<soc::PmuPolicy>;
-    if (name.empty() || name == "collect")
+    if (name.empty() || name == "collect") {
+        if (!params.empty()) {
+            throw std::invalid_argument(
+                "governor \"collect\" takes no parameters");
+        }
         return [] { return Policy(); };
-    if (name == "fixed")
-        return [] {
-            return Policy(new core::FixedGovernor());
-        };
-    if (name == "sysscale")
-        return [] {
-            return Policy(new core::SysScaleGovernor());
-        };
-    if (name == "memscale")
-        return [] {
-            return Policy(new core::MemScaleGovernor(false));
-        };
-    if (name == "memscale-r")
-        return [] {
-            return Policy(new core::MemScaleGovernor(true));
-        };
-    if (name == "coscale")
-        return [] {
-            return Policy(new core::CoScaleGovernor(false));
-        };
-    if (name == "coscale-r")
-        return [] {
-            return Policy(new core::CoScaleGovernor(true));
-        };
-    throw std::invalid_argument("unknown governor \"" + name + "\"");
+    }
+    // Construct once eagerly: makeGovernor validates both the name
+    // (enumerating the registry on a miss) and the parameters, so a
+    // bad --governors token dies here, not on a sweep worker.
+    core::makeGovernor(name, params);
+    return [name, params] {
+        return Policy(new core::GovernorHost(
+            core::makeGovernor(name, params)));
+    };
+}
+
+GovernorToken
+parseGovernorToken(const std::string &token)
+{
+    GovernorToken out;
+    std::size_t start = token.find(':');
+    out.name = token.substr(0, start);
+    while (start != std::string::npos) {
+        ++start;
+        std::size_t end = token.find(':', start);
+        const std::string seg =
+            token.substr(start, end == std::string::npos
+                                    ? std::string::npos
+                                    : end - start);
+        const std::size_t eq = seg.find('=');
+        if (eq == std::string::npos || eq == 0) {
+            throw std::invalid_argument(
+                "governor token \"" + token + "\": segment \"" + seg +
+                "\" is not key=value");
+        }
+        out.params.emplace_back(seg.substr(0, eq), seg.substr(eq + 1));
+        start = end;
+    }
+    return out;
 }
 
 void
@@ -155,11 +167,15 @@ validateSpec(const ExperimentSpec &spec)
     if (spec.window == 0)
         throw std::invalid_argument(
             "cell \"" + spec.id + "\": zero measurement window");
-    if (!spec.governorFactory && !spec.borrowedPolicy &&
-        !isGovernorName(spec.governor)) {
-        throw std::invalid_argument(
-            "cell \"" + spec.id + "\": unknown governor \"" +
-            spec.governor + "\"");
+    if (!spec.governorFactory && !spec.borrowedPolicy) {
+        // governorFactory() validates both the name (enumerating the
+        // registry on a miss) and the parameters.
+        try {
+            governorFactory(spec.governor, spec.governorParams);
+        } catch (const std::invalid_argument &e) {
+            throw std::invalid_argument(
+                "cell \"" + spec.id + "\": " + e.what());
+        }
     }
     // Catchable mirror of every SocConfig::validate() invariant:
     // cfg.validate() is fatal (process exit), which from a worker
@@ -265,10 +281,16 @@ runCell(const ExperimentSpec &spec)
         soc::PmuPolicy *policy = spec.borrowedPolicy;
         if (!policy) {
             const GovernorFactory factory =
-                spec.governorFactory ? spec.governorFactory
-                                     : governorFactory(spec.governor);
+                spec.governorFactory
+                    ? spec.governorFactory
+                    : governorFactory(spec.governor,
+                                      spec.governorParams);
             owned = factory();
             policy = owned.get();
+            // Stateful governors (adaptive's learned thresholds)
+            // must not leak across cells: every factory-built policy
+            // must be a never-installed instance. Debug builds only.
+            assert(!policy || !policy->everInstalled());
         }
 
         Simulator sim(spec.seed);
@@ -367,6 +389,12 @@ expandGrid(const GridSpec &grid)
 
     for (const auto &w : grid.workloads) {
         for (const auto &gov : grid.governors) {
+            // Grid governors are sweep-console tokens: the base name
+            // plus parameters land in the spec, while ids and the
+            // "governor" label keep the full token so parameterized
+            // variants stay distinguishable in aggregation. Plain
+            // names (no parameters) expand exactly as before.
+            const GovernorToken token = parseGovernorToken(gov);
             for (const Watt tdp : grid.tdps) {
                 for (const std::uint64_t seed : grid.seeds) {
                     for (const auto &sc : axis) {
@@ -375,7 +403,8 @@ expandGrid(const GridSpec &grid)
                         cell.soc.tdp = tdp;
                         cell.workload = w;
                         cell.scenario = sc.scenario;
-                        cell.governor = gov;
+                        cell.governor = token.name;
+                        cell.governorParams = token.params;
                         cell.seed = seed;
                         cell.warmup = grid.warmup;
                         cell.window = grid.window;

@@ -11,9 +11,11 @@
  * execution embarrassingly parallel and bit-identical to a serial
  * sweep of the same cells.
  *
- * Governors are resolved by registry name ("fixed", "sysscale",
- * "memscale[-r]", "coscale[-r]", "collect") so grids serialize to
- * plain strings; a custom factory hook covers ablation variants.
+ * Governors are resolved by name through the core governor registry
+ * (core/governor_registry.hh — "fixed", "sysscale", "ondemand",
+ * "adaptive", ... plus the policy-less "collect") so grids serialize
+ * to plain strings, with optional key=value parameters riding along;
+ * a custom factory hook covers ablation variants.
  */
 
 #ifndef SYSSCALE_EXP_EXPERIMENT_HH
@@ -44,6 +46,13 @@ using GovernorFactory =
 using Labels = std::vector<std::pair<std::string, std::string>>;
 
 /**
+ * Governor parameters (key=value, order-preserving). Same shape as
+ * core::GovernorParams; part of the cell's content address.
+ */
+using GovernorParams =
+    std::vector<std::pair<std::string, std::string>>;
+
+/**
  * One grid cell: a fully-specified simulation run.
  */
 struct ExperimentSpec
@@ -68,6 +77,13 @@ struct ExperimentSpec
      * governor, counter collection only).
      */
     std::string governor = "collect";
+
+    /**
+     * Parameters handed to the governor's constructor (empty for
+     * the parameterless governors). Part of the content address —
+     * two cells differing only here are different simulations.
+     */
+    GovernorParams governorParams;
 
     /** Overrides @ref governor when set (ablation variants). */
     GovernorFactory governorFactory;
@@ -111,7 +127,8 @@ struct ExperimentSpec
     {
         return id == o.id && soc == o.soc && workload == o.workload &&
                scenario == o.scenario &&
-               governor == o.governor && seed == o.seed &&
+               governor == o.governor &&
+               governorParams == o.governorParams && seed == o.seed &&
                warmup == o.warmup && window == o.window &&
                hdPanel == o.hdPanel && camera == o.camera &&
                pinnedCoreFreq == o.pinnedCoreFreq &&
@@ -152,11 +169,34 @@ const std::vector<std::string> &governorNames();
 bool isGovernorName(const std::string &name);
 
 /**
- * Factory for registered governor @p name; returns a factory
- * producing nullptr for "collect"/"". Throws std::invalid_argument
- * on unknown names.
+ * Factory for registered governor @p name constructed with
+ * @p params; returns a factory producing nullptr for "collect"/"".
+ * Throws std::invalid_argument on unknown names or parameters the
+ * governor rejects — eagerly, at factory-construction time, so bad
+ * tokens fail before any cell runs.
  */
-GovernorFactory governorFactory(const std::string &name);
+GovernorFactory governorFactory(const std::string &name,
+                                const GovernorParams &params = {});
+
+/**
+ * A sweep-console governor token: `name[:key=value[:key=value...]]`.
+ * ',' separates whole tokens on the command line, ':' separates the
+ * parameters of one token, and values may contain '@' (the userspace
+ * governor's at=<ms>@<index> schedule entries).
+ */
+struct GovernorToken
+{
+    std::string name;
+    GovernorParams params;
+};
+
+/**
+ * Split a governor token into name + parameters. Throws
+ * std::invalid_argument on malformed segments (missing '=' or empty
+ * key); the *name* is not checked here — pair with isGovernorName()
+ * or governorFactory() for that.
+ */
+GovernorToken parseGovernorToken(const std::string &token);
 /** @} */
 
 /**

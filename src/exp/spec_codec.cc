@@ -404,6 +404,14 @@ serializeImpl(const ExperimentSpec &spec, bool canonical)
     if (!canonical)
         body.putStr("id", spec.id);
     body.putStr("governor", spec.governor);
+    // Parameters feed the governor's constructor, so they are part
+    // of the canonical (hashed) form, order included.
+    body.putU64("governor_params", spec.governorParams.size());
+    for (std::size_t i = 0; i < spec.governorParams.size(); ++i) {
+        const auto &kv = spec.governorParams[i];
+        body.putStr("governor_param." + std::to_string(i),
+                    kv.first + "=" + kv.second);
+    }
     body.putU64("seed", spec.seed);
     body.putU64("warmup", spec.warmup);
     body.putU64("window", spec.window);
@@ -557,6 +565,18 @@ parseSpec(const std::string &text)
 
     spec.id = r.getStr("id");
     spec.governor = r.getStr("governor");
+    const std::size_t n_params = r.getSize("governor_params");
+    for (std::size_t i = 0; i < n_params; ++i) {
+        const std::string kv =
+            r.getStr("governor_param." + std::to_string(i));
+        const std::size_t eq = kv.find('=');
+        if (eq == std::string::npos || eq == 0)
+            throw std::invalid_argument(
+                "spec codec: malformed governor parameter \"" + kv +
+                "\"");
+        spec.governorParams.emplace_back(kv.substr(0, eq),
+                                         kv.substr(eq + 1));
+    }
     spec.seed = r.getU64("seed");
     spec.warmup = r.getU64("warmup");
     spec.window = r.getU64("window");

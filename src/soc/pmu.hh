@@ -49,6 +49,20 @@ class PmuPolicy
      * charges SysScale ~0.6KB).
      */
     virtual std::size_t firmwareBytes() const { return 0; }
+
+    /**
+     * True once this instance has ever been installed in a PMU.
+     * Stateful policies (the adaptive governor's learned thresholds)
+     * must not leak across experiment cells, so the runner asserts
+     * each factory-built policy is a never-installed instance.
+     */
+    bool everInstalled() const { return everInstalled_; }
+
+    /** Recorded by Pmu::setPolicy; sticky across reset(). */
+    void markInstalled() { everInstalled_ = true; }
+
+  private:
+    bool everInstalled_ = false;
 };
 
 /**

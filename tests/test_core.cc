@@ -9,6 +9,7 @@
 #include <cmath>
 
 #include "core/demand_predictor.hh"
+#include "core/governor_driver.hh"
 #include "core/governors.hh"
 #include "core/static_table.hh"
 #include "core/threshold_trainer.hh"
@@ -287,7 +288,8 @@ TEST(Governors, SysScaleDerivesStaticGateFromLowPoint)
     Simulator sim;
     soc::Soc chip(sim, soc::skylakeConfig());
     SysScaleGovernor gov;
-    chip.pmu().setPolicy(&gov);
+    GovernorHost host(gov);
+    chip.pmu().setPolicy(&host);
     const BytesPerSec low_cap =
         chip.config().dramSpec.peakBandwidth(1) * 0.90;
     EXPECT_NEAR(gov.predictor().thresholds().staticBw,
@@ -299,17 +301,18 @@ TEST(Governors, SysScaleMovesLowWhenQuietAndHighUnderPressure)
     Simulator sim;
     soc::Soc chip(sim, soc::skylakeConfig());
     SysScaleGovernor gov;
-    chip.pmu().setPolicy(&gov);
+    GovernorHost host(gov);
+    chip.pmu().setPolicy(&host);
 
     soc::CounterSnapshot quiet;
-    gov.evaluate(chip, quiet);
+    host.evaluate(chip, quiet);
     EXPECT_EQ(chip.currentOpPoint().dramBin, 1u);
-    EXPECT_EQ(gov.flowRuns(), 1u);
-    EXPECT_LT(gov.lastFlowLatency(), 10 * kTicksPerUs);
+    EXPECT_EQ(host.driver().flowRuns(), 1u);
+    EXPECT_LT(host.driver().lastFlowLatency(), 10 * kTicksPerUs);
 
     soc::CounterSnapshot pressure;
     pressure[soc::Counter::LlcStalls] = 5e6;
-    gov.evaluate(chip, pressure);
+    host.evaluate(chip, pressure);
     EXPECT_EQ(chip.currentOpPoint().dramBin, 0u);
     EXPECT_TRUE(gov.lastConditions().memLatency);
 }
@@ -325,9 +328,10 @@ TEST(Governors, StaticDemandHoldsHighPoint)
         io::PanelResolution::UHD4K, 60.0, 4});
 
     SysScaleGovernor gov;
-    chip.pmu().setPolicy(&gov);
+    GovernorHost host(gov);
+    chip.pmu().setPolicy(&host);
     soc::CounterSnapshot quiet;
-    gov.evaluate(chip, quiet);
+    host.evaluate(chip, quiet);
     EXPECT_EQ(chip.currentOpPoint().dramBin, 0u);
     EXPECT_TRUE(gov.lastConditions().staticBw);
 }
@@ -337,11 +341,12 @@ TEST(Governors, RedistributionGrowsComputeBudget)
     Simulator sim;
     soc::Soc chip(sim, soc::skylakeConfig());
     SysScaleGovernor gov;
-    chip.pmu().setPolicy(&gov);
+    GovernorHost host(gov);
+    chip.pmu().setPolicy(&host);
     const Watt high_budget = chip.computeBudget();
 
     soc::CounterSnapshot quiet;
-    gov.evaluate(chip, quiet); // moves low
+    host.evaluate(chip, quiet); // moves low
     EXPECT_GT(chip.computeBudget(), high_budget + 0.2);
 }
 
@@ -350,11 +355,12 @@ TEST(Governors, PureMemScaleDoesNotRedistribute)
     Simulator sim;
     soc::Soc chip(sim, soc::skylakeConfig());
     MemScaleGovernor gov(/*redistribute=*/false);
-    chip.pmu().setPolicy(&gov);
+    GovernorHost host(gov);
+    chip.pmu().setPolicy(&host);
     const Watt before = chip.computeBudget();
 
     soc::CounterSnapshot quiet;
-    gov.evaluate(chip, quiet); // scales memory down
+    host.evaluate(chip, quiet); // scales memory down
     EXPECT_EQ(chip.currentOpPoint().dramBin, 1u);
     EXPECT_NEAR(chip.computeBudget(), before, 1e-9);
 }
@@ -364,10 +370,11 @@ TEST(Governors, MemScaleLeavesFabricAndVoltagesAlone)
     Simulator sim;
     soc::Soc chip(sim, soc::skylakeConfig());
     MemScaleGovernor gov(true);
-    chip.pmu().setPolicy(&gov);
+    GovernorHost host(gov);
+    chip.pmu().setPolicy(&host);
 
     soc::CounterSnapshot quiet;
-    gov.evaluate(chip, quiet);
+    host.evaluate(chip, quiet);
     EXPECT_EQ(chip.currentOpPoint().dramBin, 1u);
     EXPECT_DOUBLE_EQ(chip.fabric().frequency(),
                      chip.config().fabricFreqHigh);
@@ -381,16 +388,17 @@ TEST(Governors, CoScaleCapsCoresWhenHeavilyBound)
     Simulator sim;
     soc::Soc chip(sim, soc::skylakeConfig());
     CoScaleGovernor gov(true);
-    chip.pmu().setPolicy(&gov);
+    GovernorHost host(gov);
+    chip.pmu().setPolicy(&host);
 
     soc::CounterSnapshot bound;
     bound[soc::Counter::LlcStalls] = 5e6;
-    gov.evaluate(chip, bound);
+    host.evaluate(chip, bound);
     EXPECT_GT(chip.coreFreqCap(), 0.0);
     EXPECT_LT(chip.coreFreqCap(), chip.cpu().pstates().max().freq);
 
     soc::CounterSnapshot quiet;
-    gov.evaluate(chip, quiet);
+    host.evaluate(chip, quiet);
     EXPECT_DOUBLE_EQ(chip.coreFreqCap(), 0.0);
 }
 

@@ -205,7 +205,8 @@ TEST(RunCell, MatchesBenchHarness)
     rc.window = 60 * kTicksPerMs;
 
     core::SysScaleGovernor gov;
-    const auto outcome = bench::runExperiment(w, &gov, rc);
+    core::GovernorHost host(gov);
+    const auto outcome = bench::runExperiment(w, &host, rc);
 
     exp::ExperimentSpec spec = bench::makeSpec(w, rc);
     spec.governor = "sysscale";
@@ -237,6 +238,41 @@ TEST(Runner, ParallelGridIsByteIdenticalToSerial)
         // Byte-identical serialized rows (host timing neutralized;
         // everything else, including every double, must match to
         // the last bit for "%.17g" round-trip formatting to agree).
+        EXPECT_EQ(stableRow(serial[i]), stableRow(parallel[i]))
+            << specs[i].id;
+    }
+}
+
+TEST(Runner, AdaptiveGovernorIsByteIdenticalAcrossJobCounts)
+{
+    // The online-adaptive governor mutates per-instance state every
+    // evaluation window, which makes it the sharpest probe for
+    // cross-cell state leaks: if two cells ever shared an instance,
+    // the learned thresholds (and so the results) would depend on
+    // which worker thread ran which cell in what order.
+    exp::GridSpec grid;
+    grid.workloads = {workloads::streamMicro(),
+                      workloads::pointerChaseMicro(),
+                      workloads::spinMicro()};
+    grid.governors = {"adaptive", "adaptive:min-samples=2"};
+    grid.seeds = {1, 7};
+    grid.warmup = 10 * kTicksPerMs;
+    grid.window = 90 * kTicksPerMs;
+    const auto specs = exp::expandGrid(grid);
+
+    exp::RunnerOptions serial_opts;
+    serial_opts.jobs = 1;
+    const auto serial = exp::ExperimentRunner(serial_opts).run(specs);
+
+    exp::RunnerOptions parallel_opts;
+    parallel_opts.jobs = 4;
+    const auto parallel =
+        exp::ExperimentRunner(parallel_opts).run(specs);
+
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        ASSERT_TRUE(serial[i].ok) << serial[i].error;
+        ASSERT_TRUE(parallel[i].ok) << parallel[i].error;
         EXPECT_EQ(stableRow(serial[i]), stableRow(parallel[i]))
             << specs[i].id;
     }
@@ -312,12 +348,13 @@ TEST(Runner, ProgressCallbackSeesEveryCell)
 TEST(Runner, BorrowedPolicyRequiresSerialExecution)
 {
     core::FixedGovernor gov;
+    core::GovernorHost host(gov);
     exp::ExperimentSpec spec;
     spec.id = "borrowed";
     spec.workload = workloads::spinMicro();
     spec.warmup = 5 * kTicksPerMs;
     spec.window = 30 * kTicksPerMs;
-    spec.borrowedPolicy = &gov;
+    spec.borrowedPolicy = &host;
 
     std::vector<exp::ExperimentSpec> specs(2, spec);
 

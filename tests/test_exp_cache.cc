@@ -261,8 +261,9 @@ TEST(ResultCache, RuntimeHookSpecsBypassTheCache)
     exp::ResultCache cache(dir.path());
 
     core::FixedGovernor gov;
+    core::GovernorHost host(gov);
     exp::ExperimentSpec borrowed = fastSpec("borrowed");
-    borrowed.borrowedPolicy = &gov;
+    borrowed.borrowedPolicy = &host;
     EXPECT_FALSE(exp::ResultCache::cacheable(borrowed));
 
     const exp::RunResult res = exp::runCell(borrowed);

@@ -20,7 +20,7 @@ namespace {
 
 soc::RunMetrics
 measure(const workloads::WorkloadProfile &profile,
-        soc::PmuPolicy &policy, Watt tdp = 4.5, bool camera = false)
+        core::Governor &governor, Watt tdp = 4.5, bool camera = false)
 {
     Simulator sim(1);
     soc::Soc chip(sim, soc::skylakeConfig(tdp));
@@ -31,7 +31,8 @@ measure(const workloads::WorkloadProfile &profile,
 
     workloads::ProfileAgent agent(profile);
     chip.setWorkload(&agent);
-    chip.pmu().setPolicy(&policy);
+    core::GovernorHost host(governor);
+    chip.pmu().setPolicy(&host);
 
     chip.run(200 * kTicksPerMs); // warm up
     return chip.run(kTicksPerSec);
@@ -131,7 +132,8 @@ TEST(Integration, PhasedWorkloadTriggersTransitions)
     workloads::ProfileAgent agent(
         workloads::specBenchmark("473.astar"));
     chip.setWorkload(&agent);
-    chip.pmu().setPolicy(&ss);
+    core::GovernorHost host(ss);
+    chip.pmu().setPolicy(&host);
     const soc::RunMetrics m = chip.run(4 * kTicksPerSec);
     EXPECT_GE(m.transitions, 4u);
     EXPECT_GT(m.lowPointResidency, 0.2);
@@ -147,7 +149,8 @@ TEST(Integration, TransitionStallsAreNegligible)
     workloads::ProfileAgent agent(
         workloads::specBenchmark("473.astar"));
     chip.setWorkload(&agent);
-    chip.pmu().setPolicy(&ss);
+    core::GovernorHost host(ss);
+    chip.pmu().setPolicy(&host);
     const soc::RunMetrics m = chip.run(4 * kTicksPerSec);
     // <10us per transition: total stall far below 0.1% of the run.
     EXPECT_LT(secondsFromTicks(m.stallTicks), 0.001 * m.seconds);
@@ -212,7 +215,7 @@ TEST_P(GovernorMatrix, EveryGovernorRunsEveryClassCleanly)
     core::MemScaleGovernor ms(true);
     core::CoScaleGovernor cs(true);
     core::SysScaleGovernor ss;
-    soc::PmuPolicy *gov = nullptr;
+    core::Governor *gov = nullptr;
     switch (gov_id) {
       case 0: gov = &fixed; break;
       case 1: gov = &ms; break;

@@ -126,7 +126,8 @@ TEST(Pmu, EvaluatesOncePerInterval)
     Simulator sim;
     Soc chip(sim, skylakeConfig());
     core::FixedGovernor gov;
-    chip.pmu().setPolicy(&gov);
+    core::GovernorHost host(gov);
+    chip.pmu().setPolicy(&host);
     chip.run(100 * kTicksPerMs);
     EXPECT_EQ(chip.pmu().evaluations(), 3u); // t = 30, 60, 90 ms
 }
@@ -264,7 +265,8 @@ TEST(Soc, DeterministicAcrossIdenticalRuns)
         workloads::ProfileAgent agent(workloads::streamMicro());
         chip.setWorkload(&agent);
         core::SysScaleGovernor gov;
-        chip.pmu().setPolicy(&gov);
+        core::GovernorHost host(gov);
+        chip.pmu().setPolicy(&host);
         return chip.run(300 * kTicksPerMs);
     };
 
@@ -283,7 +285,8 @@ TEST(Soc, PowerStaysWithinTdpEnvelope)
     workloads::ProfileAgent agent(workloads::streamMicro());
     chip.setWorkload(&agent);
     core::FixedGovernor gov;
-    chip.pmu().setPolicy(&gov);
+    core::GovernorHost host(gov);
+    chip.pmu().setPolicy(&host);
     chip.run(500 * kTicksPerMs); // let the reactive cap converge
     const RunMetrics m = chip.run(500 * kTicksPerMs);
     // Average power respects TDP plus the unmanaged platform floor.

@@ -30,7 +30,8 @@ richSpec()
     spec.id = "rich/\"cell\" with\nnewline";
     spec.soc = soc::skylakeDdr4Config(7.5);
     spec.workload = workloads::videoPlayback();
-    spec.governor = "memscale-r";
+    spec.governor = "ondemand";
+    spec.governorParams = {{"up", "0.70"}, {"stall-gate", "1.5e6"}};
     spec.seed = 42;
     spec.warmup = 12 * kTicksPerMs;
     spec.window = 345 * kTicksPerMs;
@@ -78,6 +79,18 @@ roundTripCorpus()
         corpus.push_back(std::move(cell));
     }
 
+    // Parameterized governors: values may carry '=' -free keys with
+    // '@' payloads (the userspace schedule syntax) and must survive
+    // the round trip in declaration order.
+    exp::ExperimentSpec params;
+    params.id = "params/userspace";
+    params.workload = workloads::streamMicro();
+    params.governor = "userspace";
+    params.governorParams = {{"at", "0@0"},
+                             {"at", "40@1"},
+                             {"point", "1"}};
+    corpus.push_back(std::move(params));
+
     // A scenario-only cell: no base workload, layers carry the work.
     exp::ExperimentSpec layered;
     layered.id = "layers-only";
@@ -120,7 +133,7 @@ TEST(SpecCodec, HeaderCarriesFormatVersion)
 {
     const std::string text =
         exp::serializeSpec(exp::ExperimentSpec{});
-    EXPECT_EQ(text.rfind("sysscale-spec v4\n", 0), 0u)
+    EXPECT_EQ(text.rfind("sysscale-spec v5\n", 0), 0u)
         << "bump this test AND the golden keys together with "
            "kSpecFormatVersion";
 }
@@ -231,10 +244,10 @@ TEST(SpecCodec, GoldenKeys)
     exp::ExperimentSpec stream;
     stream.id = "golden-a";
     stream.workload = workloads::streamMicro();
-    EXPECT_EQ(exp::specKey(stream), "a2440b327d76890f");
+    EXPECT_EQ(exp::specKey(stream), "7c96e002fa899b62");
 
     exp::ExperimentSpec rich = richSpec();
-    EXPECT_EQ(exp::specKey(rich), "f9f77dc8baaf64d4");
+    EXPECT_EQ(exp::specKey(rich), "6ea941f4f8004543");
 }
 
 TEST(SpecCodec, SerializableOnlyWithoutRuntimeHooks)
@@ -245,14 +258,15 @@ TEST(SpecCodec, SerializableOnlyWithoutRuntimeHooks)
 
     exp::ExperimentSpec factory = spec;
     factory.governorFactory = [] {
-        return std::unique_ptr<soc::PmuPolicy>(
-            new core::FixedGovernor());
+        return std::unique_ptr<soc::PmuPolicy>(new core::GovernorHost(
+            std::make_unique<core::FixedGovernor>()));
     };
     EXPECT_FALSE(exp::isSerializableSpec(factory));
 
     core::FixedGovernor gov;
+    core::GovernorHost host(gov);
     exp::ExperimentSpec borrowed = spec;
-    borrowed.borrowedPolicy = &gov;
+    borrowed.borrowedPolicy = &host;
     EXPECT_FALSE(exp::isSerializableSpec(borrowed));
 }
 

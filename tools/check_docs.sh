@@ -19,7 +19,10 @@
 #   7. the idle skip-ahead opt-outs (the --no-skip-ahead flag and the
 #      SYSSCALE_NO_SKIP_AHEAD environment variable) are documented in
 #      docs/EXPERIMENTS.md — the byte-identity escape hatch must stay
-#      discoverable.
+#      discoverable,
+#   8. every governor registered in src/core/governor_registry.cc
+#      (the `addEntry(reg, "<name>"` idiom) is documented in
+#      docs/EXPERIMENTS.md's governor-zoo table.
 #
 # POSIX sh + grep/sed only, so it runs anywhere the build does.
 
@@ -145,6 +148,25 @@ for c in $lint_checks; do
     if ! grep -q "\`$c\`" docs/ANALYSIS.md; then
         echo "check_docs: docs/ANALYSIS.md does not document lint" \
              "check '$c' (add it to the check registry table)"
+        errors=$((errors + 1))
+    fi
+done
+
+# --- 7a. EXPERIMENTS.md documents every registered governor ---------
+# Extract the quoted names from the addEntry(reg, "<name>" calls —
+# the greppable registration idiom the registry header mandates.
+gov_src=src/core/governor_registry.cc
+governors=$(grep -o 'addEntry(reg, "[a-z0-9-]*"' "$gov_src" |
+            sed 's/.*"\([a-z0-9-]*\)"/\1/')
+if [ -z "$governors" ]; then
+    echo "check_docs: could not extract governor names from" \
+         "$gov_src"
+    errors=$((errors + 1))
+fi
+for g in $governors; do
+    if ! grep -q "\`$g\`" docs/EXPERIMENTS.md; then
+        echo "check_docs: docs/EXPERIMENTS.md does not document" \
+             "governor '$g' (add it to the governor-zoo table)"
         errors=$((errors + 1))
     fi
 done

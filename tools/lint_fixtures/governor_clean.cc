@@ -1,0 +1,21 @@
+// Clean fixture for the governor-soc-mutation check: a policy that
+// reads the SoC freely but routes every grant through the driver.
+// Virtual path: src/core/governor_zoo.cc (a policy-layer file).
+
+void
+GoodGovernor::decide(GovernorDriver &drv, soc::Soc &soc,
+                     const soc::CounterSnapshot &avg)
+{
+    (void)avg;
+    // Reads are unrestricted: policies observe, drivers apply.
+    const double rho =
+        soc.recentBandwidth() /
+        soc.config().dramSpec.peakBandwidth(
+            soc.opPoints().low().dramBin);
+    // Sanctioned mechanics passthroughs.
+    drv.setCoreFreqCap(rho > 0.7 ? 0.0 : 1.6e9);
+    drv.setTransitionLatencyLimit(50 * kTicksPerUs);
+    if (!drv.requestOpPoint(rho > 0.7 ? soc.opPoints().high()
+                                      : soc.opPoints().low()))
+        drv.refreshBudget();
+}

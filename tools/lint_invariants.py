@@ -33,6 +33,16 @@ unit-suffix
     camelCase Ns/Ms/Seconds/Mw/... equivalents).  std::chrono and
     unit-typedef'd fields are exempt — their type carries the unit.
 
+governor-soc-mutation
+    Governor *policy* files (src/core/governor* minus the
+    governor.{cc,hh} host and governor_driver.{cc,hh} mechanics)
+    never mutate the SoC directly: no ``soc.setX(...)`` /
+    ``soc.cpu().setX(...)`` calls, no hand-rolled flow
+    ``execute()``.  Every grant goes through the GovernorDriver
+    (requestOpPoint/setCoreFreqCap/refreshBudget) so transition-
+    latency constraints and the notifier chain stay in the loop.
+    Reads are unrestricted — policies observe, drivers apply.
+
 spec-version-guard
     Diff mode only (--diff-base/--diff-file): a diff that touches
     src/exp/spec_codec.* or any spec-serialized header must also
@@ -289,6 +299,50 @@ def check_unit_suffix(path, lines, findings):
             "Ns/Ms/Seconds/Mw) or use a std::chrono type" % name))
 
 
+# The CPUFreq-style layering (docs/ARCHITECTURE.md): policy files
+# decide, the GovernorDriver applies.  Mechanics files are exempt —
+# they ARE the layer that touches the SoC.
+GOVERNOR_MECHANICS_FILES = (
+    "src/core/governor.cc", "src/core/governor.hh",
+    "src/core/governor_driver.cc", "src/core/governor_driver.hh",
+)
+# The receiver directly preceding a flagged call: `soc.setX(` gives
+# 'soc', `soc.cpu().setX(` gives 'cpu()'.  Driver receivers are the
+# sanctioned path.
+GOVERNOR_MUTATOR_RE = re.compile(
+    r"(?P<recv>[A-Za-z_]\w*(?:\s*\(\s*\))?)\s*\.\s*"
+    r"(?P<call>set[A-Z]\w*|execute|markInstalled|run)\s*\(")
+GOVERNOR_DRIVER_RECEIVERS = re.compile(
+    r"^(drv_?|driver\s*\(\s*\))$")
+
+
+@check("governor-soc-mutation",
+       "governor policy files never mutate the SoC directly — every "
+       "grant goes through the GovernorDriver")
+def check_governor_soc_mutation(path, lines, findings):
+    if not (path.startswith("src/core/governor") and
+            path.endswith((".cc", ".hh"))):
+        return
+    if path in GOVERNOR_MECHANICS_FILES:
+        return
+    code = strip_comments(lines)
+    for i, line in enumerate(code):
+        for m in GOVERNOR_MUTATOR_RE.finditer(line):
+            recv = re.sub(r"\s+", "", m.group("recv"))
+            if GOVERNOR_DRIVER_RECEIVERS.match(recv):
+                continue
+            if waived("governor-soc-mutation", lines, i, findings,
+                      path):
+                continue
+            findings.append(Finding(
+                "governor-soc-mutation", path, i + 1,
+                "policy-layer call '%s.%s(...)' mutates the SoC "
+                "directly — route it through the GovernorDriver "
+                "(requestOpPoint/setCoreFreqCap/refreshBudget) so "
+                "latency constraints and notifiers stay in the "
+                "loop" % (m.group("recv"), m.group("call"))))
+
+
 @check("spec-version-guard",
        "a diff touching spec_codec.* or a spec-serialized header must "
        "bump kSpecFormatVersion or carry a spec-version-waiver line")
@@ -325,7 +379,8 @@ def check_spec_version_guard(diff_text, findings):
             "is provably encoding-neutral"))
 
 
-SOURCE_CHECKS = ("nondeterminism", "raw-queue-write", "unit-suffix")
+SOURCE_CHECKS = ("nondeterminism", "raw-queue-write", "unit-suffix",
+                 "governor-soc-mutation")
 
 
 def iter_source_files(root):
@@ -367,8 +422,11 @@ FIXTURES = (
     ("raw_queue_write.cc", "src/dist/raw_queue_write.cc",
      "raw-queue-write", 1),
     ("unit_suffix.hh", "src/soc/unit_suffix.hh", "unit-suffix", 2),
+    ("governor_soc_mutation.cc", "src/core/governor_zoo.cc",
+     "governor-soc-mutation", 3),
     ("clean.cc", "src/dist/clean.cc", None, 0),
     ("clean.hh", "src/soc/clean.hh", None, 0),
+    ("governor_clean.cc", "src/core/governor_zoo.cc", None, 0),
 )
 DIFF_FIXTURES = (
     ("spec_change_no_bump.diff", 1),

@@ -48,6 +48,7 @@
 #include <string>
 #include <vector>
 
+#include "core/governor_registry.hh"
 #include "dist/dispatch.hh"
 #include "exp/cache.hh"
 #include "exp/experiment.hh"
@@ -127,8 +128,11 @@ void
 listRegistry()
 {
     std::printf("governors:\n");
-    for (const auto &g : exp::governorNames())
-        std::printf("  %s\n", g.c_str());
+    for (const auto &g : core::governorRegistry())
+        std::printf("  %-16s %s\n", g.name.c_str(),
+                    g.summary.c_str());
+    std::printf("  %-16s %s\n", "collect",
+                "no governor: counter collection only");
     std::printf("workload suites: spec battery graphics micro\n");
     std::printf("workloads:\n");
     for (const auto &w : allProfiles())
@@ -144,8 +148,10 @@ usage()
     std::printf(
         "usage: sweep_grid [options]\n"
         "  --workloads LIST   suites/names (default: battery)\n"
-        "  --governors LIST   governor names (default: "
-        "fixed,sysscale)\n"
+        "  --governors LIST   governor tokens (default: "
+        "fixed,sysscale);\n"
+        "                     a token is name[:key=value...], e.g.\n"
+        "                     ondemand:up=0.9 (validated up front)\n"
         "  --tdps LIST        TDP watts (default: 4.5)\n"
         "  --seeds LIST       RNG seeds (default: 1)\n"
         "  --warmup-ms N      warm-up per cell (default: 200)\n"
@@ -356,12 +362,19 @@ main(int argc, char **argv)
         }
     }
 
+    // Validate every governor token up front: governorFactory()
+    // constructs the governor once eagerly, so an unknown name (the
+    // error enumerates the registry) or a bad parameter dies here at
+    // parse time, never deep inside a cell on a sweep worker.
     for (const auto &gov : grid.governors) {
-        if (!exp::isGovernorName(gov)) {
-            std::fprintf(stderr,
-                         "sweep_grid: unknown governor \"%s\" "
-                         "(try --list)\n",
-                         gov.c_str());
+        try {
+            const exp::GovernorToken tok =
+                exp::parseGovernorToken(gov);
+            (void)exp::governorFactory(tok.name, tok.params);
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "sweep_grid: bad governor \"%s\": "
+                                 "%s (try --list)\n",
+                         gov.c_str(), e.what());
             return 2;
         }
     }
