@@ -10,6 +10,7 @@
 #include "core/governor.hh"
 #include "core/governor_registry.hh"
 #include "core/threshold_trainer.hh"
+#include "obs/trace.hh"
 #include "sim/random.hh"
 #include "workloads/battery.hh"
 #include "workloads/spec.hh"
@@ -130,6 +131,30 @@ BM_SocStep(benchmark::State &state)
         chip.run(100 * kTicksPerUs); // one model step
 }
 BENCHMARK(BM_SocStep);
+
+/**
+ * BM_SocStep with a live TraceSink installed: the same model step
+ * plus event capture (spans, change-filtered counters) into the
+ * bounded in-memory buffer. The strict perf ledger holds the gap to
+ * the untraced variant — tracing is supposed to be cheap enough to
+ * leave on for any diagnostic run.
+ */
+void
+BM_SocStepTraced(benchmark::State &state)
+{
+    Simulator sim;
+    obs::TraceSink sink;
+    sim.setTraceSink(&sink);
+    soc::Soc chip(sim, soc::skylakeConfig());
+    chip.display().attachPanel(0, io::PanelConfig{});
+    workloads::ProfileAgent agent(
+        workloads::specBenchmark("470.lbm"));
+    chip.setWorkload(&agent);
+    chip.run(kTicksPerMs);
+    for (auto _ : state)
+        chip.run(100 * kTicksPerUs); // one model step
+}
+BENCHMARK(BM_SocStepTraced)->Name("BM_SocStep/traced");
 
 /**
  * Fig. 9-class idle-heavy run (video playback: C0/C2/C8 = 10/5/85)

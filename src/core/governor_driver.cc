@@ -1,5 +1,8 @@
 #include "core/governor_driver.hh"
 
+#include "obs/trace.hh"
+#include "sim/logging.hh"
+
 namespace sysscale {
 namespace core {
 
@@ -38,6 +41,16 @@ GovernorDriver::requestOpPoint(const soc::OperatingPoint &target)
     if (changes && latencyLimit_ != 0 &&
         flow_.estimate(target) > latencyLimit_) {
         ++denied_;
+        TRACE_INSTANT(soc_.traceSink(), obs::kCatGovernor, "denied",
+                      soc_.now(),
+                      obs::kv("target", target.name) + "," +
+                          obs::kv("estimate_ns",
+                                  nsFromTicks(flow_.estimate(target))) +
+                          "," +
+                          obs::kv("limit_ns",
+                                  nsFromTicks(latencyLimit_)));
+        debugLog("governor: denied %s (estimate above budget)",
+                 target.name.c_str());
         refreshBudget();
         return false;
     }
@@ -64,6 +77,14 @@ GovernorDriver::requestOpPoint(const soc::OperatingPoint &target)
         for (const TransitionCallback &cb : post_)
             cb(rec);
     }
+    if (report.executed) {
+        TRACE_INSTANT(soc_.traceSink(), obs::kCatGovernor, "grant",
+                      soc_.now(),
+                      obs::kv("from", from.name) + "," +
+                          obs::kv("to", target.name) + "," +
+                          obs::kv("latency_ns",
+                                  nsFromTicks(report.totalLatency)));
+    }
 
     refreshBudget();
     return true;
@@ -85,7 +106,12 @@ GovernorDriver::refreshBudget()
     // registers able to "negate potential benefits" (Sec. 3).
     const Watt iomem =
         soc::ioMemBudgetDemand(soc_.config(), billing, true);
-    soc_.setComputeBudget(soc_.pbm().computeBudget(iomem, 0.0));
+    const Watt compute = soc_.pbm().computeBudget(iomem, 0.0);
+    soc_.setComputeBudget(compute);
+    TRACE_COUNTER(soc_.traceSink(), obs::kCatPower, "compute_budget_w",
+                  soc_.now(), compute);
+    TRACE_COUNTER(soc_.traceSink(), obs::kCatPower, "iomem_budget_w",
+                  soc_.now(), iomem);
 }
 
 void

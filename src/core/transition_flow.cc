@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/trace.hh"
 #include "sim/logging.hh"
 
 namespace sysscale {
@@ -134,6 +135,31 @@ TransitionFlow::execute(const soc::OperatingPoint &target)
 
     for (const FlowStep &s : steps)
         report.totalLatency += s.latency;
+
+    // The stall is charged to the SoC after the fact (sim time does
+    // not advance inside execute), so the Fig. 5 decomposition is
+    // laid out forward from t0: each phase span starts where the
+    // previous one ended.
+    obs::TraceSink *sink = soc_.traceSink();
+    if (TRACE_ACTIVE(sink)) {
+        TRACE_SPAN(sink, obs::kCatTransition, "flow", t0,
+                   t0 + report.totalLatency,
+                   obs::kv("from", current.name) + "," +
+                       obs::kv("to", target.name) + "," +
+                       obs::kv("increased",
+                               report.increased ? "yes" : "no"));
+        Tick cursor = t0;
+        for (const FlowStep &s : steps) {
+            if (s.latency == 0)
+                continue;
+            TRACE_SPAN(sink, obs::kCatTransition, s.name, cursor,
+                       cursor + s.latency,
+                       obs::kv("latency_ns", nsFromTicks(s.latency)));
+            cursor += s.latency;
+        }
+    }
+    debugLog("flow: %s -> %s in %.3f us", current.name.c_str(),
+             target.name.c_str(), usFromTicks(report.totalLatency));
 
     // Record the applied point with the options' effective values so
     // budget arithmetic sees what the hardware actually runs at.

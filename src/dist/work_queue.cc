@@ -79,7 +79,7 @@ WorkQueue::WorkQueue(std::string dir) : dir_(std::move(dir))
     std::error_code ec;
     for (const char *sub :
          {"pending", "claimed", "leases", "failed", "corrupt",
-          "tmp"}) {
+          "tmp", "metrics"}) {
         const fs::path p = fs::path(dir_) / sub;
         fs::create_directories(p, ec);
         if (ec || !fs::is_directory(p)) {
@@ -119,6 +119,12 @@ std::string
 WorkQueue::failedPath(const std::string &key) const
 {
     return dir_ + "/failed/" + key;
+}
+
+std::string
+WorkQueue::metricsPath(const std::string &workerId) const
+{
+    return dir_ + "/metrics/" + workerId + ".json";
 }
 
 void
@@ -660,6 +666,120 @@ WorkQueue::listCells() const
     return cells;
 }
 
+namespace {
+
+/**
+ * Value of a `"key": value` member in a metrics file (one member
+ * per line; quotes stripped). False when absent.
+ */
+bool
+metricsField(const std::string &text, const std::string &key,
+             std::string &out)
+{
+    const std::string needle = "\"" + key + "\":";
+    const auto pos = text.find(needle);
+    if (pos == std::string::npos)
+        return false;
+    auto v = text.find_first_not_of(" \t", pos + needle.size());
+    if (v == std::string::npos)
+        return false;
+    auto end = text.find_first_of(",\n}", v);
+    if (end == std::string::npos)
+        end = text.size();
+    out = text.substr(v, end - v);
+    if (out.size() >= 2 && out.front() == '"' && out.back() == '"')
+        out = out.substr(1, out.size() - 2);
+    return true;
+}
+
+} // anonymous namespace
+
+void
+WorkQueue::publishMetrics(const WorkerMetrics &m)
+{
+    std::string doc = "{\n";
+    doc += "  \"worker\": \"" + m.workerId + "\",\n";
+    doc += "  \"claimed\": " + std::to_string(m.claimed) + ",\n";
+    doc +=
+        "  \"simulated\": " + std::to_string(m.simulated) + ",\n";
+    doc +=
+        "  \"cacheHits\": " + std::to_string(m.cacheHits) + ",\n";
+    doc += "  \"failures\": " + std::to_string(m.failures) + ",\n";
+    doc += "  \"simSeconds\": " + exp::formatDouble(m.simSeconds) +
+           ",\n";
+    doc += "  \"wallSeconds\": " +
+           exp::formatDouble(m.wallSeconds) + "\n";
+    doc += "}\n";
+
+    std::error_code ec;
+    const std::string tmp = dir_ + "/tmp/" + m.workerId +
+                            ".metrics." +
+                            std::to_string(::getpid()) + "." +
+                            std::to_string(tmpSerial_++);
+    {
+        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+        if (!os)
+            return; // Telemetry never fails a cell.
+        os << doc;
+        if (!os.flush()) {
+            os.close();
+            fs::remove(tmp, ec);
+            return;
+        }
+    }
+    fs::rename(tmp, metricsPath(m.workerId), ec);
+    if (ec)
+        fs::remove(tmp, ec);
+}
+
+std::vector<WorkerMetrics>
+WorkQueue::workerMetrics() const
+{
+    std::vector<WorkerMetrics> all;
+    std::error_code ec;
+    const fs::file_time_type ref = probeNow();
+    for (const auto &entry :
+         fs::directory_iterator(fs::path(dir_) / "metrics", ec)) {
+        const fs::path p = entry.path();
+        if (p.extension() != ".json")
+            continue;
+        std::string text;
+        if (!readFile(p.string(), text))
+            continue; // Vanished mid-scan.
+        WorkerMetrics m;
+        std::string v;
+        // Publishes are atomic renames, so a file without the
+        // "worker" member is not torn — it is garbage; skip it.
+        if (!metricsField(text, "worker", v))
+            continue;
+        // The file name is the identity (publishMetrics names it);
+        // the embedded field is diagnostic.
+        m.workerId = p.stem().string();
+        if (metricsField(text, "claimed", v))
+            m.claimed = std::strtoul(v.c_str(), nullptr, 10);
+        if (metricsField(text, "simulated", v))
+            m.simulated = std::strtoul(v.c_str(), nullptr, 10);
+        if (metricsField(text, "cacheHits", v))
+            m.cacheHits = std::strtoul(v.c_str(), nullptr, 10);
+        if (metricsField(text, "failures", v))
+            m.failures = std::strtoul(v.c_str(), nullptr, 10);
+        if (metricsField(text, "simSeconds", v))
+            m.simSeconds = std::strtod(v.c_str(), nullptr);
+        if (metricsField(text, "wallSeconds", v))
+            m.wallSeconds = std::strtod(v.c_str(), nullptr);
+        std::error_code age_ec;
+        m.ageSeconds = ageAgainst(ref, p, age_ec);
+        if (age_ec)
+            m.ageSeconds = 0.0;
+        all.push_back(std::move(m));
+    }
+    std::sort(all.begin(), all.end(),
+              [](const WorkerMetrics &a, const WorkerMetrics &b) {
+                  return a.workerId < b.workerId;
+              });
+    return all;
+}
+
 std::size_t
 WorkQueue::retryFailed()
 {
@@ -698,7 +818,7 @@ WorkQueue::purge()
     std::size_t removed = 0;
     for (const char *sub :
          {"pending", "claimed", "leases", "failed", "corrupt",
-          "tmp"}) {
+          "tmp", "metrics"}) {
         for (const auto &entry :
              fs::directory_iterator(fs::path(dir_) / sub, ec)) {
             if (fs::remove(entry.path(), ec) && !ec)

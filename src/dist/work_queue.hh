@@ -119,6 +119,35 @@ struct QueueStatus
     std::vector<LeaseInfo> leases;
 };
 
+/**
+ * One worker's self-published campaign telemetry. Workers rewrite
+ * their own metrics file (metrics/<workerId>.json, atomic staged
+ * rename) after every completed cell; observers read the whole
+ * directory back with @ref WorkQueue::workerMetrics. Ages are
+ * measured against the queue filesystem's probe clock, like lease
+ * ages, so "last heartbeat" is meaningful across skewed machines.
+ */
+struct WorkerMetrics
+{
+    std::string workerId;
+    std::size_t claimed = 0;   //!< Cells claimed so far.
+    std::size_t simulated = 0; //!< Cells actually simulated.
+    std::size_t cacheHits = 0; //!< Claims already completed elsewhere.
+    std::size_t failures = 0;  //!< Error rows published.
+
+    /** Simulated (model) seconds completed, summed over cells. */
+    double simSeconds = 0.0;
+
+    /** Host wall seconds those simulations took (hostSeconds sum). */
+    double wallSeconds = 0.0;
+
+    /**
+     * Readers only: probe mtime minus metrics-file mtime — how long
+     * since this worker last finished a cell. Ignored on publish.
+     */
+    double ageSeconds = 0.0;
+};
+
 /** Monotonic per-instance counters. */
 struct QueueCounters
 {
@@ -260,6 +289,26 @@ class WorkQueue
 
     /** @} */
 
+    /** @name Worker telemetry (campaign dashboards). @{ */
+
+    /**
+     * Publish @p m as this worker's metrics file
+     * (metrics/<m.workerId>.json), staged under tmp/ and atomically
+     * renamed so observers never read a torn write. Best-effort: a
+     * publish that cannot complete is dropped silently (telemetry
+     * must never fail a cell).
+     */
+    void publishMetrics(const WorkerMetrics &m);
+
+    /**
+     * Read back every published worker metrics file, sorted by
+     * worker id, with @ref WorkerMetrics::ageSeconds filled from the
+     * probe clock. Unreadable or torn files are skipped.
+     */
+    std::vector<WorkerMetrics> workerMetrics() const;
+
+    /** @} */
+
     /**
      * Put every failed cell back on the queue: its retained spec
      * (failed/<key>.spec) is renamed into pending/ and the failure
@@ -310,6 +359,7 @@ class WorkQueue
     std::string leasePath(const std::string &key,
                           const std::string &workerId) const;
     std::string failedPath(const std::string &key) const;
+    std::string metricsPath(const std::string &workerId) const;
     /** @} */
 
   private:

@@ -102,6 +102,24 @@ runWorkerLoop(const std::string &queueDir, exp::ResultCache &cache,
     };
 
     WorkerStats stats;
+    double sim_seconds = 0.0;
+    double wall_seconds = 0.0;
+
+    // Campaign telemetry: rewrite this worker's metrics file after
+    // every resolved claim so dashboards (sweep_queue watch/status)
+    // see progress and throughput without touching the worker.
+    auto publish = [&] {
+        WorkerMetrics m;
+        m.workerId = id;
+        m.claimed = stats.claimed;
+        m.simulated = stats.simulated;
+        m.cacheHits = stats.cacheHits;
+        m.failures = stats.failures;
+        m.simSeconds = sim_seconds;
+        m.wallSeconds = wall_seconds;
+        queue.publishMetrics(m);
+    };
+
     for (;;) {
         if (opts.shouldStop && opts.shouldStop())
             break;
@@ -129,6 +147,7 @@ runWorkerLoop(const std::string &queueDir, exp::ResultCache &cache,
         if (cache.lookup(claim.spec, done)) {
             ++stats.cacheHits;
             queue.release(claim);
+            publish();
             log(claim.key + " already completed (cache hit)");
             continue;
         }
@@ -139,6 +158,8 @@ runWorkerLoop(const std::string &queueDir, exp::ResultCache &cache,
             res = exp::runCell(claim.spec);
         }
         ++stats.simulated;
+        sim_seconds += res.metrics.seconds;
+        wall_seconds += res.hostSeconds;
 
         if (res.ok) {
             cache.store(claim.spec, res);
@@ -151,6 +172,7 @@ runWorkerLoop(const std::string &queueDir, exp::ResultCache &cache,
             log(claim.key + " FAILED (" + claim.spec.id + "): " +
                 res.error);
         }
+        publish();
     }
     return stats;
 }

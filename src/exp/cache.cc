@@ -357,6 +357,21 @@ resultFromJson(const JsonValue &root)
     return res;
 }
 
+/**
+ * Optional-member probe. "stats" is written by every format-v6 file
+ * and the version gate rejects anything older, but tolerating its
+ * absence keeps hand-edited or trimmed caches usable.
+ */
+const JsonValue *
+findMember(const JsonValue &obj, const std::string &key)
+{
+    for (const auto &kv : obj.members) {
+        if (kv.first == key)
+            return &kv.second;
+    }
+    return nullptr;
+}
+
 } // anonymous namespace
 
 ResultCache::ResultCache(std::string dir) : dir_(std::move(dir))
@@ -420,6 +435,8 @@ ResultCache::lookup(const ExperimentSpec &spec, RunResult &out)
         RunResult res = resultFromJson(doc.at("result"));
         if (!res.ok)
             throw std::invalid_argument("cached error row");
+        if (const JsonValue *stats = findMember(doc, "stats"))
+            res.statsDump = stats->asString();
         // Presentation fields belong to the querying spec.
         res.id = spec.id;
         res.workload = spec.workload.name();
@@ -447,6 +464,7 @@ ResultCache::store(const ExperimentSpec &spec, const RunResult &res)
            ",\n";
     doc += "  \"key\": \"" + key + "\",\n";
     doc += "  \"spec\": " + jsonQuote(serializeSpec(spec)) + ",\n";
+    doc += "  \"stats\": " + jsonQuote(res.statsDump) + ",\n";
     doc += "  \"result\": " + jsonObject(res) + "\n";
     doc += "}\n";
 

@@ -4,13 +4,17 @@
 #include <cassert>
 #include <chrono>
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <stdexcept>
 
 #include "core/governor_registry.hh"
 #include "core/governors.hh"
 #include "core/transition_flow.hh"
+#include "exp/spec_codec.hh"
 #include "io/display.hh"
 #include "io/isp.hh"
+#include "obs/trace.hh"
 #include "sim/sim_object.hh"
 #include "workloads/composite.hh"
 
@@ -84,6 +88,27 @@ class PinnedFreqAgent : public soc::WorkloadAgent
     soc::WorkloadAgent &inner_;
     Hertz freq_;
 };
+
+/**
+ * Trace file name for @p spec: its content key when it has one, else
+ * the cell id with filesystem-hostile characters replaced.
+ */
+std::string
+traceFileStem(const ExperimentSpec &spec)
+{
+    if (isSerializableSpec(spec))
+        return specKey(spec);
+    std::string stem = spec.id.empty() ? "cell" : spec.id;
+    for (char &c : stem) {
+        const bool ok = (c >= 'a' && c <= 'z') ||
+                        (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '.' ||
+                        c == '_' || c == '-';
+        if (!ok)
+            c = '_';
+    }
+    return stem;
+}
 
 } // anonymous namespace
 
@@ -265,6 +290,12 @@ validateSpec(const ExperimentSpec &spec)
 RunResult
 runCell(const ExperimentSpec &spec)
 {
+    return runCell(spec, RunCellOptions{});
+}
+
+RunResult
+runCell(const ExperimentSpec &spec, const RunCellOptions &opts)
+{
     RunResult res;
     res.id = spec.id;
     res.workload = spec.workload.name();
@@ -294,6 +325,17 @@ runCell(const ExperimentSpec &spec)
         }
 
         Simulator sim(spec.seed);
+
+        // The sink must be installed before the Soc is built so
+        // construction-time trace sites (the boot op-point counters)
+        // land in the file. One sink per cell, stamped only with sim
+        // clock, written once below — which is what makes traces
+        // byte-identical across --jobs counts and skip-ahead modes.
+        obs::TraceSink sink;
+        const bool tracing = !opts.traceDir.empty();
+        if (tracing)
+            sim.setTraceSink(&sink);
+
         soc::Soc chip(sim, spec.soc);
         if (spec.hdPanel)
             chip.display().attachPanel(0, io::kDefaultHdPanel);
@@ -352,6 +394,27 @@ runCell(const ExperimentSpec &spec)
         chip.run(spec.warmup);
         res.metrics = chip.run(spec.window);
         res.counters = collector.average();
+
+        // Per-cell stats export: close the time-weighted residency
+        // stats and dump the whole hierarchy. Rides the result (and
+        // the cache) without touching the CSV/JSON report surfaces.
+        chip.finalizeStats(sim.now());
+        std::ostringstream stats;
+        sim.statsRoot().dumpStats(stats);
+        res.statsDump = stats.str();
+
+        if (tracing) {
+            const std::string path = opts.traceDir + "/" +
+                                     traceFileStem(spec) +
+                                     ".trace.json";
+            std::ofstream os(path,
+                             std::ios::binary | std::ios::trunc);
+            if (!os) {
+                throw std::runtime_error(
+                    "cannot write trace file " + path);
+            }
+            sink.writeJson(os);
+        }
         res.ok = true;
     } catch (const std::exception &e) {
         res.ok = false;

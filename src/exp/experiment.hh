@@ -157,6 +157,15 @@ struct RunResult
     /** Host wall-clock the cell took on its worker (seconds). */
     double hostSeconds = 0.0;
 
+    /**
+     * Named stats dump ("path.stat value # desc" lines) of the
+     * cell's whole stats::StatGroup hierarchy, taken after the
+     * measurement window. Rides the cache JSON as its own member —
+     * the CSV/JSON report surfaces are unchanged — and feeds the
+     * sweep_grid --stats-csv wide-format export.
+     */
+    std::string statsDump;
+
     Labels labels;
 };
 
@@ -206,12 +215,30 @@ GovernorToken parseGovernorToken(const std::string &token);
  */
 void validateSpec(const ExperimentSpec &spec);
 
+/** Per-call execution options for @ref runCell. */
+struct RunCellOptions
+{
+    /**
+     * When non-empty, the cell runs with an obs::TraceSink installed
+     * and its Chrome trace-event JSON is written to
+     * `<traceDir>/<specKey>.trace.json` (falling back to a sanitized
+     * cell id for specs that cannot be content-addressed). Traces
+     * contain only sim-clock timestamps, so the same cell produces
+     * byte-identical trace files regardless of --jobs or skip-ahead.
+     */
+    std::string traceDir;
+};
+
 /**
  * Execute one cell on the calling thread. Never throws: failures
  * (bad spec, exceptions out of the model) come back as ok=false
  * results so one cell cannot poison its siblings.
  */
 RunResult runCell(const ExperimentSpec &spec);
+
+/** As above, with tracing/export options. */
+RunResult runCell(const ExperimentSpec &spec,
+                  const RunCellOptions &opts);
 
 /**
  * Declarative governor x workload x TDP x seed grid with shared

@@ -74,7 +74,7 @@ ExperimentRunner::run(const std::vector<ExperimentSpec> &specs) const
                 res.ok = false;
                 res.error = "borrowed policy requires jobs == 1";
             } else {
-                results[i] = runCell(spec);
+                results[i] = runCell(spec, opts_.cell);
                 if (opts_.cache)
                     opts_.cache->store(spec, results[i]);
             }

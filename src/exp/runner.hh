@@ -51,6 +51,13 @@ struct RunnerOptions
      * rows are never cached. Not owned; may be null.
      */
     ResultCache *cache = nullptr;
+
+    /**
+     * Forwarded to runCell() for every simulated cell. Cache hits
+     * never touch the simulator, so they write no trace file — use
+     * --no-cache (or a cold cache) for a full-grid trace capture.
+     */
+    RunCellOptions cell;
 };
 
 class ExperimentRunner

@@ -42,7 +42,7 @@ namespace exp {
  * the meaning of an encoded field changes in the model, so stale
  * cache entries can never alias new cells.
  */
-constexpr int kSpecFormatVersion = 5;
+constexpr int kSpecFormatVersion = 6;
 
 /** FNV-1a 64-bit hash (dependency-free content addressing). */
 std::uint64_t fnv1a64(std::string_view data);

@@ -21,6 +21,8 @@ PowerBudgetManager::setTdp(Watt tdp)
 {
     if (tdp <= 0.0)
         SYSSCALE_FATAL("PBM: non-positive TDP %.2f", tdp);
+    debugLog("pbm: tdp %.2f W -> %.2f W (reserve %.2f W)", tdp_, tdp,
+             reserve_);
     tdp_ = tdp;
 }
 

@@ -18,6 +18,8 @@
 
 namespace sysscale {
 
+namespace obs { class TraceSink; }
+
 class SimObject;
 
 /**
@@ -39,6 +41,15 @@ class Simulator
     const EventQueue &eventq() const { return eventq_; }
 
     stats::StatGroup &statsRoot() { return statsRoot_; }
+
+    /**
+     * The installed trace sink, or nullptr (the default: tracing
+     * off). The sink is borrowed, not owned — install it before
+     * constructing the model so construction-time trace sites see
+     * it, and keep it alive for the simulator's lifetime.
+     */
+    obs::TraceSink *traceSink() const { return traceSink_; }
+    void setTraceSink(obs::TraceSink *sink) { traceSink_ = sink; }
 
     /** Fork a deterministic per-component RNG stream. */
     Rng forkRng() { return rootRng_.fork(); }
@@ -65,6 +76,7 @@ class Simulator
     stats::StatGroup statsRoot_;
     Rng rootRng_;
     std::vector<SimObject *> objects_;
+    obs::TraceSink *traceSink_ = nullptr;
     bool started_ = false;
 };
 
@@ -85,6 +97,9 @@ class SimObject : public stats::StatGroup
 
     EventQueue &eventq() { return sim_.eventq(); }
     Tick now() const { return sim_.now(); }
+
+    /** The simulator's trace sink (nullptr when tracing is off). */
+    obs::TraceSink *traceSink() const { return sim_.traceSink(); }
 
   private:
     Simulator &sim_;

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstdlib>
 
+#include "obs/trace.hh"
 #include "sim/logging.hh"
 
 namespace sysscale {
@@ -54,7 +55,13 @@ Soc::Soc(Simulator &sim, SocConfig cfg)
                   "memory-blocked time charged by DVFS flows"),
       steps_(this, "steps", "model steps executed"),
       replayedSteps_(this, "replayed_steps",
-                     "steps served by the skip-ahead replay path")
+                     "steps served by the skip-ahead replay path"),
+      dramBinRes_(this, "dram_bin",
+                  "time-weighted DRAM frequency bin index"),
+      fabricMhzRes_(this, "fabric_mhz",
+                    "time-weighted IO fabric clock (MHz)"),
+      vSaRes_(this, "vsa_v", "time-weighted V_SA rail voltage"),
+      vIoRes_(this, "vio_v", "time-weighted V_IO rail voltage")
 {
     cfg_.validate();
     skipAhead_ = skipAheadDefault();
@@ -93,6 +100,36 @@ Soc::Soc(Simulator &sim, SocConfig cfg)
     currentOp_ = opPoints_.high();
     computeBudget_ = pbm_.computeBudget(ioMemBudget(currentOp_), 0.0);
     meter_.reset(0);
+
+    noteOpPoint(currentOp_, now());
+}
+
+void
+Soc::noteOpPoint(const OperatingPoint &op, Tick t)
+{
+    dramBinRes_.set(static_cast<double>(op.dramBin), t);
+    fabricMhzRes_.set(op.fabricFreq / kMHz, t);
+    vSaRes_.set(op.vSa, t);
+    vIoRes_.set(op.vIo, t);
+
+    obs::TraceSink *sink = traceSink();
+    if (TRACE_ACTIVE(sink)) {
+        sink->counter(obs::kCatOpPoint, "dram_bin", t,
+                      static_cast<double>(op.dramBin));
+        sink->counter(obs::kCatOpPoint, "fabric_mhz", t,
+                      op.fabricFreq / kMHz);
+        sink->counter(obs::kCatOpPoint, "vsa_v", t, op.vSa);
+        sink->counter(obs::kCatOpPoint, "vio_v", t, op.vIo);
+    }
+}
+
+void
+Soc::finalizeStats(Tick t)
+{
+    dramBinRes_.finish(t);
+    fabricMhzRes_.finish(t);
+    vSaRes_.finish(t);
+    vIoRes_.finish(t);
 }
 
 Soc::~Soc()
@@ -137,6 +174,13 @@ Soc::setTdp(Watt tdp)
     // loop honors it immediately; a governor will refine it at its
     // next evaluation.
     computeBudget_ = pbm_.computeBudget(ioMemBudget(currentOp_), 0.0);
+
+    TRACE_INSTANT(traceSink(), obs::kCatPower, "tdp_rebalance", now(),
+                  obs::kv("tdp_w", tdp) + "," +
+                      obs::kv("compute_budget_w", computeBudget_));
+    TRACE_COUNTER(traceSink(), obs::kCatPower, "tdp_w", now(), tdp);
+    debugLog("soc: tdp -> %.2f W (compute budget %.2f W)", tdp,
+             computeBudget_);
 }
 
 void
@@ -146,6 +190,7 @@ Soc::noteTransition(const OperatingPoint &target, Tick flow_latency)
     ++transitions_;
     pendingStall_ += flow_latency;
     stallTicks_ += static_cast<double>(flow_latency);
+    noteOpPoint(target, now());
 }
 
 void
@@ -213,6 +258,9 @@ Soc::planValidAt(Tick t) const
 void
 Soc::replaySteps(Tick interval)
 {
+    const Tick batch_start = now();
+    std::uint64_t batch_steps = 1;
+
     // Serve the step event that just fired from the cached plan.
     ++steps_;
     ++replayedSteps_;
@@ -242,9 +290,16 @@ Soc::replaySteps(Tick interval)
         t = next;
         ++steps_;
         ++replayedSteps_;
+        ++batch_steps;
         commitStep(interval, true);
     }
     eventq().schedule(&stepEvent_, t + interval);
+
+    // One span per batch: the only trace category that differs
+    // between skip-ahead on and off (filter "replay" lines to compare
+    // the two byte-for-byte; see docs/OBSERVABILITY.md).
+    TRACE_SPAN(traceSink(), obs::kCatReplay, "replay_batch",
+               batch_start, t, obs::kv("steps", batch_steps));
 }
 
 void
@@ -521,6 +576,31 @@ Soc::commitStep(Tick interval, bool replay)
     } else {
         step_power = integratePower(demand, mc_util, fr.utilization,
                                     vddq_power, interval);
+    }
+
+    // Rail-power counters. Change-filtered in the sink, so a steady
+    // phase emits one sample per level shift — and replayed steps
+    // (identical watts by construction) emit nothing, keeping traces
+    // byte-identical across skip-ahead on/off. integratePower() just
+    // refreshed plan_.railWatts on the slow path, so p.railWatts is
+    // this step's watts on both paths.
+    obs::TraceSink *sink = traceSink();
+    if (TRACE_ACTIVE(sink)) {
+        const Tick t_now = now();
+        sink->counter(obs::kCatPower, "vcore_w", t_now,
+                      p.railWatts[power::railIndex(
+                          power::Rail::VCore)]);
+        sink->counter(obs::kCatPower, "vgfx_w", t_now,
+                      p.railWatts[power::railIndex(
+                          power::Rail::VGfx)]);
+        sink->counter(obs::kCatPower, "vsa_w", t_now,
+                      p.railWatts[power::railIndex(power::Rail::VSA)]);
+        sink->counter(obs::kCatPower, "vio_w", t_now,
+                      p.railWatts[power::railIndex(power::Rail::VIO)]);
+        sink->counter(obs::kCatPower, "vddq_w", t_now,
+                      p.railWatts[power::railIndex(
+                          power::Rail::VDDQ)]);
+        sink->counter(obs::kCatPower, "soc_w", t_now, step_power);
     }
 
     // Reactive power capping: budget models are estimates; when the

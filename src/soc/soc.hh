@@ -278,6 +278,13 @@ class Soc : public SimObject
     }
     /** @} */
 
+    /**
+     * Close the pending interval of the time-weighted residency
+     * stats (dram_bin/fabric_mhz/vsa_v/vio_v) at @p t. Call once
+     * before dumping the stats hierarchy; safe to call repeatedly.
+     */
+    void finalizeStats(Tick t);
+
   private:
     /**
      * Cached outcome of one slow-path step: the fingerprint of every
@@ -321,6 +328,9 @@ class Soc : public SimObject
     };
 
     void step();
+
+    /** Residency-stat and trace-counter bookkeeping for @p op. */
+    void noteOpPoint(const OperatingPoint &op, Tick t);
 
     /** Whether plan_ can replay the step beginning at @p t. */
     bool planValidAt(Tick t) const;
@@ -415,6 +425,13 @@ class Soc : public SimObject
     stats::Scalar stallTicks_;
     stats::Scalar steps_;
     stats::Scalar replayedSteps_;
+
+    /** @name Per-domain residency (time-weighted op-point knobs). @{ */
+    stats::TimeAverage dramBinRes_;
+    stats::TimeAverage fabricMhzRes_;
+    stats::TimeAverage vSaRes_;
+    stats::TimeAverage vIoRes_;
+    /** @} */
 };
 
 } // namespace soc

@@ -5,6 +5,8 @@
 
 #include "io/display.hh"
 #include "io/isp.hh"
+#include "obs/trace.hh"
+#include "sim/logging.hh"
 #include "soc/soc.hh"
 #include "workloads/battery.hh"
 
@@ -76,6 +78,11 @@ ScenarioScript::fire()
 {
     while (next_ < actions_.size() && actions_[next_].at <= now()) {
         const ScenarioAction &a = actions_[next_++];
+        TRACE_INSTANT(traceSink(), obs::kCatScenario,
+                      scenarioActionName(a.kind), now(),
+                      obs::kv("value", a.value));
+        debugLog("scenario: %s at %.3f ms",
+                 scenarioActionName(a.kind), msFromTicks(now()));
         switch (a.kind) {
           case ScenarioActionKind::SetTdp:
             soc_.setTdp(a.value);

@@ -951,3 +951,84 @@ TEST(Dispatch, CleansUpClaimsOfWorkersThatDiedAfterPublishing)
     EXPECT_FALSE(std::filesystem::exists(
         queue.leasePath(exp::specKey(spec), "died-after-store")));
 }
+
+TEST(WorkQueue, WorkerMetricsRoundTripWithProbeAges)
+{
+    const TempDir dir("metrics");
+    dist::WorkQueue queue(dir.sub("q"));
+
+    dist::WorkerMetrics m;
+    m.workerId = "host-1-p0";
+    m.claimed = 5;
+    m.simulated = 3;
+    m.cacheHits = 2;
+    m.failures = 1;
+    m.simSeconds = 0.25;
+    m.wallSeconds = 1.5;
+    queue.publishMetrics(m);
+
+    // Republishing overwrites in place (one file per worker), and a
+    // second worker publishes alongside.
+    m.claimed = 6;
+    queue.publishMetrics(m);
+    dist::WorkerMetrics other;
+    other.workerId = "host-2-p0";
+    other.simulated = 1;
+    other.simSeconds = 0.05;
+    other.wallSeconds = 0.4;
+    queue.publishMetrics(other);
+
+    const std::vector<dist::WorkerMetrics> all =
+        queue.workerMetrics();
+    ASSERT_EQ(all.size(), 2u);
+    EXPECT_EQ(all[0].workerId, "host-1-p0");
+    EXPECT_EQ(all[0].claimed, 6u);
+    EXPECT_EQ(all[0].simulated, 3u);
+    EXPECT_EQ(all[0].cacheHits, 2u);
+    EXPECT_EQ(all[0].failures, 1u);
+    EXPECT_DOUBLE_EQ(all[0].simSeconds, 0.25);
+    EXPECT_DOUBLE_EQ(all[0].wallSeconds, 1.5);
+    EXPECT_EQ(all[1].workerId, "host-2-p0");
+    EXPECT_EQ(all[1].simulated, 1u);
+    // Ages come from the probe clock and cannot run backwards.
+    EXPECT_GE(all[0].ageSeconds, 0.0);
+
+    // A garbage file is skipped, never a wrong row.
+    {
+        std::ofstream os(queue.metricsPath("broken"));
+        os << "{ not json";
+    }
+    EXPECT_EQ(queue.workerMetrics().size(), 2u);
+    EXPECT_EQ(queue.purge() > 0, true);
+    EXPECT_TRUE(queue.workerMetrics().empty());
+}
+
+TEST(Worker, PublishesMetricsAfterEveryResolvedClaim)
+{
+    const TempDir dir("worker-metrics");
+    exp::ResultCache cache(dir.sub("cache"));
+    dist::WorkQueue queue(dir.sub("q"));
+
+    const auto specs = smallGrid();
+    for (const auto &spec : specs)
+        queue.enqueue(spec);
+
+    dist::WorkerOptions opts;
+    opts.workerId = "wm";
+    opts.drain = true;
+    opts.poll = std::chrono::milliseconds(10);
+    const dist::WorkerStats stats =
+        dist::runWorker(dir.sub("q"), cache, opts);
+    ASSERT_EQ(stats.simulated, specs.size());
+
+    const std::vector<dist::WorkerMetrics> all =
+        queue.workerMetrics();
+    ASSERT_EQ(all.size(), 1u);
+    EXPECT_EQ(all[0].workerId, "wm");
+    EXPECT_EQ(all[0].claimed, specs.size());
+    EXPECT_EQ(all[0].simulated, specs.size());
+    EXPECT_EQ(all[0].cacheHits, 0u);
+    EXPECT_EQ(all[0].failures, 0u);
+    EXPECT_GT(all[0].simSeconds, 0.0);
+    EXPECT_GT(all[0].wallSeconds, 0.0);
+}

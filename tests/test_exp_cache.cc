@@ -435,3 +435,19 @@ TEST(ResultCache, MixedGridCachesOnlyTheHealthyCells)
     EXPECT_FALSE(
         std::filesystem::exists(cache.pathFor(specs[1])));
 }
+
+TEST(ResultCache, StatsDumpRoundTripsThroughTheCache)
+{
+    const CacheDir dir("statsdump");
+    exp::ResultCache cache(dir.path());
+    const exp::ExperimentSpec spec = fastSpec("stats");
+
+    const exp::RunResult res = exp::runCell(spec);
+    ASSERT_TRUE(res.ok);
+    ASSERT_FALSE(res.statsDump.empty());
+    cache.store(spec, res);
+
+    exp::RunResult out;
+    ASSERT_TRUE(cache.lookup(spec, out));
+    EXPECT_EQ(out.statsDump, res.statsDump);
+}

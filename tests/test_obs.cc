@@ -1,0 +1,369 @@
+/**
+ * @file
+ * Observability tests: TraceSink semantics (change-filtered
+ * counters, bounded buffer, JSON shape, null-sink macro safety) and
+ * the determinism contract of traced cells — the same cell writes a
+ * byte-identical trace file regardless of --jobs, skip-ahead on/off
+ * differ only in the "replay" category, and tracing never perturbs
+ * the simulation's results.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exp/experiment.hh"
+#include "exp/report.hh"
+#include "exp/runner.hh"
+#include "exp/spec_codec.hh"
+#include "obs/trace.hh"
+#include "soc/soc.hh"
+#include "workloads/micro.hh"
+#include "workloads/scenario.hh"
+#include "workloads/spec.hh"
+
+using namespace sysscale;
+
+namespace {
+
+/** Fresh per-test directory under the system tmp. */
+class TempDir
+{
+  public:
+    explicit TempDir(const std::string &tag)
+        : path_((std::filesystem::temp_directory_path() /
+                 ("sysscale-obs-test-" + tag + "-" +
+                  std::to_string(::getpid())))
+                    .string())
+    {
+        std::filesystem::remove_all(path_);
+        std::filesystem::create_directories(path_);
+    }
+
+    ~TempDir() { std::filesystem::remove_all(path_); }
+
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+/** Pin the process-wide skip-ahead default for one test's scope. */
+class SkipAheadGuard
+{
+  public:
+    explicit SkipAheadGuard(bool on)
+        : prev_(soc::Soc::skipAheadDefault())
+    {
+        soc::Soc::setSkipAheadDefault(on);
+    }
+    ~SkipAheadGuard() { soc::Soc::setSkipAheadDefault(prev_); }
+
+  private:
+    bool prev_;
+};
+
+exp::ExperimentSpec
+fastSpec(const std::string &id, std::uint64_t seed = 1)
+{
+    exp::ExperimentSpec spec;
+    spec.id = id;
+    spec.workload = workloads::streamMicro();
+    spec.governor = "sysscale";
+    spec.seed = seed;
+    spec.warmup = 5 * kTicksPerMs;
+    spec.window = 30 * kTicksPerMs;
+    return spec;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    EXPECT_TRUE(static_cast<bool>(is)) << path;
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    return buf.str();
+}
+
+std::string
+traceFileFor(const exp::ExperimentSpec &spec,
+             const std::string &dir)
+{
+    return dir + "/" + exp::specKey(spec) + ".trace.json";
+}
+
+/** Drop every line of @p text carrying the given trace category. */
+std::string
+stripCategory(const std::string &text, const std::string &cat)
+{
+    const std::string needle = "\"cat\":\"" + cat + "\"";
+    std::istringstream is(text);
+    std::string out, line;
+    while (std::getline(is, line)) {
+        if (line.find(needle) == std::string::npos)
+            out += line + "\n";
+    }
+    return out;
+}
+
+/** Host-timing-free CSV row, for result-identity comparisons. */
+std::string
+stableRow(exp::RunResult res)
+{
+    res.hostSeconds = 0.0;
+    return exp::csvRow(res);
+}
+
+} // anonymous namespace
+
+TEST(TraceSink, CountersAreChangeFiltered)
+{
+    obs::TraceSink sink;
+    sink.counter(obs::kCatPower, "w", 0, 1.0);
+    sink.counter(obs::kCatPower, "w", 10, 1.0);
+    sink.counter(obs::kCatPower, "w", 20, 1.0);
+    EXPECT_EQ(sink.size(), 1u);
+
+    sink.counter(obs::kCatPower, "w", 30, 2.0);
+    EXPECT_EQ(sink.size(), 2u);
+
+    // Distinct series filter independently, even with equal values.
+    sink.counter(obs::kCatOpPoint, "w", 40, 2.0);
+    EXPECT_EQ(sink.size(), 3u);
+}
+
+TEST(TraceSink, CapacityDropsNewEventsNotOldOnes)
+{
+    obs::TraceSink sink(2);
+    sink.instant(obs::kCatGovernor, "first", 1);
+    sink.instant(obs::kCatGovernor, "second", 2);
+    sink.instant(obs::kCatGovernor, "third", 3);
+    ASSERT_EQ(sink.size(), 2u);
+    EXPECT_EQ(sink.dropped(), 1u);
+    EXPECT_EQ(sink.events()[0].name, "first");
+    EXPECT_EQ(sink.events()[1].name, "second");
+}
+
+TEST(TraceSink, DroppedCounterSampleDoesNotPoisonTheFilter)
+{
+    obs::TraceSink sink(1);
+    sink.counter(obs::kCatPower, "w", 0, 1.0); // Buffered.
+    sink.counter(obs::kCatPower, "w", 10, 2.0); // Dropped (full).
+    EXPECT_EQ(sink.dropped(), 1u);
+    // The dropped sample must not have updated the series' last
+    // value: the filter state only tracks what the trace contains.
+    sink.counter(obs::kCatPower, "w", 20, 2.0);
+    EXPECT_EQ(sink.dropped(), 2u);
+}
+
+TEST(TraceSink, SpanClampsInvertedInterval)
+{
+    obs::TraceSink sink;
+    sink.span(obs::kCatTransition, "weird", 100, 40);
+    ASSERT_EQ(sink.size(), 1u);
+    EXPECT_EQ(sink.events()[0].dur, 0u);
+}
+
+TEST(TraceSink, JsonIsLineFilterableAndCommaSafe)
+{
+    obs::TraceSink sink;
+    sink.span(obs::kCatTransition, "flow", 0, kTicksPerUs,
+              obs::kv("from", "high"));
+    sink.instant(obs::kCatScenario, "display_on", 2 * kTicksPerUs);
+    sink.counter(obs::kCatOpPoint, "dram_bin", 0, 1.0);
+
+    std::ostringstream os;
+    sink.writeJson(os);
+    const std::string text = os.str();
+
+    EXPECT_EQ(text.rfind("{\"traceEvents\":[\n", 0), 0u);
+    EXPECT_NE(text.find("\"thread_name\""), std::string::npos);
+    // Every event line leads with its comma, so dropping any subset
+    // of lines leaves valid JSON.
+    EXPECT_NE(text.find(",{\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(text.find(",{\"ph\":\"i\",\"s\":\"t\""),
+              std::string::npos);
+    EXPECT_NE(text.find(",{\"ph\":\"C\""), std::string::npos);
+    EXPECT_NE(text.find("\"args\":{\"from\":\"high\"}"),
+              std::string::npos);
+    EXPECT_NE(text.find("\"otherData\""), std::string::npos);
+    EXPECT_NE(text.find("\"dropped\":\"0\""), std::string::npos);
+}
+
+TEST(TraceSink, EmptySinkStillWritesValidDocument)
+{
+    obs::TraceSink sink;
+    std::ostringstream os;
+    sink.writeJson(os);
+    // Metadata only; the last metadata line must not dangle a comma.
+    EXPECT_NE(os.str().find("\"op-point\"}}\n],"),
+              std::string::npos);
+}
+
+TEST(TraceSink, MacrosTolerateNullAndDisabledSinks)
+{
+    obs::TraceSink *null_sink = nullptr;
+    TRACE_SPAN(null_sink, obs::kCatTransition, "x", 0, 1, "");
+    TRACE_INSTANT(null_sink, obs::kCatGovernor, "x", 0, "");
+    TRACE_COUNTER(null_sink, obs::kCatPower, "x", 0, 1.0);
+    EXPECT_FALSE(TRACE_ACTIVE(null_sink));
+
+    obs::TraceSink off;
+    off.setEnabled(false);
+    TRACE_INSTANT(&off, obs::kCatGovernor, "x", 0, "");
+    EXPECT_FALSE(TRACE_ACTIVE(&off));
+    EXPECT_EQ(off.size(), 0u);
+}
+
+TEST(TraceSink, KvHelpersEmitJsonFragments)
+{
+    EXPECT_EQ(obs::kv("a", "b\"c"), "\"a\":\"b\\\"c\"");
+    EXPECT_EQ(obs::kv("n", 1.5), "\"n\":1.5");
+    EXPECT_EQ(obs::kv("i", 7), "\"i\":7");
+    EXPECT_EQ(obs::kv("u", std::uint64_t{9}), "\"u\":9");
+}
+
+TEST(TraceDeterminism, JobCountNeverChangesTraceBytes)
+{
+    std::vector<exp::ExperimentSpec> specs;
+    specs.push_back(fastSpec("cell-a", 1));
+    specs.push_back(fastSpec("cell-b", 7));
+
+    const TempDir serial("serial");
+    const TempDir threaded("threaded");
+
+    exp::RunnerOptions serial_opts;
+    serial_opts.jobs = 1;
+    serial_opts.cell.traceDir = serial.path();
+    exp::ExperimentRunner(serial_opts).run(specs);
+
+    exp::RunnerOptions threaded_opts;
+    threaded_opts.jobs = 2;
+    threaded_opts.cell.traceDir = threaded.path();
+    exp::ExperimentRunner(threaded_opts).run(specs);
+
+    for (const auto &spec : specs) {
+        const std::string a =
+            readFile(traceFileFor(spec, serial.path()));
+        const std::string b =
+            readFile(traceFileFor(spec, threaded.path()));
+        EXPECT_FALSE(a.empty());
+        EXPECT_EQ(a, b) << spec.id;
+    }
+}
+
+TEST(TraceDeterminism, SkipAheadDiffersOnlyInReplayCategory)
+{
+    const exp::ExperimentSpec spec = fastSpec("skip-cell");
+
+    const TempDir fast("fast");
+    const TempDir slow("slow");
+    exp::RunCellOptions fast_opts;
+    fast_opts.traceDir = fast.path();
+    exp::RunCellOptions slow_opts;
+    slow_opts.traceDir = slow.path();
+
+    std::string fast_text, slow_text;
+    {
+        const SkipAheadGuard guard(true);
+        ASSERT_TRUE(exp::runCell(spec, fast_opts).ok);
+        fast_text = readFile(traceFileFor(spec, fast.path()));
+    }
+    {
+        const SkipAheadGuard guard(false);
+        ASSERT_TRUE(exp::runCell(spec, slow_opts).ok);
+        slow_text = readFile(traceFileFor(spec, slow.path()));
+    }
+
+    // The fast path batches replayed steps into "replay" spans the
+    // slow path never emits; everything else is byte-identical.
+    EXPECT_NE(fast_text.find("\"cat\":\"replay\""),
+              std::string::npos);
+    EXPECT_EQ(slow_text.find("\"cat\":\"replay\""),
+              std::string::npos);
+    EXPECT_EQ(stripCategory(fast_text, "replay"),
+              stripCategory(slow_text, "replay"));
+}
+
+TEST(TraceDeterminism, ReplayBatchesAreSingleSpansWithStepCounts)
+{
+    const exp::ExperimentSpec spec = fastSpec("replay-cell");
+    const TempDir dir("replay");
+    exp::RunCellOptions opts;
+    opts.traceDir = dir.path();
+
+    const SkipAheadGuard guard(true);
+    const exp::RunResult res = exp::runCell(spec, opts);
+    ASSERT_TRUE(res.ok);
+
+    // The replayed-step total the simulation itself recorded.
+    const std::string stat = "soc.replayed_steps ";
+    const auto stat_pos = res.statsDump.find(stat);
+    ASSERT_NE(stat_pos, std::string::npos);
+    const std::uint64_t recorded = std::strtoull(
+        res.statsDump.c_str() + stat_pos + stat.size(), nullptr,
+        10);
+    ASSERT_GT(recorded, 0u);
+
+    const std::string text =
+        readFile(traceFileFor(spec, dir.path()));
+    std::istringstream is(text);
+    std::string line;
+    std::uint64_t replayed = 0;
+    std::size_t batches = 0;
+    while (std::getline(is, line)) {
+        if (line.find("\"name\":\"replay_batch\"") ==
+            std::string::npos)
+            continue;
+        ++batches;
+        EXPECT_NE(line.find("\"ph\":\"X\""), std::string::npos);
+        const std::string marker = "\"steps\":";
+        const auto pos = line.find(marker);
+        ASSERT_NE(pos, std::string::npos);
+        replayed += std::strtoull(
+            line.c_str() + pos + marker.size(), nullptr, 10);
+    }
+    EXPECT_GT(batches, 0u);
+    // One span per batch; the spans' step counts account for every
+    // replayed step exactly once.
+    EXPECT_EQ(replayed, recorded);
+}
+
+TEST(TraceDeterminism, TracingNeverPerturbsResults)
+{
+    const exp::ExperimentSpec spec = fastSpec("observer-cell");
+    const TempDir dir("observer");
+    exp::RunCellOptions traced_opts;
+    traced_opts.traceDir = dir.path();
+
+    const exp::RunResult plain = exp::runCell(spec);
+    const exp::RunResult traced = exp::runCell(spec, traced_opts);
+    ASSERT_TRUE(plain.ok);
+    ASSERT_TRUE(traced.ok);
+    EXPECT_EQ(stableRow(plain), stableRow(traced));
+    EXPECT_EQ(plain.statsDump, traced.statsDump);
+    EXPECT_FALSE(plain.statsDump.empty());
+}
+
+TEST(TraceDeterminism, StatsDumpCarriesResidencyStats)
+{
+    const exp::RunResult res = exp::runCell(fastSpec("stats-cell"));
+    ASSERT_TRUE(res.ok);
+    EXPECT_NE(res.statsDump.find("soc.dram_bin::tmean"),
+              std::string::npos);
+    EXPECT_NE(res.statsDump.find("soc.fabric_mhz::tmean"),
+              std::string::npos);
+    EXPECT_NE(res.statsDump.find("soc.vsa_v::tmean"),
+              std::string::npos);
+    EXPECT_NE(res.statsDump.find("soc.vio_v::tmean"),
+              std::string::npos);
+}

@@ -133,7 +133,7 @@ TEST(SpecCodec, HeaderCarriesFormatVersion)
 {
     const std::string text =
         exp::serializeSpec(exp::ExperimentSpec{});
-    EXPECT_EQ(text.rfind("sysscale-spec v5\n", 0), 0u)
+    EXPECT_EQ(text.rfind("sysscale-spec v6\n", 0), 0u)
         << "bump this test AND the golden keys together with "
            "kSpecFormatVersion";
 }
@@ -244,10 +244,10 @@ TEST(SpecCodec, GoldenKeys)
     exp::ExperimentSpec stream;
     stream.id = "golden-a";
     stream.workload = workloads::streamMicro();
-    EXPECT_EQ(exp::specKey(stream), "7c96e002fa899b62");
+    EXPECT_EQ(exp::specKey(stream), "3b459bfd9e183161");
 
     exp::ExperimentSpec rich = richSpec();
-    EXPECT_EQ(exp::specKey(rich), "6ea941f4f8004543");
+    EXPECT_EQ(exp::specKey(rich), "77d39e8b1856434e");
 }
 
 TEST(SpecCodec, SerializableOnlyWithoutRuntimeHooks)

@@ -22,7 +22,12 @@
 #      discoverable,
 #   8. every governor registered in src/core/governor_registry.cc
 #      (the `addEntry(reg, "<name>"` idiom) is documented in
-#      docs/EXPERIMENTS.md's governor-zoo table.
+#      docs/EXPERIMENTS.md's governor-zoo table,
+#   9. every trace category (the `kCat*[] = "<name>"` constants in
+#      src/obs/trace.hh) and every TRACE_* macro is documented in
+#      docs/OBSERVABILITY.md — the trace schema is a stable surface
+#      (tools/trace_summary.py and external Perfetto queries key on
+#      the category strings).
 #
 # POSIX sh + grep/sed only, so it runs anywhere the build does.
 
@@ -128,7 +133,7 @@ for tool in tools/sweep_grid.cc tools/sweep_worker.cc \
     for flag in $flags; do
         [ "$flag" = "--help" ] && continue
         if ! grep -qF -- "$flag" README.md docs/EXPERIMENTS.md \
-                docs/OPERATIONS.md; then
+                docs/OPERATIONS.md docs/OBSERVABILITY.md; then
             echo "check_docs: flag $flag ($(basename "$tool"))" \
                  "is not documented in README.md or docs/"
             errors=$((errors + 1))
@@ -167,6 +172,34 @@ for g in $governors; do
     if ! grep -q "\`$g\`" docs/EXPERIMENTS.md; then
         echo "check_docs: docs/EXPERIMENTS.md does not document" \
              "governor '$g' (add it to the governor-zoo table)"
+        errors=$((errors + 1))
+    fi
+done
+
+# --- 9. OBSERVABILITY.md documents the trace schema surface ---------
+# Categories come from the greppable `constexpr char kCatX[] = "x";`
+# idiom in the trace header; macros are the public instrumentation
+# API.  Both must appear in backtick form so readers can search for
+# them verbatim.
+trace_hdr=src/obs/trace.hh
+trace_cats=$(grep -o 'kCat[A-Za-z]*\[\] = "[a-z-]*"' "$trace_hdr" |
+             sed 's/.*"\([a-z-]*\)"/\1/')
+if [ -z "$trace_cats" ]; then
+    echo "check_docs: could not extract trace categories from" \
+         "$trace_hdr"
+    errors=$((errors + 1))
+fi
+for cat in $trace_cats; do
+    if ! grep -q "\`$cat\`" docs/OBSERVABILITY.md; then
+        echo "check_docs: docs/OBSERVABILITY.md does not document" \
+             "trace category '$cat' (add it to the category table)"
+        errors=$((errors + 1))
+    fi
+done
+for macro in TRACE_SPAN TRACE_INSTANT TRACE_COUNTER; do
+    if ! grep -q "\`$macro\`" docs/OBSERVABILITY.md; then
+        echo "check_docs: docs/OBSERVABILITY.md does not document" \
+             "the $macro macro"
         errors=$((errors + 1))
     fi
 done

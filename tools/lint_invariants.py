@@ -43,6 +43,15 @@ governor-soc-mutation
     latency constraints and the notifier chain stay in the loop.
     Reads are unrestricted — policies observe, drivers apply.
 
+trace-side-effect
+    Arguments to the tracing macros (TRACE_SPAN / TRACE_INSTANT /
+    TRACE_COUNTER, src/obs/trace.hh) must be pure expressions: no
+    ``++``/``--``, no assignment, no compound assignment.  The macros
+    compile to nothing under SYSSCALE_NO_TRACING and short-circuit
+    when the sink is disabled, so a side effect in an argument runs
+    in some builds and not others — the exact heisenbug the
+    deterministic-trace contract exists to rule out.
+
 spec-version-guard
     Diff mode only (--diff-base/--diff-file): a diff that touches
     src/exp/spec_codec.* or any spec-serialized header must also
@@ -379,8 +388,69 @@ def check_spec_version_guard(diff_text, findings):
             "is provably encoding-neutral"))
 
 
+# The macro expansion guards every argument behind TRACE_ACTIVE (and
+# the whole call behind SYSSCALE_NO_TRACING), so argument evaluation
+# is conditional on the build and the sink state.  Any mutation in an
+# argument therefore changes simulation behavior when tracing is
+# toggled — flag ++/--, compound assignment, and bare assignment.
+TRACE_MACRO_RE = re.compile(
+    r"\b(?:TRACE_SPAN|TRACE_INSTANT|TRACE_COUNTER)\s*\(")
+TRACE_SIDE_EFFECT_RE = re.compile(
+    r"\+\+|--|[+\-*/%&|^]=|<<=|>>="
+    r"|(?<![=!<>+\-*/%&|^\[])=(?!=)")
+
+
+@check("trace-side-effect",
+       "TRACE_SPAN/TRACE_INSTANT/TRACE_COUNTER arguments are pure — "
+       "no ++/--/assignment inside a macro that may not evaluate "
+       "them")
+def check_trace_side_effect(path, lines, findings):
+    if not path.endswith((".cc", ".hh")):
+        return
+    if path == "src/obs/trace.hh":  # the macro definitions themselves
+        return
+    code = strip_comments(lines)
+    for i, line in enumerate(code):
+        m = TRACE_MACRO_RE.search(line)
+        if not m:
+            continue
+        # Collect the balanced-paren argument list, spanning lines.
+        depth = 0
+        arg_chars = []
+        row, col = i, m.end() - 1
+        done = False
+        while row < len(code) and not done:
+            text = code[row]
+            while col < len(text):
+                c = text[col]
+                if c == "(":
+                    depth += 1
+                elif c == ")":
+                    depth -= 1
+                    if depth == 0:
+                        done = True
+                        break
+                if depth >= 1:
+                    arg_chars.append(c)
+                col += 1
+            arg_chars.append(" ")
+            row += 1
+            col = 0
+        args = "".join(arg_chars)
+        if not TRACE_SIDE_EFFECT_RE.search(args):
+            continue
+        if waived("trace-side-effect", lines, i, findings, path):
+            continue
+        findings.append(Finding(
+            "trace-side-effect", path, i + 1,
+            "trace-macro argument contains ++/--/assignment — the "
+            "macro skips argument evaluation when tracing is off, so "
+            "the side effect makes traced and untraced runs diverge; "
+            "hoist the mutation out of the macro call"))
+
+
 SOURCE_CHECKS = ("nondeterminism", "raw-queue-write", "unit-suffix",
-                 "governor-soc-mutation")
+                 "governor-soc-mutation", "trace-side-effect")
 
 
 def iter_source_files(root):
@@ -424,6 +494,8 @@ FIXTURES = (
     ("unit_suffix.hh", "src/soc/unit_suffix.hh", "unit-suffix", 2),
     ("governor_soc_mutation.cc", "src/core/governor_zoo.cc",
      "governor-soc-mutation", 3),
+    ("trace_side_effect.cc", "src/soc/trace_side_effect.cc",
+     "trace-side-effect", 3),
     ("clean.cc", "src/dist/clean.cc", None, 0),
     ("clean.hh", "src/soc/clean.hh", None, 0),
     ("governor_clean.cc", "src/core/governor_zoo.cc", None, 0),

@@ -37,10 +37,12 @@
  * single-process run of the same grid. See docs/EXPERIMENTS.md.
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -54,6 +56,7 @@
 #include "exp/experiment.hh"
 #include "exp/report.hh"
 #include "exp/runner.hh"
+#include "sim/logging.hh"
 #include "workloads/battery.hh"
 #include "workloads/graphics.hh"
 #include "workloads/micro.hh"
@@ -179,6 +182,16 @@ usage()
         "  --ddr4             use the DDR4 SoC population\n"
         "  --csv FILE         write CSV ('-' = stdout)\n"
         "  --json FILE        write JSON ('-' = stdout)\n"
+        "  --stats-csv FILE   write the per-cell stats dumps as a\n"
+        "                     wide CSV ('-' = stdout): one column\n"
+        "                     per stat path, rows in spec order\n"
+        "  --trace-dir DIR    write one Chrome trace-event JSON per\n"
+        "                     simulated cell into DIR (cache hits\n"
+        "                     skip the simulator and write none;\n"
+        "                     combine with --no-cache for full\n"
+        "                     coverage). Not valid with --distributed\n"
+        "  --log-level LEVEL  stderr verbosity: silent, warn,\n"
+        "                     inform (default), debug\n"
         "  --cache-dir DIR    reuse finished cells from DIR\n"
         "                     (default: $SYSSCALE_CACHE_DIR)\n"
         "  --no-cache         disable the cell cache entirely\n"
@@ -216,6 +229,79 @@ emit(const std::string &path, bool json,
                  results.size());
 }
 
+/**
+ * Wide-format stats export: one row per cell, one column per stat
+ * path, columns in order of first appearance across the (spec-
+ * ordered) results, values verbatim from the dump. Cells missing a
+ * stat (error rows, heterogeneous grids) leave the field empty.
+ */
+void
+writeStatsCsv(std::ostream &os,
+              const std::vector<exp::RunResult> &results)
+{
+    std::vector<std::string> columns;
+    std::vector<std::vector<std::pair<std::string, std::string>>>
+        rows;
+    rows.reserve(results.size());
+    for (const auto &res : results) {
+        std::vector<std::pair<std::string, std::string>> row;
+        std::istringstream dump(res.statsDump);
+        std::string line;
+        while (std::getline(dump, line)) {
+            // "path.stat value # desc"
+            std::istringstream fields(line);
+            std::string path, val;
+            if (!(fields >> path >> val))
+                continue;
+            if (std::find(columns.begin(), columns.end(), path) ==
+                columns.end()) {
+                columns.push_back(path);
+            }
+            row.emplace_back(path, val);
+        }
+        rows.push_back(std::move(row));
+    }
+
+    os << "id,governor,workload";
+    for (const auto &c : columns)
+        os << ',' << c;
+    os << '\n';
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const exp::RunResult &res = results[i];
+        os << res.id << ',' << res.governor << ','
+           << res.workload;
+        for (const auto &c : columns) {
+            os << ',';
+            for (const auto &kv : rows[i]) {
+                if (kv.first == c) {
+                    os << kv.second;
+                    break;
+                }
+            }
+        }
+        os << '\n';
+    }
+}
+
+void
+emitStatsCsv(const std::string &path,
+             const std::vector<exp::RunResult> &results)
+{
+    if (path == "-") {
+        writeStatsCsv(std::cout, results);
+        return;
+    }
+    std::ofstream os(path);
+    if (!os) {
+        std::fprintf(stderr, "sweep_grid: cannot write %s\n",
+                     path.c_str());
+        std::exit(2);
+    }
+    writeStatsCsv(os, results);
+    std::fprintf(stderr, "wrote %s (%zu rows)\n", path.c_str(),
+                 results.size());
+}
+
 } // anonymous namespace
 
 int
@@ -240,6 +326,8 @@ main(int argc, char **argv)
     bool cache_stats = false;
     std::string cache_dir;
     std::string csv_path, json_path;
+    std::string stats_csv_path;
+    std::string trace_dir;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -291,6 +379,28 @@ main(int argc, char **argv)
             csv_path = value();
         } else if (arg == "--json") {
             json_path = value();
+        } else if (arg == "--stats-csv") {
+            stats_csv_path = value();
+        } else if (arg == "--trace-dir") {
+            trace_dir = value();
+        } else if (arg == "--log-level") {
+            const std::string level = value();
+            if (level == "silent") {
+                setLogLevel(LogLevel::Silent);
+            } else if (level == "warn") {
+                setLogLevel(LogLevel::Warn);
+            } else if (level == "inform") {
+                setLogLevel(LogLevel::Inform);
+            } else if (level == "debug") {
+                setLogLevel(LogLevel::Debug);
+            } else {
+                std::fprintf(stderr,
+                             "sweep_grid: unknown --log-level "
+                             "\"%s\" (silent, warn, inform, "
+                             "debug)\n",
+                             level.c_str());
+                return 2;
+            }
         } else if (arg == "--cache-dir") {
             cache_dir = value();
         } else if (arg == "--no-cache") {
@@ -419,6 +529,25 @@ main(int argc, char **argv)
                      "and --csv\n");
         return 2;
     }
+    if (!trace_dir.empty() && !distributed_dir.empty()) {
+        std::fprintf(stderr,
+                     "sweep_grid: --trace-dir traces in-process "
+                     "cells only and cannot follow a --distributed "
+                     "sweep onto its workers\n");
+        return 2;
+    }
+    if (!trace_dir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(trace_dir, ec);
+        if (ec) {
+            std::fprintf(stderr,
+                         "sweep_grid: cannot create --trace-dir "
+                         "%s: %s\n",
+                         trace_dir.c_str(),
+                         ec.message().c_str());
+            return 2;
+        }
+    }
 
     const auto wall_start = std::chrono::steady_clock::now();
     std::vector<exp::RunResult> results;
@@ -491,6 +620,7 @@ main(int argc, char **argv)
         exp::RunnerOptions opts;
         opts.jobs = jobs;
         opts.cache = cache.get();
+        opts.cell.traceDir = trace_dir;
         if (!quiet) {
             opts.onResult = [](const exp::RunResult &res,
                                std::size_t done, std::size_t total) {
@@ -562,7 +692,10 @@ main(int argc, char **argv)
         emit(csv_path, false, results);
     if (!json_path.empty())
         emit(json_path, true, results);
-    if (csv_path.empty() && json_path.empty())
+    if (!stats_csv_path.empty())
+        emitStatsCsv(stats_csv_path, results);
+    if (csv_path.empty() && json_path.empty() &&
+        stats_csv_path.empty())
         exp::writeCsv(std::cout, results);
 
     return failures == 0 ? 0 : 1;

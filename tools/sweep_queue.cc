@@ -17,12 +17,16 @@
  * machine's wall clock disagrees with the workers'.
  */
 
+#include <unistd.h>
+
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "dist/work_queue.hh"
@@ -38,6 +42,7 @@ namespace {
  */
 const char *const kSubcommands[] = {
     "status",
+    "watch",
     "ls",
     "retry-failed",
     "purge",
@@ -49,8 +54,12 @@ usage()
     std::printf(
         "usage: sweep_queue <command> --queue DIR [options]\n"
         "commands:\n"
-        "  status               occupancy counts + per-worker lease\n"
-        "                       ages (read-only)\n"
+        "  status               occupancy counts, per-worker lease\n"
+        "                       ages, and worker telemetry\n"
+        "                       (read-only)\n"
+        "  watch                live console view: redraw the status\n"
+        "                       frame every --interval-s seconds\n"
+        "                       (read-only)\n"
         "  ls                   list every cell with its decoded\n"
         "                       spec id (read-only)\n"
         "  retry-failed         put failed cells back in pending\n"
@@ -62,7 +71,11 @@ usage()
         "                       leases in status/ls output\n"
         "                       (default: 30)\n"
         "  --json               status only: machine-readable output\n"
-        "                       (one JSON object; scraper-friendly)\n");
+        "                       (one JSON object; scraper-friendly)\n"
+        "  --interval-s N       watch only: seconds between frames\n"
+        "                       (default: 2)\n"
+        "  --iterations N       watch only: stop after N frames\n"
+        "                       (default: 0 = run until killed)\n");
 }
 
 bool
@@ -90,10 +103,40 @@ formatAge(double seconds)
  * the same exp::formatDouble/jsonQuote helpers as every other JSON
  * surface — writer/reader drift is impossible by construction.
  */
+/** Campaign totals aggregated over every worker's metrics file. */
+struct FleetThroughput
+{
+    std::size_t cells = 0; //!< Simulated cells across the fleet.
+    double simSeconds = 0.0;
+    double wallSeconds = 0.0;
+
+    /** Simulated seconds per wall second (0 when no wall time). */
+    double
+    simPerWall() const
+    {
+        return wallSeconds > 0.0 ? simSeconds / wallSeconds : 0.0;
+    }
+};
+
+FleetThroughput
+aggregate(const std::vector<dist::WorkerMetrics> &workers)
+{
+    FleetThroughput t;
+    for (const dist::WorkerMetrics &m : workers) {
+        t.cells += m.simulated;
+        t.simSeconds += m.simSeconds;
+        t.wallSeconds += m.wallSeconds;
+    }
+    return t;
+}
+
 int
 cmdStatusJson(dist::WorkQueue &queue, double staleAfter)
 {
     const dist::QueueStatus s = queue.status();
+    const std::vector<dist::WorkerMetrics> workers =
+        queue.workerMetrics();
+    const FleetThroughput total = aggregate(workers);
     std::string doc = "{\n";
     doc += "  \"queue\": " + exp::jsonQuote(queue.dir()) + ",\n";
     doc += "  \"pending\": " + std::to_string(s.pending) + ",\n";
@@ -102,6 +145,32 @@ cmdStatusJson(dist::WorkQueue &queue, double staleAfter)
     doc += "  \"corrupt\": " + std::to_string(s.corrupt) + ",\n";
     doc += "  \"lease_timeout_s\": " +
            exp::formatDouble(staleAfter) + ",\n";
+    doc += "  \"throughput\": {\"cells\": " +
+           std::to_string(total.cells) +
+           ", \"sim_seconds\": " +
+           exp::formatDouble(total.simSeconds) +
+           ", \"wall_seconds\": " +
+           exp::formatDouble(total.wallSeconds) +
+           ", \"sim_per_wall\": " +
+           exp::formatDouble(total.simPerWall()) + "},\n";
+    doc += "  \"workers\": [";
+    bool wfirst = true;
+    for (const dist::WorkerMetrics &m : workers) {
+        doc += wfirst ? "\n" : ",\n";
+        wfirst = false;
+        doc += "    {\"worker\": " + exp::jsonQuote(m.workerId) +
+               ", \"claimed\": " + std::to_string(m.claimed) +
+               ", \"simulated\": " + std::to_string(m.simulated) +
+               ", \"cache_hits\": " + std::to_string(m.cacheHits) +
+               ", \"failures\": " + std::to_string(m.failures) +
+               ", \"sim_seconds\": " +
+               exp::formatDouble(m.simSeconds) +
+               ", \"wall_seconds\": " +
+               exp::formatDouble(m.wallSeconds) +
+               ", \"age_s\": " + exp::formatDouble(m.ageSeconds) +
+               "}";
+    }
+    doc += wfirst ? "],\n" : "\n  ],\n";
     doc += "  \"leases\": [";
     bool first = true;
     for (const dist::LeaseInfo &lease : s.leases) {
@@ -153,6 +222,56 @@ cmdStatus(dist::WorkQueue &queue, double staleAfter)
                         formatAge(oldest).c_str(),
                         oldest > staleAfter ? " [stale]" : "");
         }
+    }
+
+    // Worker telemetry (self-published metrics files): per-worker
+    // progress, then the fleet total. Absent for campaigns run by
+    // builds that predate the metrics directory.
+    const std::vector<dist::WorkerMetrics> workers =
+        queue.workerMetrics();
+    if (!workers.empty()) {
+        std::printf("telemetry:\n");
+        for (const dist::WorkerMetrics &m : workers) {
+            std::printf("  %-24s %zu claimed (%zu sim, %zu hit, "
+                        "%zu fail), %.2f sim-s / %.2f wall-s, "
+                        "last cell %s ago\n",
+                        m.workerId.c_str(), m.claimed, m.simulated,
+                        m.cacheHits, m.failures, m.simSeconds,
+                        m.wallSeconds,
+                        formatAge(m.ageSeconds).c_str());
+        }
+        const FleetThroughput total = aggregate(workers);
+        std::printf("throughput: %zu cell(s) simulated, %.2f sim-s "
+                    "in %.2f wall-s (%.2f sim-s/wall-s)\n",
+                    total.cells, total.simSeconds,
+                    total.wallSeconds, total.simPerWall());
+    }
+    return 0;
+}
+
+/**
+ * `watch`: redraw the status frame every interval. On a terminal
+ * each frame clears the screen (a poor man's top(1)); piped output
+ * separates frames with a marker line instead, so logs and tests
+ * stay greppable. Strictly read-only, like status.
+ */
+int
+cmdWatch(dist::WorkQueue &queue, double staleAfter,
+         long intervalSeconds, long iterations)
+{
+    const bool tty = ::isatty(::fileno(stdout)) != 0;
+    for (long frame = 0; iterations == 0 || frame < iterations;
+         ++frame) {
+        if (frame > 0) {
+            std::this_thread::sleep_for(
+                std::chrono::seconds(intervalSeconds));
+        }
+        if (tty)
+            std::fputs("\033[2J\033[H", stdout);
+        else if (frame > 0)
+            std::puts("--- frame ---");
+        cmdStatus(queue, staleAfter);
+        std::fflush(stdout);
     }
     return 0;
 }
@@ -211,6 +330,8 @@ main(int argc, char **argv)
     std::string command;
     std::string queue_dir;
     long lease_timeout_s = 30;
+    long interval_s = 2;
+    long iterations = 0;
     bool json = false;
 
     for (int i = 1; i < argc; ++i) {
@@ -228,6 +349,10 @@ main(int argc, char **argv)
             queue_dir = value();
         } else if (arg == "--lease-timeout-s") {
             lease_timeout_s = std::atol(value().c_str());
+        } else if (arg == "--interval-s") {
+            interval_s = std::atol(value().c_str());
+        } else if (arg == "--iterations") {
+            iterations = std::atol(value().c_str());
         } else if (arg == "--json") {
             json = true;
         } else if (arg == "--help" || arg == "-h") {
@@ -267,6 +392,16 @@ main(int argc, char **argv)
                              "be positive\n");
         return 2;
     }
+    if (interval_s <= 0) {
+        std::fprintf(stderr,
+                     "sweep_queue: --interval-s must be positive\n");
+        return 2;
+    }
+    if (iterations < 0) {
+        std::fprintf(stderr,
+                     "sweep_queue: --iterations must be >= 0\n");
+        return 2;
+    }
     // Creating directories on a typo'd path would be the opposite
     // of inspection — insist the queue already exists.
     if (!std::filesystem::is_directory(queue_dir)) {
@@ -287,6 +422,9 @@ main(int argc, char **argv)
         if (command == "status")
             return json ? cmdStatusJson(queue, staleAfter)
                         : cmdStatus(queue, staleAfter);
+        if (command == "watch")
+            return cmdWatch(queue, staleAfter, interval_s,
+                            iterations);
         if (command == "ls")
             return cmdLs(queue, staleAfter);
         if (command == "retry-failed")

@@ -1,0 +1,158 @@
+#!/usr/bin/env python3
+"""Summarize a sysscale Chrome trace-event JSON file.
+
+Reads one ``<specKey>.trace.json`` produced by ``sweep_grid
+--trace-dir`` (see docs/OBSERVABILITY.md for the schema) and prints:
+
+- per-domain *residency*: for every ``oppoint`` counter series, the
+  time-weighted share of the traced interval spent at each value
+  (each sample holds until the next change; the last sample extends
+  to the end of the trace), and
+- *transition-phase totals*: for every ``transition`` span name, how
+  many times it ran and its total duration.
+
+The output is deterministic for a deterministic trace, which makes it
+a golden-testable surface: ``--check GOLDEN.txt`` re-computes the
+summary and diffs it against a committed fixture, exiting non-zero on
+any drift.
+
+Standard library only (json/argparse/difflib) -- runs anywhere the
+repo's other Python tooling runs.
+"""
+
+import argparse
+import difflib
+import json
+import sys
+
+
+def load_events(path):
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    events = doc.get("traceEvents", [])
+    other = doc.get("otherData", {})
+    return events, other
+
+
+def trace_end(events):
+    """Last instant covered by the trace, in us."""
+    end = 0.0
+    for ev in events:
+        ts = ev.get("ts")
+        if ts is None:
+            continue
+        end = max(end, ts + ev.get("dur", 0.0))
+    return end
+
+
+def format_value(v):
+    """Counter values as a short, deterministic decimal."""
+    if v == int(v):
+        return str(int(v))
+    return "%.6g" % v
+
+
+def format_us(us):
+    """Durations scaled to a readable unit."""
+    if us >= 1000.0:
+        return "%.3f ms" % (us / 1000.0)
+    return "%.3f us" % us
+
+
+def residency(events, end):
+    """{series: [(value, seconds_weight)...]} from counter events."""
+    series = {}
+    for ev in events:
+        if ev.get("ph") != "C" or ev.get("cat") != "oppoint":
+            continue
+        name = ev["name"]
+        value = ev.get("args", {}).get("value", 0.0)
+        series.setdefault(name, []).append((ev["ts"], value))
+
+    out = {}
+    for name, samples in sorted(series.items()):
+        samples.sort(key=lambda sv: sv[0])
+        weights = {}
+        for i, (ts, value) in enumerate(samples):
+            until = samples[i + 1][0] if i + 1 < len(samples) else end
+            weights[value] = weights.get(value, 0.0) + max(
+                0.0, until - ts)
+        out[name] = sorted(weights.items())
+    return out
+
+
+def phase_totals(events):
+    """{span name: (count, total_dur_us)} over transition spans."""
+    totals = {}
+    for ev in events:
+        if ev.get("ph") != "X" or ev.get("cat") != "transition":
+            continue
+        count, dur = totals.get(ev["name"], (0, 0.0))
+        totals[ev["name"]] = (count + 1, dur + ev.get("dur", 0.0))
+    return totals
+
+
+def summarize(path):
+    events, other = load_events(path)
+    end = trace_end(events)
+    lines = []
+    real = [ev for ev in events if ev.get("ph") != "M"]
+    lines.append("trace: %d event(s), %s dropped, %s spanned"
+                 % (len(real), other.get("dropped", "0"),
+                    format_us(end)))
+
+    lines.append("residency (time-weighted):")
+    res = residency(events, end)
+    if not res:
+        lines.append("  (no oppoint counters)")
+    for name, weights in res.items():
+        total = sum(w for _, w in weights) or 1.0
+        lines.append("  %s:" % name)
+        for value, weight in weights:
+            lines.append("    %-12s %6.2f%%  (%s)"
+                         % (format_value(value),
+                            100.0 * weight / total,
+                            format_us(weight)))
+
+    lines.append("transition phases:")
+    totals = phase_totals(events)
+    if not totals:
+        lines.append("  (no transitions)")
+    for name in sorted(totals):
+        count, dur = totals[name]
+        lines.append("  %-14s %4dx  %s total"
+                     % (name, count, format_us(dur)))
+    return "\n".join(lines) + "\n"
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0])
+    parser.add_argument("trace", help="a <cell>.trace.json file")
+    parser.add_argument(
+        "--check", metavar="GOLDEN",
+        help="diff the summary against this golden file and exit "
+             "non-zero on drift instead of printing it")
+    args = parser.parse_args(argv)
+
+    summary = summarize(args.trace)
+    if args.check is None:
+        sys.stdout.write(summary)
+        return 0
+
+    with open(args.check, "r", encoding="utf-8") as fh:
+        golden = fh.read()
+    if summary == golden:
+        print("trace_summary: %s matches %s"
+              % (args.trace, args.check))
+        return 0
+    sys.stdout.writelines(difflib.unified_diff(
+        golden.splitlines(keepends=True),
+        summary.splitlines(keepends=True),
+        fromfile=args.check, tofile=args.trace))
+    print("trace_summary: summary drifted from %s" % args.check)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
