@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "sim/logging.hh"
+#include "sim/snapshot.hh"
 
 namespace sysscale {
 namespace compute {
@@ -120,6 +121,22 @@ CpuCluster::leakage() const
     return power::leakagePower(pstates_.leakK(), voltage_,
                                pstates_.temperature()) *
            static_cast<double>(cores_);
+}
+
+void
+CpuCluster::saveState(SnapshotWriter &w) const
+{
+    w.putDouble("freq", freq_);
+    w.putDouble("voltage", voltage_);
+}
+
+void
+CpuCluster::loadState(SnapshotReader &r)
+{
+    // Direct restore, not setPState(): a restore must not count a
+    // P-state transition that never happened.
+    freq_ = r.getDouble("freq");
+    voltage_ = r.getDouble("voltage");
 }
 
 } // namespace compute

@@ -141,6 +141,11 @@ class CpuCluster : public SimObject
     /** SMT throughput factor: 2 threads on a core yield this much. */
     static constexpr double kSmtYield = 1.45;
 
+    /** @name Snapshot support: the applied P-state. @{ */
+    void saveState(SnapshotWriter &w) const override;
+    void loadState(SnapshotReader &r) override;
+    /** @} */
+
   private:
     std::size_t cores_;
     std::size_t threadsPerCore_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/logging.hh"
+#include "sim/snapshot.hh"
 
 namespace sysscale {
 namespace compute {
@@ -82,6 +83,20 @@ GfxEngine::power(const GfxWork &work) const
     return power::dynamicPower(pstates_.cdyn(), voltage_, freq_,
                                work.activity) +
            leak;
+}
+
+void
+GfxEngine::saveState(SnapshotWriter &w) const
+{
+    w.putDouble("freq", freq_);
+    w.putDouble("voltage", voltage_);
+}
+
+void
+GfxEngine::loadState(SnapshotReader &r)
+{
+    freq_ = r.getDouble("freq");
+    voltage_ = r.getDouble("voltage");
 }
 
 } // namespace compute

@@ -95,6 +95,11 @@ class GfxEngine : public SimObject
     /** Frames rendered since construction. */
     double totalFrames() const { return frames_.value(); }
 
+    /** @name Snapshot support: the applied P-state. @{ */
+    void saveState(SnapshotWriter &w) const override;
+    void loadState(SnapshotReader &r) override;
+    /** @} */
+
   private:
     power::PStateTable pstates_;
     Hertz freq_;

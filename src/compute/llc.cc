@@ -4,6 +4,7 @@
 
 #include "power/power_model.hh"
 #include "sim/logging.hh"
+#include "sim/snapshot.hh"
 
 namespace sysscale {
 namespace compute {
@@ -49,6 +50,22 @@ Llc::power(Volt voltage, double utilization) const
         kCdynFarad, voltage, kAccessClock, 0.1 + 0.9 * utilization);
     const Watt leak = power::leakagePower(kLeakK, voltage, 50.0);
     return dynamic + leak;
+}
+
+void
+Llc::saveState(SnapshotWriter &w) const
+{
+    w.putDouble("last_gfx_misses", lastGfxMisses_);
+    w.putDouble("last_stall_cycles", lastStallCycles_);
+    w.putDouble("last_occupancy", lastOccupancy_);
+}
+
+void
+Llc::loadState(SnapshotReader &r)
+{
+    lastGfxMisses_ = r.getDouble("last_gfx_misses");
+    lastStallCycles_ = r.getDouble("last_stall_cycles");
+    lastOccupancy_ = r.getDouble("last_occupancy");
 }
 
 } // namespace compute

@@ -71,6 +71,11 @@ class Llc : public SimObject
     /** Access clock assumed for the dynamic component. */
     static constexpr Hertz kAccessClock = 1.0 * kGHz;
 
+    /** @name Snapshot support: last-interval observables. @{ */
+    void saveState(SnapshotWriter &w) const override;
+    void loadState(SnapshotReader &r) override;
+    /** @} */
+
   private:
     std::size_t capacityBytes_;
     double lastGfxMisses_ = 0.0;

@@ -2,6 +2,7 @@
 
 #include "core/governor_driver.hh"
 #include "sim/logging.hh"
+#include "sim/snapshot.hh"
 
 namespace sysscale {
 namespace core {
@@ -76,6 +77,40 @@ GovernorHost::evaluate(soc::Soc &soc, const soc::CounterSnapshot &avg)
                     "governor '%s' evaluated before reset",
                     gov_->name());
     gov_->decide(*driver_, soc, avg);
+}
+
+void
+GovernorHost::saveState(SnapshotWriter &w) const
+{
+    w.putU64("requested", stats_.requested);
+    w.putU64("executed", stats_.executed);
+    w.putU64("increases", stats_.increases);
+    w.putU64("decreases", stats_.decreases);
+    w.putU64("total_latency", stats_.totalLatency);
+    w.putU64("max_latency", stats_.maxLatency);
+    w.push("driver");
+    driver().saveState(w);
+    w.pop();
+    w.push("gov");
+    gov_->saveState(w);
+    w.pop();
+}
+
+void
+GovernorHost::loadState(SnapshotReader &r)
+{
+    stats_.requested = r.getU64("requested");
+    stats_.executed = r.getU64("executed");
+    stats_.increases = r.getU64("increases");
+    stats_.decreases = r.getU64("decreases");
+    stats_.totalLatency = r.getU64("total_latency");
+    stats_.maxLatency = r.getU64("max_latency");
+    r.push("driver");
+    driver().loadState(r);
+    r.pop();
+    r.push("gov");
+    gov_->loadState(r);
+    r.pop();
 }
 
 GovernorDriver &

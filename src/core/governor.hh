@@ -106,6 +106,11 @@ class Governor
     /** Post-transition notification (after the flow applied). */
     virtual void notify(const TransitionRecord &rec) { (void)rec; }
 
+    /** @name Snapshot support: stateless policies need nothing. @{ */
+    virtual void saveState(SnapshotWriter &w) const { (void)w; }
+    virtual void loadState(SnapshotReader &r) { (void)r; }
+    /** @} */
+
     /** Called when the policy is uninstalled or the host dies. */
     virtual void teardown() {}
 };
@@ -154,6 +159,12 @@ class GovernorHost : public soc::PmuPolicy
 
     /** Per-governor transition accounting (notifier-fed). */
     const TransitionStats &transitionStats() const { return stats_; }
+
+    /** @name Snapshot support: host accounting + driver mechanics +
+     *  the policy's own state (delegated). @{ */
+    void saveState(SnapshotWriter &w) const override;
+    void loadState(SnapshotReader &r) override;
+    /** @} */
 
   private:
     std::unique_ptr<Governor> owned_;

@@ -2,6 +2,7 @@
 
 #include "obs/trace.hh"
 #include "sim/logging.hh"
+#include "sim/snapshot.hh"
 
 namespace sysscale {
 namespace core {
@@ -118,6 +119,26 @@ void
 GovernorDriver::setCoreFreqCap(Hertz cap)
 {
     soc_.setCoreFreqCap(cap);
+}
+
+void
+GovernorDriver::saveState(SnapshotWriter &w) const
+{
+    w.putU64("latency_limit", latencyLimit_);
+    w.putU64("flow_runs", flowRuns_);
+    w.putU64("last_flow_latency", lastFlowLatency_);
+    w.putU64("total_flow_latency", totalFlowLatency_);
+    w.putU64("denied", denied_);
+}
+
+void
+GovernorDriver::loadState(SnapshotReader &r)
+{
+    latencyLimit_ = r.getU64("latency_limit");
+    flowRuns_ = r.getU64("flow_runs");
+    lastFlowLatency_ = r.getU64("last_flow_latency");
+    totalFlowLatency_ = r.getU64("total_flow_latency");
+    denied_ = r.getU64("denied");
 }
 
 } // namespace core

@@ -92,6 +92,13 @@ class GovernorDriver
     std::uint64_t deniedRequests() const { return denied_; }
     /** @} */
 
+    /** @name Snapshot support: the latency constraint + accounting
+     *  (the flow itself is synchronous and holds no cross-eval
+     *  state). @{ */
+    void saveState(SnapshotWriter &w) const;
+    void loadState(SnapshotReader &r);
+    /** @} */
+
   private:
     soc::Soc &soc_;
     FlowOptions opts_;

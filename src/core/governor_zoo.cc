@@ -7,6 +7,7 @@
 #include <string>
 
 #include "core/governor_driver.hh"
+#include "sim/snapshot.hh"
 
 namespace sysscale {
 namespace core {
@@ -422,6 +423,70 @@ OnlineAdaptiveGovernor::decide(GovernorDriver &drv, soc::Soc &soc,
         pred.conditions(avg, static_demand);
     drv.requestOpPoint(cond.any() ? soc.opPoints().high()
                                   : soc.opPoints().low());
+}
+
+void
+ConservativeGovernor::saveState(SnapshotWriter &w) const
+{
+    w.putU64("idx", idx_);
+}
+
+void
+ConservativeGovernor::loadState(SnapshotReader &r)
+{
+    idx_ = r.getU64("idx");
+}
+
+void
+UserspaceTableGovernor::saveState(SnapshotWriter &w) const
+{
+    w.putU64("evals", evals_);
+}
+
+void
+UserspaceTableGovernor::loadState(SnapshotReader &r)
+{
+    evals_ = r.getU64("evals");
+}
+
+void
+LatencyBudgetGovernor::saveState(SnapshotWriter &w) const
+{
+    w.putU64("accrued", accrued_);
+}
+
+void
+LatencyBudgetGovernor::loadState(SnapshotReader &r)
+{
+    accrued_ = r.getU64("accrued");
+}
+
+void
+OnlineAdaptiveGovernor::saveState(SnapshotWriter &w) const
+{
+    for (std::size_t i = 0; i < soc::kNumCounters; ++i) {
+        const std::string n = std::to_string(i);
+        w.putDouble("thr_counter" + n, thresholds_.counter[i]);
+        w.putDouble("sum" + n, sum_[i]);
+        w.putDouble("sum_sq" + n, sumSq_[i]);
+    }
+    w.putDouble("thr_static_bw", thresholds_.staticBw);
+    w.putU64("safe_samples", safeSamples_);
+    w.putU64("clamps", clamps_);
+}
+
+void
+OnlineAdaptiveGovernor::loadState(SnapshotReader &r)
+{
+    for (std::size_t i = 0; i < soc::kNumCounters; ++i) {
+        const std::string n = std::to_string(i);
+        thresholds_.counter[i] = r.getDouble("thr_counter" + n);
+        sum_[i] = r.getDouble("sum" + n);
+        sumSq_[i] = r.getDouble("sum_sq" + n);
+    }
+    thresholds_.staticBw = r.getDouble("thr_static_bw");
+    safeSamples_ = r.getU64("safe_samples");
+    clamps_ = r.getU64("clamps");
 }
 
 } // namespace core

@@ -85,6 +85,11 @@ class ConservativeGovernor : public PolicyBase
     static constexpr double kDefaultUpThreshold = 0.65;
     static constexpr double kDefaultDownThreshold = 0.30;
 
+    /** @name Snapshot support: the current table index. @{ */
+    void saveState(SnapshotWriter &w) const override;
+    void loadState(SnapshotReader &r) override;
+    /** @} */
+
   private:
     double up_;
     double down_;
@@ -109,6 +114,11 @@ class UserspaceTableGovernor : public PolicyBase
                 const soc::CounterSnapshot &avg) override;
 
     std::size_t firmwareBytes() const override { return 96; }
+
+    /** @name Snapshot support: the evaluation clock. @{ */
+    void saveState(SnapshotWriter &w) const override;
+    void loadState(SnapshotReader &r) override;
+    /** @} */
 
   private:
     std::size_t pointIdx_ = 0;
@@ -141,6 +151,11 @@ class LatencyBudgetGovernor : public PolicyBase
 
     /** Accrued, unspent transition-latency budget (diagnostics). */
     Tick accruedBudget() const { return accrued_; }
+
+    /** @name Snapshot support: the accrued budget. @{ */
+    void saveState(SnapshotWriter &w) const override;
+    void loadState(SnapshotReader &r) override;
+    /** @} */
 
   private:
     double up_;
@@ -194,6 +209,12 @@ class OnlineAdaptiveGovernor : public PolicyBase
      *  hand-tuned defaults (a quiet corpus must not collapse a
      *  counter's threshold to zero and pin the SoC high). */
     static constexpr double kFloorShare = 0.25;
+
+    /** @name Snapshot support: the learning state — thresholds,
+     *  running mu/sigma sums, safe-sample and clamp counts. @{ */
+    void saveState(SnapshotWriter &w) const override;
+    void loadState(SnapshotReader &r) override;
+    /** @} */
 
   private:
     double margin_;

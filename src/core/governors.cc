@@ -4,6 +4,7 @@
 
 #include "core/governor_driver.hh"
 #include "sim/logging.hh"
+#include "sim/snapshot.hh"
 
 namespace sysscale {
 namespace core {
@@ -206,6 +207,24 @@ CoScaleGovernor::decide(GovernorDriver &drv, soc::Soc &soc,
     } else {
         drv.setCoreFreqCap(0.0);
     }
+}
+
+void
+MemScaleGovernor::saveState(SnapshotWriter &w) const
+{
+    w.putU64("eval_count", evalCount_);
+    w.putU64("last_went_low", lastWentLow_);
+    w.putU64("backoff_until", backoffUntil_);
+    w.putU64("backoff_len", backoffLen_);
+}
+
+void
+MemScaleGovernor::loadState(SnapshotReader &r)
+{
+    evalCount_ = r.getU64("eval_count");
+    lastWentLow_ = r.getU64("last_went_low");
+    backoffUntil_ = r.getU64("backoff_until");
+    backoffLen_ = r.getU64("backoff_len");
 }
 
 } // namespace core

@@ -176,6 +176,13 @@ class MemScaleGovernor : public PolicyBase
                        double stall_thr, double occ_thr,
                        double max_low_rho);
 
+  public:
+    /** @name Snapshot support: the epoch/backoff machine (CoScale
+     *  inherits it unchanged). @{ */
+    void saveState(SnapshotWriter &w) const override;
+    void loadState(SnapshotReader &r) override;
+    /** @} */
+
   private:
     std::uint64_t evalCount_ = 0;
     std::uint64_t lastWentLow_ = 0;

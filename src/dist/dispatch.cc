@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <filesystem>
 #include <map>
 #include <set>
 #include <thread>
@@ -59,6 +60,50 @@ runDistributed(const std::vector<exp::ExperimentSpec> &specs,
     // cleared first — like the single-process runner, every dispatch
     // retries previously failed cells. The counters delta separates
     // real writes from cells another campaign already queued.
+    // A cell rides the queue sliced when slicing is on and the cell
+    // is longer than one slice (a one-slice chain would only add
+    // snapshot overhead for nothing).
+    auto sliced = [&](const exp::ExperimentSpec &spec) {
+        return opts.sliceTicks > 0 &&
+               WorkQueue::sliceCount(spec, opts.sliceTicks) > 1;
+    };
+
+    // First queue entry of a lost sliced cell: resume right after
+    // the last published chain snapshot rather than from slice 0 —
+    // a crashed chain re-pays at most one slice, never the prefix.
+    auto enqueueChain = [&](const exp::ExperimentSpec &spec) {
+        const std::uint64_t n =
+            WorkQueue::sliceCount(spec, opts.sliceTicks);
+        const std::string base = exp::specKey(spec);
+        std::uint64_t resume = 0;
+        for (std::uint64_t i = n - 1; i > 0; --i) {
+            std::error_code ec;
+            if (std::filesystem::exists(
+                    queue.snapshotPath(base,
+                                       i * opts.sliceTicks),
+                    ec)) {
+                resume = i;
+                break;
+            }
+        }
+        queue.enqueueSlice(spec, opts.sliceTicks, resume);
+    };
+
+    // Sweep a resolved cell's queue leftovers — including, for a
+    // sliced cell, any entry of its chain.
+    auto discardCell = [&](const std::string &key,
+                           const exp::ExperimentSpec &spec) {
+        queue.discardResolved(key);
+        if (sliced(spec)) {
+            const std::uint64_t n =
+                WorkQueue::sliceCount(spec, opts.sliceTicks);
+            for (std::uint64_t i = 0; i < n; ++i) {
+                queue.discardResolved(WorkQueue::sliceKeyFor(
+                    key, opts.sliceTicks, i));
+            }
+        }
+    };
+
     std::vector<std::string> unresolved;
     for (auto &kv : byKey) {
         const std::size_t first = kv.second.front();
@@ -73,12 +118,15 @@ runDistributed(const std::vector<exp::ExperimentSpec> &specs,
             // A worker that died between publishing and releasing
             // (this campaign or a previous one) leaves its claim
             // behind; sweep it so the queue cannot accrete garbage.
-            queue.discardResolved(kv.first);
+            discardCell(kv.first, specs[first]);
             continue;
         }
         queue.clearFailed(kv.first);
         const std::size_t before = queue.counters().enqueued;
-        queue.enqueue(specs[first]);
+        if (sliced(specs[first]))
+            enqueueChain(specs[first]);
+        else
+            queue.enqueue(specs[first]);
         out.enqueued += queue.counters().enqueued - before;
         unresolved.push_back(kv.first);
     }
@@ -162,7 +210,7 @@ runDistributed(const std::vector<exp::ExperimentSpec> &specs,
                     // the claim of a worker that died between
                     // publishing and releasing — so a finished
                     // sweep leaves an empty queue.
-                    queue.discardResolved(key);
+                    discardCell(key, specs[first]);
                     unresolved[u] = unresolved.back();
                     unresolved.pop_back();
                     progressed = true;
@@ -196,11 +244,28 @@ runDistributed(const std::vector<exp::ExperimentSpec> &specs,
                 // from the spec we hold. enqueue() itself re-checks
                 // pending/claimed/failed, so a cell that moved
                 // between the listing and here is skipped, not
-                // duplicated.
-                if (!onQueue.count(key)) {
+                // duplicated. A sliced cell is in flight if *any*
+                // entry of its chain is; losing the chain costs at
+                // most one slice — the resume scan picks up right
+                // after the last published snapshot.
+                bool inFlight = onQueue.count(key) > 0;
+                if (!inFlight && sliced(specs[first])) {
+                    const std::uint64_t n = WorkQueue::sliceCount(
+                        specs[first], opts.sliceTicks);
+                    for (std::uint64_t i = 0; i < n && !inFlight;
+                         ++i) {
+                        inFlight =
+                            onQueue.count(WorkQueue::sliceKeyFor(
+                                key, opts.sliceTicks, i)) > 0;
+                    }
+                }
+                if (!inFlight) {
                     const std::size_t before =
                         queue.counters().enqueued;
-                    queue.enqueue(specs[first]);
+                    if (sliced(specs[first]))
+                        enqueueChain(specs[first]);
+                    else
+                        queue.enqueue(specs[first]);
                     if (queue.counters().enqueued != before) {
                         ++out.reenqueued;
                         log("re-enqueued " + key +

@@ -70,6 +70,21 @@ struct DispatchOptions
      */
     std::chrono::seconds stallTimeout{0};
 
+    /**
+     * Checkpoint-chain slicing period in simulated ticks (0 = off,
+     * the sweep_grid --slice-s flag). Cells longer than this are
+     * dispatched as a chain of WorkQueue::enqueueSlice entries —
+     * each slice a separate claim, leased and crash-recovered on its
+     * own, handing its state to the next through a snapshot under
+     * the queue's snaps/ directory — so one enormous cell spreads
+     * its latency across the fleet's failure domain instead of
+     * pinning one worker for hours. Assembly is unchanged and
+     * byte-identical to unsliced dispatch: the final slice publishes
+     * the cell's RunResult through the shared cache like any other
+     * cell.
+     */
+    Tick sliceTicks = 0;
+
     /** Progress/event log lines. May be null. */
     std::function<void(const std::string &)> onEvent;
 

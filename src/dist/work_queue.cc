@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -13,6 +14,7 @@
 
 #include "exp/report.hh"
 #include "exp/spec_codec.hh"
+#include "sim/snapshot.hh"
 
 namespace fs = std::filesystem;
 
@@ -23,6 +25,14 @@ namespace {
 
 constexpr std::size_t kKeyLen = 16; //!< specKey() hex digits.
 constexpr const char *kFailureHeader = "sysscale-dist-failure v1";
+
+/**
+ * Header of a pending slice entry. The framing (base key, slicing
+ * period, slice index) precedes the cell's own serialized spec; the
+ * spec codec's version guard covers the payload, this header the
+ * frame — bump it if the frame's shape changes.
+ */
+constexpr const char *kSliceHeader = "sysscale-slice v1";
 
 bool
 isHexKey(const std::string &s)
@@ -46,6 +56,70 @@ splitClaimName(const std::string &name, std::string &key,
     key = name.substr(0, kKeyLen);
     worker = name.substr(kKeyLen + 1);
     return isHexKey(key) && !worker.empty();
+}
+
+/** Decoded frame of a pending slice entry (see enqueueSlice). */
+struct SliceFrame
+{
+    std::string baseKey;
+    Tick step = 0;
+    std::uint64_t index = 0;
+    std::string specText;
+};
+
+/** Build the pending-file document of one slice entry. */
+std::string
+formatSliceFrame(const std::string &baseKey, Tick step,
+                 std::uint64_t index, const std::string &specText)
+{
+    std::string doc = std::string(kSliceHeader) + "\n";
+    doc += "base = " + baseKey + "\n";
+    doc += "step = " + std::to_string(step) + "\n";
+    doc += "index = " + std::to_string(index) + "\n";
+    doc += "---\n";
+    doc += specText;
+    return doc;
+}
+
+/** Inverse of formatSliceFrame; false (with reason) on garbage. */
+bool
+parseSliceFrame(const std::string &text, SliceFrame &out,
+                std::string &reason)
+{
+    std::istringstream is(text);
+    std::string line;
+    if (!std::getline(is, line) || line != kSliceHeader) {
+        reason = "bad slice header";
+        return false;
+    }
+    if (!std::getline(is, line) || line.rfind("base = ", 0) != 0 ||
+        !isHexKey(line.substr(7))) {
+        reason = "bad slice base key";
+        return false;
+    }
+    out.baseKey = line.substr(7);
+    if (!std::getline(is, line) || line.rfind("step = ", 0) != 0) {
+        reason = "bad slice step";
+        return false;
+    }
+    out.step = std::strtoull(line.c_str() + 7, nullptr, 10);
+    if (!std::getline(is, line) || line.rfind("index = ", 0) != 0) {
+        reason = "bad slice index";
+        return false;
+    }
+    out.index = std::strtoull(line.c_str() + 8, nullptr, 10);
+    if (!std::getline(is, line) || line != "---") {
+        reason = "bad slice separator";
+        return false;
+    }
+    std::ostringstream rest;
+    rest << is.rdbuf();
+    out.specText = rest.str();
+    if (out.step == 0) {
+        reason = "zero slice step";
+        return false;
+    }
+    return true;
 }
 
 /** Whole-file read; false when the file cannot be opened. */
@@ -78,8 +152,8 @@ WorkQueue::WorkQueue(std::string dir) : dir_(std::move(dir))
 {
     std::error_code ec;
     for (const char *sub :
-         {"pending", "claimed", "leases", "failed", "corrupt",
-          "tmp", "metrics"}) {
+         {"pending", "claimed", "leases", "failed", "snaps",
+          "corrupt", "tmp", "metrics"}) {
         const fs::path p = fs::path(dir_) / sub;
         fs::create_directories(p, ec);
         if (ec || !fs::is_directory(p)) {
@@ -211,6 +285,110 @@ WorkQueue::enqueue(const exp::ExperimentSpec &spec)
     return key;
 }
 
+std::string
+WorkQueue::sliceKeyFor(const std::string &baseKey, Tick step,
+                       std::uint64_t index)
+{
+    // Deterministic across processes: every worker and dispatcher
+    // derives the same chain keys from the same (cell, period).
+    const std::string salt = "slice:" + baseKey + ":" +
+                             std::to_string(step) + ":" +
+                             std::to_string(index);
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(
+                      snapshotFnv1a64(salt)));
+    return buf;
+}
+
+std::uint64_t
+WorkQueue::sliceCount(const exp::ExperimentSpec &spec, Tick step)
+{
+    if (step == 0)
+        return 1;
+    const Tick total = spec.warmup + spec.window;
+    return (total + step - 1) / step;
+}
+
+std::string
+WorkQueue::snapshotPath(const std::string &baseKey, Tick t) const
+{
+    return dir_ + "/snaps/" + baseKey + ".t" + std::to_string(t) +
+           ".snap";
+}
+
+std::string
+WorkQueue::enqueueSlice(const exp::ExperimentSpec &spec, Tick step,
+                        std::uint64_t index)
+{
+    if (!queueable(spec)) {
+        throw std::invalid_argument(
+            "WorkQueue: cell \"" + spec.id +
+            "\" carries runtime hooks and cannot be serialized");
+    }
+    if (step == 0) {
+        throw std::invalid_argument(
+            "WorkQueue: slice step must be nonzero");
+    }
+    if (index >= sliceCount(spec, step)) {
+        throw std::invalid_argument(
+            "WorkQueue: slice index " + std::to_string(index) +
+            " past the end of the chain");
+    }
+    const std::string baseKey = exp::specKey(spec);
+    const std::string key = sliceKeyFor(baseKey, step, index);
+
+    // Same idempotence as enqueue(): the slice already pending or
+    // claimed — or the whole cell already failed — is a skip, which
+    // is what makes the crash-recovery "enqueue successor, then
+    // release" order safe to replay.
+    std::error_code ec;
+    bool present = fs::exists(pendingPath(key), ec) ||
+                   fs::exists(failedPath(baseKey), ec);
+    if (!present) {
+        for (const auto &entry : fs::directory_iterator(
+                 fs::path(dir_) / "claimed", ec)) {
+            if (entry.path().filename().string().rfind(key + ".",
+                                                       0) == 0) {
+                present = true;
+                break;
+            }
+        }
+    }
+    if (present) {
+        ++counters_.skipped;
+        return key;
+    }
+
+    const std::string doc = formatSliceFrame(
+        baseKey, step, index, exp::serializeSpec(spec));
+    const std::string tmp = dir_ + "/tmp/" + key + "." +
+                            std::to_string(::getpid()) + "." +
+                            std::to_string(tmpSerial_++);
+    {
+        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+        if (!os) {
+            throw std::runtime_error("WorkQueue: cannot write \"" +
+                                     tmp + "\"");
+        }
+        os << doc;
+        if (!os.flush()) {
+            os.close();
+            fs::remove(tmp, ec);
+            throw std::runtime_error("WorkQueue: cannot write \"" +
+                                     tmp + "\"");
+        }
+    }
+    fs::rename(tmp, pendingPath(key), ec);
+    if (ec) {
+        fs::remove(tmp, ec);
+        throw std::runtime_error("WorkQueue: cannot enqueue \"" +
+                                 key + "\"");
+    }
+    ++counters_.enqueued;
+    return key;
+}
+
 bool
 WorkQueue::tryClaim(const std::string &workerId, Claim &out)
 {
@@ -240,14 +418,39 @@ WorkQueue::tryClaim(const std::string &workerId, Claim &out)
         }
 
         // The rename is ours. A file that does not parse back into
-        // the spec it is named for must never be simulated — move it
+        // the entry it is named for must never be simulated — move it
         // aside loudly and keep scanning; the dispatcher re-enqueues
         // the cell from its own copy of the spec.
         std::string text;
         bool ok = readFile(claimed, text);
         exp::ExperimentSpec spec;
+        SliceFrame frame;
+        const bool isSlice =
+            ok && text.rfind(kSliceHeader, 0) == 0;
         std::string reason = "unreadable";
-        if (ok) {
+        if (ok && isSlice) {
+            ok = parseSliceFrame(text, frame, reason);
+            if (ok) {
+                try {
+                    spec = exp::parseSpec(frame.specText);
+                    if (exp::specKey(spec) != frame.baseKey) {
+                        ok = false;
+                        reason = "slice base key mismatch";
+                    } else if (sliceKeyFor(frame.baseKey, frame.step,
+                                           frame.index) != key) {
+                        ok = false;
+                        reason = "slice key mismatch";
+                    } else if (frame.index >=
+                               sliceCount(spec, frame.step)) {
+                        ok = false;
+                        reason = "slice index past the chain";
+                    }
+                } catch (const std::exception &e) {
+                    ok = false;
+                    reason = e.what();
+                }
+            }
+        } else if (ok) {
             try {
                 spec = exp::parseSpec(text);
                 if (exp::specKey(spec) != key) {
@@ -265,9 +468,19 @@ WorkQueue::tryClaim(const std::string &workerId, Claim &out)
             continue;
         }
 
+        out = Claim{};
         out.key = key;
         out.workerId = workerId;
         out.spec = std::move(spec);
+        if (isSlice) {
+            out.isSlice = true;
+            out.baseKey = frame.baseKey;
+            out.step = frame.step;
+            out.index = frame.index;
+            out.total = out.spec.warmup + out.spec.window;
+            out.t0 = frame.index * frame.step;
+            out.t1 = std::min(out.t0 + frame.step, out.total);
+        }
         ++counters_.claims;
         return true;
     }
@@ -318,6 +531,12 @@ WorkQueue::fail(const Claim &claim, const exp::RunResult &res)
            "\n";
     doc += "error = " + error + "\n";
 
+    // A failed slice fails its *cell*: the marker carries the base
+    // key the dispatcher is watching, and the rest of the chain is
+    // simply never enqueued.
+    const std::string cellKey =
+        claim.isSlice ? claim.baseKey : claim.key;
+
     const std::string tmp = dir_ + "/tmp/" + claim.key + ".fail." +
                             std::to_string(::getpid()) + "." +
                             std::to_string(tmpSerial_++);
@@ -326,18 +545,37 @@ WorkQueue::fail(const Claim &claim, const exp::RunResult &res)
         if (os)
             os << doc;
     }
-    fs::rename(tmp, failedPath(claim.key), ec);
+    fs::rename(tmp, failedPath(cellKey), ec);
     if (ec)
         fs::remove(tmp, ec);
     else
         ++counters_.failures;
     // Keep the serialized spec next to the marker: retryFailed()
     // can then put the cell back on the queue without needing a
-    // dispatcher's copy of the grid.
-    fs::rename(claimedPath(claim.key, claim.workerId),
-               failedPath(claim.key) + ".spec", ec);
-    if (ec)
+    // dispatcher's copy of the grid. A slice's claimed file is the
+    // framed chain entry, not a plain spec — rewrite the spec from
+    // the decoded claim instead so a retry re-runs the whole cell.
+    if (claim.isSlice) {
+        const std::string spec_tmp =
+            dir_ + "/tmp/" + claim.key + ".spec." +
+            std::to_string(::getpid()) + "." +
+            std::to_string(tmpSerial_++);
+        {
+            std::ofstream os(spec_tmp,
+                             std::ios::binary | std::ios::trunc);
+            if (os)
+                os << exp::serializeSpec(claim.spec);
+        }
+        fs::rename(spec_tmp, failedPath(cellKey) + ".spec", ec);
+        if (ec)
+            fs::remove(spec_tmp, ec);
         fs::remove(claimedPath(claim.key, claim.workerId), ec);
+    } else {
+        fs::rename(claimedPath(claim.key, claim.workerId),
+                   failedPath(cellKey) + ".spec", ec);
+        if (ec)
+            fs::remove(claimedPath(claim.key, claim.workerId), ec);
+    }
     fs::remove(leasePath(claim.key, claim.workerId), ec);
 }
 
@@ -590,6 +828,15 @@ WorkQueue::listCells() const
         if (!readFile(path, text))
             return std::string(); // Vanished mid-scan: skip signal.
         try {
+            if (text.rfind(kSliceHeader, 0) == 0) {
+                SliceFrame frame;
+                std::string reason;
+                if (!parseSliceFrame(text, frame, reason))
+                    return "(unparsable)";
+                return exp::parseSpec(frame.specText).id +
+                       " [slice " + std::to_string(frame.index) +
+                       "]";
+            }
             return exp::parseSpec(text).id;
         } catch (const std::exception &) {
             return "(unparsable)";
@@ -817,8 +1064,8 @@ WorkQueue::purge()
     std::error_code ec;
     std::size_t removed = 0;
     for (const char *sub :
-         {"pending", "claimed", "leases", "failed", "corrupt",
-          "tmp", "metrics"}) {
+         {"pending", "claimed", "leases", "failed", "snaps",
+          "corrupt", "tmp", "metrics"}) {
         for (const auto &entry :
              fs::directory_iterator(fs::path(dir_) / sub, ec)) {
             if (fs::remove(entry.path(), ec) && !ec)

@@ -10,6 +10,7 @@
  *     <queue>/leases/<key>.<worker>     heartbeat files (mtime = alive)
  *     <queue>/failed/<key>              published error rows
  *     <queue>/failed/<key>.spec         retained specs (retry-failed)
+ *     <queue>/snaps/<key>.t<tick>.snap  checkpoint-chain snapshots
  *     <queue>/corrupt/                  quarantined unreadable files
  *     <queue>/tmp/                      staging for atomic writes
  *                                       + the lease-staleness probe
@@ -50,12 +51,29 @@
 namespace sysscale {
 namespace dist {
 
-/** One claimed cell, owned by a worker until release/fail/requeue. */
+/**
+ * One claimed queue entry, owned by a worker until release/fail/
+ * requeue: either a whole cell or one time-slice of a cell's
+ * checkpoint chain (see @ref WorkQueue::enqueueSlice).
+ */
 struct Claim
 {
-    std::string key;      //!< exp::specKey of the cell.
+    std::string key;      //!< File key: specKey, or sliceKeyFor().
     std::string workerId; //!< Worker holding the claim.
     exp::ExperimentSpec spec;
+
+    /** @name Slice claims only. @{ */
+
+    /** Entry is one slice of a checkpoint chain, not a whole cell. */
+    bool isSlice = false;
+
+    std::string baseKey;   //!< exp::specKey of the sliced cell.
+    Tick step = 0;         //!< Chain slicing period (ticks).
+    std::uint64_t index = 0; //!< Slice number, 0-based.
+    Tick t0 = 0;           //!< Slice start = index * step.
+    Tick t1 = 0;           //!< Slice end = min(t0 + step, total).
+    Tick total = 0;        //!< Cell length (warmup + window).
+    /** @} */
 };
 
 /** Directory occupancy from one scan (point-in-time, racy by design). */
@@ -184,6 +202,61 @@ class WorkQueue
      * cannot be serialized.
      */
     std::string enqueue(const exp::ExperimentSpec &spec);
+
+    /**
+     * @name Checkpoint-chained slices.
+     *
+     * A cell longer than a dispatcher's --slice-s rides the queue as
+     * a *chain* of slice entries instead of one monolithic cell:
+     * slice i simulates [i*step, min((i+1)*step, total)] of the
+     * cell's warmup+window timeline via exp::runCellSlice, restoring
+     * the chain's snapshot at t0 and publishing one at t1 under
+     * snaps/ (tmp+rename, so observers never read a torn snapshot).
+     * Only slice i is on the queue at a time; the worker that
+     * completes it enqueues slice i+1 before releasing, and the
+     * published snapshot doubles as the slice's completion marker —
+     * a reclaimed slice whose snapshot already exists is never
+     * simulated twice. A missing or corrupt chain snapshot degrades
+     * to a cache miss inside runCellSlice (re-simulate from tick 0),
+     * so a damaged chain heals itself instead of wedging; the final
+     * slice publishes the cell's RunResult through the shared cache
+     * exactly like an unsliced cell, byte-identical to the unsliced
+     * run (tests/test_snapshot.cc pins the equivalence, test_dist.cc
+     * the queue protocol).
+     * @{
+     */
+
+    /**
+     * File key of slice @p index of the cell with content key
+     * @p baseKey under slicing period @p step: 16 hex digits,
+     * deterministic across processes (the whole fleet derives the
+     * same chain from the same spec).
+     */
+    static std::string sliceKeyFor(const std::string &baseKey,
+                                   Tick step, std::uint64_t index);
+
+    /** Slices in @p spec's chain under period @p step (>= 1). */
+    static std::uint64_t sliceCount(const exp::ExperimentSpec &spec,
+                                    Tick step);
+
+    /**
+     * Put slice @p index of @p spec's chain into pending/ and return
+     * its slice key. Idempotent like enqueue(): an entry already
+     * pending or claimed — or a cell already failed — is skipped.
+     * Throws std::invalid_argument for unserializable specs, a zero
+     * @p step, or an index at or past the end of the chain.
+     */
+    std::string enqueueSlice(const exp::ExperimentSpec &spec,
+                             Tick step, std::uint64_t index);
+
+    /**
+     * Path of the chain snapshot published at tick @p t of cell
+     * @p baseKey (snaps/<baseKey>.t<t>.snap). Existence = the slice
+     * ending at @p t completed; validity is re-checked on read.
+     */
+    std::string snapshotPath(const std::string &baseKey,
+                             Tick t) const;
+    /** @} */
 
     /**
      * Claim any pending cell for @p workerId: the lease file is

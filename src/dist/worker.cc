@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "exp/report.hh"
+#include "sim/snapshot.hh"
 
 namespace sysscale {
 namespace dist {
@@ -87,6 +88,25 @@ class CellBudget
     std::atomic<std::size_t> taken_{0};
 };
 
+/**
+ * Whether @p claim's output snapshot is already published and valid
+ * (right cell, right tick). A readable-but-wrong file — torn write
+ * survivor, stale format, different spec — counts as absent: the
+ * slice re-simulates rather than trusting it.
+ */
+bool
+sliceAlreadyDone(const WorkQueue &queue, const Claim &claim)
+{
+    try {
+        SnapshotReader r(readSnapshotFile(
+            queue.snapshotPath(claim.baseKey, claim.t1)));
+        return r.specKey() == exp::snapshotSpecKey(claim.spec) &&
+               r.tick() == claim.t1;
+    } catch (const SnapshotError &) {
+        return false;
+    }
+}
+
 /** One claim → cache-check → simulate → publish loop. */
 WorkerStats
 runWorkerLoop(const std::string &queueDir, exp::ResultCache &cache,
@@ -152,16 +172,65 @@ runWorkerLoop(const std::string &queueDir, exp::ResultCache &cache,
             continue;
         }
 
+        // Checkpoint-chain slices have a second completion marker:
+        // the chain snapshot this slice would publish. A reclaimed
+        // slice whose worker died *after* publishing it (but before
+        // enqueueing the successor or releasing) is not re-simulated
+        // — only its bookkeeping is replayed, so a crash never costs
+        // duplicate simulation. Validity is checked, not assumed: a
+        // torn or stale file re-simulates instead.
+        const bool finalSlice =
+            claim.isSlice && claim.t1 >= claim.total;
+        if (claim.isSlice && !finalSlice &&
+            sliceAlreadyDone(queue, claim)) {
+            ++stats.cacheHits;
+            queue.enqueueSlice(claim.spec, claim.step,
+                               claim.index + 1);
+            queue.release(claim);
+            publish();
+            log(claim.key + " slice " +
+                std::to_string(claim.index) +
+                " already published (snapshot hit)");
+            continue;
+        }
+
         exp::RunResult res;
         {
             const LeaseKeeper keeper(queue, claim, opts.heartbeat);
-            res = exp::runCell(claim.spec);
+            if (claim.isSlice) {
+                exp::SliceOptions so;
+                so.t0 = claim.t0;
+                so.t1 = claim.t1;
+                if (claim.t0 > 0) {
+                    so.inSnap = queue.snapshotPath(claim.baseKey,
+                                                   claim.t0);
+                }
+                if (!finalSlice) {
+                    so.outSnap = queue.snapshotPath(claim.baseKey,
+                                                    claim.t1);
+                }
+                res = exp::runCellSlice(claim.spec, so);
+            } else {
+                res = exp::runCell(claim.spec);
+            }
         }
         ++stats.simulated;
         sim_seconds += res.metrics.seconds;
         wall_seconds += res.hostSeconds;
 
-        if (res.ok) {
+        if (res.ok && claim.isSlice && !finalSlice) {
+            // Publish order matters for crash recovery: the snapshot
+            // is already on disk (runCellSlice renames it in before
+            // returning), so enqueue the successor *before* releasing
+            // — a death in between is healed by the snapshot-hit path
+            // above, never by re-simulation.
+            queue.enqueueSlice(claim.spec, claim.step,
+                               claim.index + 1);
+            queue.release(claim);
+            log(claim.key + " slice " + std::to_string(claim.index) +
+                " ok (" + claim.spec.id + ", " +
+                exp::formatDouble(res.hostSeconds) + "s)");
+        } else if (res.ok) {
             cache.store(claim.spec, res);
             queue.release(claim);
             log(claim.key + " ok (" + claim.spec.id + ", " +

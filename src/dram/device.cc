@@ -1,6 +1,7 @@
 #include "dram/device.hh"
 
 #include "sim/logging.hh"
+#include "sim/snapshot.hh"
 
 namespace sysscale {
 namespace dram {
@@ -72,6 +73,26 @@ DramDevice::accountTraffic(double read_bytes, double write_bytes,
         secondsFromTicks(interval), termination_factor);
     energyJ_ += bd.total() * secondsFromTicks(interval);
     return bd;
+}
+
+void
+DramDevice::saveState(SnapshotWriter &w) const
+{
+    w.putU64("bin", binIndex_);
+    w.putBool("self_refresh", mode_ == DramMode::SelfRefresh);
+}
+
+void
+DramDevice::loadState(SnapshotReader &r)
+{
+    // Not setBin(): that asserts SelfRefresh mode and counts a
+    // switch; a restore reproduces state, it is not a transition.
+    binIndex_ = r.getU64("bin");
+    if (binIndex_ >= spec_.numBins())
+        throw SnapshotError("dram: bin index out of range");
+    timings_ = optimizedTimings(spec_, binIndex_);
+    mode_ = r.getBool("self_refresh") ? DramMode::SelfRefresh
+                                      : DramMode::Active;
 }
 
 } // namespace dram

@@ -103,6 +103,11 @@ class DramDevice : public SimObject
         return static_cast<std::uint64_t>(srEntries_.value());
     }
 
+    /** @name Snapshot support: bin + mode (timings re-derived). @{ */
+    void saveState(SnapshotWriter &w) const override;
+    void loadState(SnapshotReader &r) override;
+    /** @} */
+
   private:
     DramSpec spec_;
     DramPowerModel powerModel_;

@@ -241,6 +241,62 @@ RunResult runCell(const ExperimentSpec &spec,
                   const RunCellOptions &opts);
 
 /**
+ * One time-slice of a cell: simulate [t0, t1] of the cell's
+ * warmup+window timeline, optionally restoring the simulator from a
+ * snapshot at t0 and publishing one at t1. runCell() is the
+ * degenerate full slice; a chain of slices over the same spec whose
+ * snapshots hand off at the cut ticks produces final metrics, stats
+ * dump, and trace byte-identical to the unsliced run
+ * (tests/test_snapshot.cc pins this differentially).
+ */
+struct SliceOptions
+{
+    /** Slice start, absolute simulated tick. */
+    Tick t0 = 0;
+
+    /** Slice end; 0 means "to the end of the cell" (warmup+window). */
+    Tick t1 = 0;
+
+    /**
+     * Snapshot restored before simulating; required when t0 > 0. A
+     * missing, truncated, corrupt, stale-version, or wrong-spec
+     * snapshot degrades to a cache miss — the slice re-simulates
+     * from tick 0 (still ending, and snapshotting, at t1) instead of
+     * failing.
+     */
+    std::string inSnap;
+
+    /**
+     * Snapshot published at t1 via the tmp+rename protocol (empty =
+     * none). Written before stats finalization so a restored
+     * continuation sees exactly the mid-run state.
+     */
+    std::string outSnap;
+
+    /** As RunCellOptions::traceDir; the trace file is written only
+     *  by the slice that reaches the end of the cell. */
+    std::string traceDir;
+};
+
+/**
+ * Execute one slice of a cell. Never throws (same contract as
+ * runCell). Slices that end before warmup+window return ok=true with
+ * empty metrics/stats — only the final slice yields the cell's
+ * RunMetrics, counters, stats dump, and trace.
+ */
+RunResult runCellSlice(const ExperimentSpec &spec,
+                       const SliceOptions &opts);
+
+/**
+ * The snapshot-facing identity of @p spec: its content key
+ * (exp::specKey) when serializable, else the sanitized cell id.
+ * Snapshot headers are stamped with it and restores reject a
+ * mismatch, so a snapshot can never silently resume a different
+ * simulation.
+ */
+std::string snapshotSpecKey(const ExperimentSpec &spec);
+
+/**
  * Declarative governor x workload x TDP x seed grid with shared
  * measurement settings; expandGrid() produces the cross product in a
  * deterministic order (workload-major, then governor, TDP, seed).

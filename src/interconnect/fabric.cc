@@ -5,6 +5,7 @@
 
 #include "power/power_model.hh"
 #include "sim/logging.hh"
+#include "sim/snapshot.hh"
 
 namespace sysscale {
 namespace interconnect {
@@ -132,6 +133,25 @@ IoFabric::powerAt(Volt v_sa, Hertz freq, double utilization)
         power::dynamicPower(kCdynFarad, v_sa, freq, activity);
     const Watt leak = power::leakagePower(kLeakK, v_sa, 50.0);
     return dynamic + leak;
+}
+
+void
+IoFabric::saveState(SnapshotWriter &w) const
+{
+    w.putDouble("freq", freq_);
+    w.putDouble("v_sa", vsa_);
+    w.putBool("blocked", blocked_);
+    w.putDouble("last_utilization", lastUtilization_);
+}
+
+void
+IoFabric::loadState(SnapshotReader &r)
+{
+    // Direct restore: setFrequency() asserts a blocked fabric.
+    freq_ = r.getDouble("freq");
+    vsa_ = r.getDouble("v_sa");
+    blocked_ = r.getBool("blocked");
+    lastUtilization_ = r.getDouble("last_utilization");
 }
 
 } // namespace interconnect

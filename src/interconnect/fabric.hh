@@ -135,6 +135,11 @@ class IoFabric : public SimObject
     static constexpr double kMaxOutstandingBytes = 8 * 1024.0;
     /** @} */
 
+    /** @name Snapshot support. @{ */
+    void saveState(SnapshotWriter &w) const override;
+    void loadState(SnapshotReader &r) override;
+    /** @} */
+
   private:
     Hertz freq_;
     Volt vsa_;

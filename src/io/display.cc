@@ -1,6 +1,7 @@
 #include "io/display.hh"
 
 #include "sim/logging.hh"
+#include "sim/snapshot.hh"
 
 namespace sysscale {
 namespace io {
@@ -154,6 +155,47 @@ DisplayEngine::publishCsrs()
             csr_.write(csrResolution(i), 0);
             csr_.write(csrRefresh(i), 0);
         }
+    }
+}
+
+void
+DisplayEngine::saveState(SnapshotWriter &w) const
+{
+    for (std::size_t i = 0; i < kMaxPanels; ++i) {
+        w.push("panel" + std::to_string(i));
+        const auto &p = panels_[i];
+        w.putBool("attached", p.has_value());
+        if (p) {
+            w.putU64("resolution",
+                     static_cast<std::uint64_t>(p->resolution));
+            w.putDouble("refresh_hz", p->refreshHz);
+            w.putU64("bytes_per_pixel", p->bytesPerPixel);
+        }
+        w.pop();
+    }
+}
+
+void
+DisplayEngine::loadState(SnapshotReader &r)
+{
+    // No publishCsrs(): the Soc restores the CSR space wholesale, and
+    // attachPanel() would count hotplug events that never happened.
+    for (std::size_t i = 0; i < kMaxPanels; ++i) {
+        r.push("panel" + std::to_string(i));
+        if (r.getBool("attached")) {
+            PanelConfig cfg;
+            const std::uint64_t res = r.getU64("resolution");
+            if (res > static_cast<std::uint64_t>(
+                          PanelResolution::UHD4K))
+                throw SnapshotError("display: bad panel resolution");
+            cfg.resolution = static_cast<PanelResolution>(res);
+            cfg.refreshHz = r.getDouble("refresh_hz");
+            cfg.bytesPerPixel = r.getU64("bytes_per_pixel");
+            panels_[i] = cfg;
+        } else {
+            panels_[i].reset();
+        }
+        r.pop();
     }
 }
 

@@ -125,6 +125,12 @@ class DisplayEngine : public SimObject
     static std::string csrRefresh(std::size_t index);
     /** @} */
 
+    /** @name Snapshot support: panel slots (CSR values round-trip
+     *  through the Soc's own CSR-space section). @{ */
+    void saveState(SnapshotWriter &w) const override;
+    void loadState(SnapshotReader &r) override;
+    /** @} */
+
   private:
     void publishCsrs();
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/logging.hh"
+#include "sim/snapshot.hh"
 
 namespace sysscale {
 namespace io {
@@ -44,6 +45,20 @@ Watt
 DmaDevice::power(BytesPerSec achieved) const
 {
     return kIdlePower + achieved * kJoulePerByte;
+}
+
+void
+DmaDevice::saveState(SnapshotWriter &w) const
+{
+    w.putDouble("offered_rate", offeredRate_);
+    w.putDouble("backlog", backlog_);
+}
+
+void
+DmaDevice::loadState(SnapshotReader &r)
+{
+    offeredRate_ = r.getDouble("offered_rate");
+    backlog_ = r.getDouble("backlog");
 }
 
 } // namespace io

@@ -50,6 +50,11 @@ class DmaDevice : public SimObject
     /** Idle controller power while the device is enabled. */
     static constexpr Watt kIdlePower = 0.01;
 
+    /** @name Snapshot support. @{ */
+    void saveState(SnapshotWriter &w) const override;
+    void loadState(SnapshotReader &r) override;
+    /** @} */
+
   private:
     BytesPerSec offeredRate_;
     double backlog_ = 0.0;

@@ -1,6 +1,7 @@
 #include "io/isp.hh"
 
 #include "sim/logging.hh"
+#include "sim/snapshot.hh"
 
 namespace sysscale {
 namespace io {
@@ -63,6 +64,35 @@ IspEngine::publishCsrs()
                       camera_->fps
                 : 0.0;
     csr_.write(kCsrPixelRate, static_cast<std::uint64_t>(pixel_rate));
+}
+
+void
+IspEngine::saveState(SnapshotWriter &w) const
+{
+    w.putBool("active", camera_.has_value());
+    if (camera_) {
+        w.putU64("width", camera_->width);
+        w.putU64("height", camera_->height);
+        w.putDouble("fps", camera_->fps);
+        w.putU64("bytes_per_pixel", camera_->bytesPerPixel);
+    }
+}
+
+void
+IspEngine::loadState(SnapshotReader &r)
+{
+    // No publishCsrs(): CSR values restore with the Soc; and no
+    // startCamera(), which would count a session.
+    if (r.getBool("active")) {
+        CameraConfig cfg;
+        cfg.width = r.getU64("width");
+        cfg.height = r.getU64("height");
+        cfg.fps = r.getDouble("fps");
+        cfg.bytesPerPixel = r.getU64("bytes_per_pixel");
+        camera_ = cfg;
+    } else {
+        camera_.reset();
+    }
 }
 
 } // namespace io

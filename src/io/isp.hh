@@ -70,6 +70,11 @@ class IspEngine : public SimObject
     static constexpr const char *kCsrPixelRate = "isp.pixel_rate";
     /** @} */
 
+    /** @name Snapshot support. @{ */
+    void saveState(SnapshotWriter &w) const override;
+    void loadState(SnapshotReader &r) override;
+    /** @} */
+
   private:
     void publishCsrs();
 

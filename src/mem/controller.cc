@@ -5,6 +5,7 @@
 
 #include "power/power_model.hh"
 #include "sim/logging.hh"
+#include "sim/snapshot.hh"
 
 namespace sysscale {
 namespace mem {
@@ -204,6 +205,66 @@ Watt
 MemoryController::ddrioDigitalPower(double utilization) const
 {
     return ddrio_.digitalPower(utilization, regs_.ddrioActivityFactor);
+}
+
+void
+MemoryController::saveState(SnapshotWriter &w) const
+{
+    w.push("regs");
+    w.putU64("trained_bin", regs_.trainedBin);
+    w.putU64("applied_bin", regs_.appliedBin);
+    w.putDouble("t_ck_ns", regs_.timings.tCKNs);
+    w.putDouble("t_cl_ns", regs_.timings.tCLNs);
+    w.putDouble("t_rcd_ns", regs_.timings.tRCDNs);
+    w.putDouble("t_rp_ns", regs_.timings.tRPNs);
+    w.putDouble("t_ras_ns", regs_.timings.tRASNs);
+    w.putDouble("t_wr_ns", regs_.timings.tWRNs);
+    w.putDouble("t_rfc_ns", regs_.timings.tRFCNs);
+    w.putDouble("t_refi_ns", regs_.timings.tREFINs);
+    w.putDouble("t_xsr_ns", regs_.timings.tXSRNs);
+    w.putDouble("t_faw_ns", regs_.timings.tFAWNs);
+    w.putDouble("interface_efficiency", regs_.interfaceEfficiency);
+    w.putDouble("latency_adder_ns", regs_.latencyAdderNs);
+    w.putDouble("termination_factor", regs_.terminationFactor);
+    w.putDouble("ddrio_activity_factor", regs_.ddrioActivityFactor);
+    w.pop();
+    w.putDouble("v_sa", vsa_);
+    w.putBool("blocked", blocked_);
+    w.putDouble("last_utilization", lastUtilization_);
+    w.putDouble("last_dram_power", lastDramPower_);
+    w.putU64("ddrio_bin", ddrio_.binIndex());
+    w.putDouble("ddrio_vio", ddrio_.vio());
+}
+
+void
+MemoryController::loadState(SnapshotReader &r)
+{
+    // Not programRegisters(): that asserts a blocked controller and
+    // self-refreshed DRAM; a restore reproduces state directly.
+    r.push("regs");
+    regs_.trainedBin = r.getU64("trained_bin");
+    regs_.appliedBin = r.getU64("applied_bin");
+    regs_.timings.tCKNs = r.getDouble("t_ck_ns");
+    regs_.timings.tCLNs = r.getDouble("t_cl_ns");
+    regs_.timings.tRCDNs = r.getDouble("t_rcd_ns");
+    regs_.timings.tRPNs = r.getDouble("t_rp_ns");
+    regs_.timings.tRASNs = r.getDouble("t_ras_ns");
+    regs_.timings.tWRNs = r.getDouble("t_wr_ns");
+    regs_.timings.tRFCNs = r.getDouble("t_rfc_ns");
+    regs_.timings.tREFINs = r.getDouble("t_refi_ns");
+    regs_.timings.tXSRNs = r.getDouble("t_xsr_ns");
+    regs_.timings.tFAWNs = r.getDouble("t_faw_ns");
+    regs_.interfaceEfficiency = r.getDouble("interface_efficiency");
+    regs_.latencyAdderNs = r.getDouble("latency_adder_ns");
+    regs_.terminationFactor = r.getDouble("termination_factor");
+    regs_.ddrioActivityFactor = r.getDouble("ddrio_activity_factor");
+    r.pop();
+    vsa_ = r.getDouble("v_sa");
+    blocked_ = r.getBool("blocked");
+    lastUtilization_ = r.getDouble("last_utilization");
+    lastDramPower_ = r.getDouble("last_dram_power");
+    ddrio_.setBin(r.getU64("ddrio_bin"));
+    ddrio_.setVio(r.getDouble("ddrio_vio"));
 }
 
 } // namespace mem

@@ -179,6 +179,11 @@ class MemoryController : public SimObject
 
     dram::DramDevice &device() { return device_; }
 
+    /** @name Snapshot support: registers, rail, block state. @{ */
+    void saveState(SnapshotWriter &w) const override;
+    void loadState(SnapshotReader &r) override;
+    /** @} */
+
     /** @name Model calibration constants. @{ */
 
     /** Controller pipeline depth in MC cycles (queue-empty). */

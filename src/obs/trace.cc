@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <cstring>
 
+#include "sim/snapshot.hh"
+
 namespace sysscale {
 namespace obs {
 
@@ -229,6 +231,87 @@ TraceSink::writeJson(std::ostream &os) const
     os << "],\n\"displayTimeUnit\":\"ms\",\n"
        << "\"otherData\":{\"clock\":\"sim-ticks\",\"ticksPerUs\":\""
        << kTicksPerUs << "\",\"dropped\":\"" << dropped_ << "\"}}\n";
+}
+
+namespace {
+
+/**
+ * Map a serialized category string back onto the kCat* registry so
+ * restored events keep pointer-comparable, static-lifetime categories.
+ */
+const char *
+internCategory(const std::string &cat)
+{
+    if (cat == kCatTransition) return kCatTransition;
+    if (cat == kCatGovernor) return kCatGovernor;
+    if (cat == kCatOpPoint) return kCatOpPoint;
+    if (cat == kCatPower) return kCatPower;
+    if (cat == kCatScenario) return kCatScenario;
+    if (cat == kCatReplay) return kCatReplay;
+    throw SnapshotError("trace: unknown category \"" + cat + "\"");
+}
+
+} // namespace
+
+void
+TraceSink::saveState(SnapshotWriter &w) const
+{
+    w.putU64("dropped", dropped_);
+    w.putU64("event_count", events_.size());
+    for (std::size_t i = 0; i < events_.size(); ++i) {
+        const TraceEvent &ev = events_[i];
+        w.push("e" + std::to_string(i));
+        w.putU64("kind", static_cast<std::uint64_t>(ev.kind));
+        w.putString("cat", ev.cat);
+        w.putString("name", ev.name);
+        w.putU64("ts", ev.ts);
+        w.putU64("dur", ev.dur);
+        w.putDouble("value", ev.value);
+        w.putString("args", ev.args);
+        w.pop();
+    }
+    w.putU64("counter_series", lastCounter_.size());
+    std::size_t i = 0;
+    for (const auto &series : lastCounter_) {
+        w.push("c" + std::to_string(i++));
+        w.putString("series", series.first);
+        w.putDouble("last", series.second);
+        w.pop();
+    }
+}
+
+void
+TraceSink::loadState(SnapshotReader &r)
+{
+    dropped_ = r.getU64("dropped");
+    const std::uint64_t count = r.getU64("event_count");
+    events_.clear();
+    events_.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        r.push("e" + std::to_string(i));
+        TraceEvent ev;
+        const std::uint64_t kind = r.getU64("kind");
+        if (kind > static_cast<std::uint64_t>(
+                       TraceEvent::Kind::Counter))
+            throw SnapshotError("trace: bad event kind");
+        ev.kind = static_cast<TraceEvent::Kind>(kind);
+        ev.cat = internCategory(r.getString("cat"));
+        ev.name = r.getString("name");
+        ev.ts = r.getU64("ts");
+        ev.dur = r.getU64("dur");
+        ev.value = r.getDouble("value");
+        ev.args = r.getString("args");
+        events_.push_back(std::move(ev));
+        r.pop();
+    }
+    const std::uint64_t nseries = r.getU64("counter_series");
+    lastCounter_.clear();
+    for (std::uint64_t i = 0; i < nseries; ++i) {
+        r.push("c" + std::to_string(i));
+        const std::string series = r.getString("series");
+        lastCounter_[series] = r.getDouble("last");
+        r.pop();
+    }
 }
 
 } // namespace obs

@@ -135,6 +135,14 @@ class TraceSink
      */
     void writeJson(std::ostream &os) const;
 
+    /** @name Snapshot support: the buffered events, the drop count,
+     *  and the counter change-filter. Loading overwrites the buffer
+     *  wholesale; categories are re-interned onto the kCat* registry
+     *  (an unknown category throws SnapshotError). @{ */
+    void saveState(SnapshotWriter &w) const;
+    void loadState(SnapshotReader &r);
+    /** @} */
+
   private:
     bool push(TraceEvent ev);
 

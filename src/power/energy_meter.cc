@@ -1,6 +1,7 @@
 #include "power/energy_meter.hh"
 
 #include "sim/logging.hh"
+#include "sim/snapshot.hh"
 
 namespace sysscale {
 namespace power {
@@ -57,6 +58,22 @@ EnergyMeter::reset(Tick now)
 {
     energy_.fill(0.0);
     windowStart_ = now;
+}
+
+void
+EnergyMeter::saveState(SnapshotWriter &w) const
+{
+    for (std::size_t i = 0; i < energy_.size(); ++i)
+        w.putDouble("energy" + std::to_string(i), energy_[i]);
+    w.putU64("window_start", windowStart_);
+}
+
+void
+EnergyMeter::loadState(SnapshotReader &r)
+{
+    for (std::size_t i = 0; i < energy_.size(); ++i)
+        energy_[i] = r.getDouble("energy" + std::to_string(i));
+    windowStart_ = r.getU64("window_start");
 }
 
 } // namespace power

@@ -49,6 +49,11 @@ class EnergyMeter
 
     Tick windowStart() const { return windowStart_; }
 
+    /** @name Snapshot support: bit-exact rail energies + window. @{ */
+    void saveState(SnapshotWriter &w) const;
+    void loadState(SnapshotReader &r);
+    /** @} */
+
   private:
     std::array<Joule, kNumRails> energy_{};
     Tick windowStart_ = 0;

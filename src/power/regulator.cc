@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "sim/logging.hh"
+#include "sim/snapshot.hh"
 
 namespace sysscale {
 namespace power {
@@ -58,6 +59,24 @@ Regulator::inputPower(Watt load_w) const
 {
     SYSSCALE_ASSERT(load_w >= 0.0, "negative load power");
     return load_w / efficiency_;
+}
+
+void
+Regulator::saveState(SnapshotWriter &w) const
+{
+    w.putDouble("from", from_);
+    w.putDouble("target", target_);
+    w.putU64("ramp_start", rampStart_);
+    w.putU64("ramp_end", rampEnd_);
+}
+
+void
+Regulator::loadState(SnapshotReader &r)
+{
+    from_ = r.getDouble("from");
+    target_ = r.getDouble("target");
+    rampStart_ = r.getU64("ramp_start");
+    rampEnd_ = r.getU64("ramp_end");
 }
 
 } // namespace power

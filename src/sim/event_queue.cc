@@ -1,5 +1,7 @@
 #include "sim/event_queue.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
 
 namespace sysscale {
@@ -184,6 +186,66 @@ EventQueue::advanceNow(Tick when)
     SYSSCALE_ASSERT(when >= now_, "advanceNow() into the past");
     SYSSCALE_ASSERT(when <= nextPendingTick(),
                     "advanceNow() past a pending event");
+    now_ = when;
+}
+
+std::vector<EventQueue::SavedEvent>
+EventQueue::saveEvents()
+{
+    std::vector<Entry> live;
+    for (auto &bucket : buckets_) {
+        pruneBucket(bucket);
+        for (const Entry &e : bucket)
+            live.push_back(e);
+    }
+    std::sort(live.begin(), live.end(),
+              [](const Entry &a, const Entry &b) {
+                  return a.seq < b.seq;
+              });
+    std::vector<SavedEvent> out;
+    out.reserve(live.size());
+    for (const Entry &e : live)
+        out.push_back(SavedEvent{e.ev->name(), e.when, e.priority});
+    return out;
+}
+
+std::vector<Event *>
+EventQueue::scheduledEvents()
+{
+    std::vector<Entry> live;
+    for (auto &bucket : buckets_) {
+        pruneBucket(bucket);
+        for (const Entry &e : bucket)
+            live.push_back(e);
+    }
+    std::sort(live.begin(), live.end(),
+              [](const Entry &a, const Entry &b) {
+                  return a.seq < b.seq;
+              });
+    std::vector<Event *> out;
+    out.reserve(live.size());
+    for (const Entry &e : live)
+        out.push_back(e.ev);
+    return out;
+}
+
+void
+EventQueue::clearScheduled()
+{
+    for (Event *ev : scheduledEvents())
+        deschedule(ev);
+    for (auto &bucket : buckets_)
+        pruneBucket(bucket);
+    SYSSCALE_ASSERT(live_ == 0 && dead_ == 0,
+                    "clearScheduled left entries behind");
+}
+
+void
+EventQueue::restoreNow(Tick when)
+{
+    SYSSCALE_ASSERT(live_ == 0,
+                    "restoreNow() with %zu events still pending", live_);
+    SYSSCALE_ASSERT(when >= now_, "restoreNow() into the past");
     now_ = when;
 }
 

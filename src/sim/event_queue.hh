@@ -173,6 +173,42 @@ class EventQueue
     /** Total number of events processed over the queue's lifetime. */
     std::uint64_t processedCount() const { return processed_; }
 
+    /** @name Snapshot support.
+     *
+     * Saving records every live event as (name, when, priority) in
+     * exact seq order. Restoring never serializes Event objects:
+     * the restoring cell constructs its components (whose startup
+     * hooks schedule the same named events), then clearScheduled()
+     * empties the queue, restoreNow() jumps the clock, and the saved
+     * list is re-scheduled by name in saved-seq order — which
+     * preserves every relative (tick, priority, seq) ordering
+     * without serializing nextSeq_ itself.
+     * @{ */
+
+    /** One live event as serialized into a snapshot. */
+    struct SavedEvent
+    {
+        std::string name;
+        Tick when;
+        int priority;
+    };
+
+    /** All live events in ascending seq order. */
+    std::vector<SavedEvent> saveEvents();
+
+    /** Live Event pointers in ascending seq order (restore harvest). */
+    std::vector<Event *> scheduledEvents();
+
+    /** Deschedule every live event. */
+    void clearScheduled();
+
+    /**
+     * Jump now() to @p when on an empty queue (restore only). Panics
+     * when events are still pending or @p when is in the past.
+     */
+    void restoreNow(Tick when);
+    /** @} */
+
   private:
     struct Entry
     {

@@ -54,6 +54,10 @@ class Simulator
     /** Fork a deterministic per-component RNG stream. */
     Rng forkRng() { return rootRng_.fork(); }
 
+    /** The root RNG stream itself (snapshot save/restore). */
+    Rng &rootRng() { return rootRng_; }
+    const Rng &rootRng() const { return rootRng_; }
+
     Tick now() const { return eventq_.now(); }
 
     /** Call startup() on all registered objects (idempotent). */
@@ -91,6 +95,20 @@ class SimObject : public stats::StatGroup
 
     /** Hook called once before simulation begins. */
     virtual void startup() {}
+
+    /** @name Snapshot support.
+     *
+     * Serialize (and restore) the object's *non-statistic* mutable
+     * state; statistics round-trip generically through the StatGroup
+     * walk and scheduled events through the EventQueue, so overrides
+     * only handle plain members. Keys are scoped under the object's
+     * path by the snapshot walk. Restores run on a freshly
+     * constructed, started cell, so construction-derived members
+     * need no encoding.
+     * @{ */
+    virtual void saveState(SnapshotWriter &w) const { (void)w; }
+    virtual void loadState(SnapshotReader &r) { (void)r; }
+    /** @} */
 
     Simulator &sim() { return sim_; }
     const Simulator &sim() const { return sim_; }

@@ -1,0 +1,424 @@
+#include "sim/snapshot.hh"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace sysscale {
+
+namespace {
+
+const char kMagic[] = "sysscale-snap v";
+
+std::string
+escapeValue(const std::string &v)
+{
+    std::string out;
+    out.reserve(v.size());
+    for (const char c : v) {
+        switch (c) {
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            out += c;
+        }
+    }
+    return out;
+}
+
+std::string
+unescapeValue(const std::string &v)
+{
+    std::string out;
+    out.reserve(v.size());
+    for (std::size_t i = 0; i < v.size(); ++i) {
+        if (v[i] != '\\') {
+            out += v[i];
+            continue;
+        }
+        if (i + 1 >= v.size())
+            throw SnapshotError("dangling escape in string value");
+        ++i;
+        switch (v[i]) {
+          case '\\':
+            out += '\\';
+            break;
+          case 'n':
+            out += '\n';
+            break;
+          case 'r':
+            out += '\r';
+            break;
+          default:
+            throw SnapshotError("unknown escape in string value");
+        }
+    }
+    return out;
+}
+
+std::string
+hex16(std::uint64_t v)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(v));
+    return std::string(buf);
+}
+
+std::uint64_t
+parseHex16(const std::string &text, const char *what)
+{
+    if (text.size() != 16)
+        throw SnapshotError(std::string(what) + " is not 16 hex digits: \"" +
+                            text + "\"");
+    std::uint64_t v = 0;
+    for (const char c : text) {
+        v <<= 4;
+        if (c >= '0' && c <= '9')
+            v |= static_cast<std::uint64_t>(c - '0');
+        else if (c >= 'a' && c <= 'f')
+            v |= static_cast<std::uint64_t>(c - 'a' + 10);
+        else
+            throw SnapshotError(std::string(what) +
+                                " has a non-hex digit: \"" + text + "\"");
+    }
+    return v;
+}
+
+std::uint64_t
+parseU64(const std::string &text, const std::string &key)
+{
+    if (text.empty())
+        throw SnapshotError("empty integer for key \"" + key + "\"");
+    std::uint64_t v = 0;
+    for (const char c : text) {
+        if (c < '0' || c > '9')
+            throw SnapshotError("non-decimal integer for key \"" + key +
+                                "\": \"" + text + "\"");
+        const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+        if (v > (UINT64_MAX - digit) / 10)
+            throw SnapshotError("integer overflow for key \"" + key +
+                                "\": \"" + text + "\"");
+        v = v * 10 + digit;
+    }
+    return v;
+}
+
+} // anonymous namespace
+
+std::uint64_t
+snapshotFnv1a64(std::string_view data)
+{
+    std::uint64_t h = 1469598103934665603ull;
+    for (const char c : data) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+std::string
+encodeDouble(double v)
+{
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v), "double is not 64-bit");
+    std::memcpy(&bits, &v, sizeof(bits));
+    return hex16(bits);
+}
+
+double
+decodeDouble(const std::string &text)
+{
+    const std::uint64_t bits = parseHex16(text, "double");
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+}
+
+SnapshotWriter::SnapshotWriter(std::string spec_key, Tick tick)
+    : specKey_(std::move(spec_key)), tick_(tick)
+{
+}
+
+void
+SnapshotWriter::push(const std::string &scope)
+{
+    prefixLens_.push_back(prefix_.size());
+    prefix_ += scope;
+    prefix_ += '.';
+}
+
+void
+SnapshotWriter::pop()
+{
+    if (prefixLens_.empty())
+        throw SnapshotError("SnapshotWriter::pop with empty scope stack");
+    prefix_.resize(prefixLens_.back());
+    prefixLens_.pop_back();
+}
+
+void
+SnapshotWriter::emit(const std::string &key, const std::string &value)
+{
+    const std::string full = prefix_ + key;
+    if (!seen_.insert(full).second)
+        throw SnapshotError("duplicate snapshot key \"" + full + "\"");
+    body_ += full;
+    body_ += " = ";
+    body_ += value;
+    body_ += '\n';
+}
+
+void
+SnapshotWriter::putU64(const std::string &key, std::uint64_t v)
+{
+    emit(key, std::to_string(v));
+}
+
+void
+SnapshotWriter::putBool(const std::string &key, bool v)
+{
+    emit(key, v ? "1" : "0");
+}
+
+void
+SnapshotWriter::putDouble(const std::string &key, double v)
+{
+    emit(key, encodeDouble(v));
+}
+
+void
+SnapshotWriter::putString(const std::string &key, const std::string &v)
+{
+    emit(key, escapeValue(v));
+}
+
+std::string
+SnapshotWriter::str() const
+{
+    std::string out = kMagic + std::to_string(kSnapFormatVersion) + "\n";
+    out += "spec = " + specKey_ + "\n";
+    out += "tick = " + std::to_string(tick_) + "\n";
+    out += body_;
+    out += "checksum = " + hex16(snapshotFnv1a64(out)) + "\n";
+    return out;
+}
+
+SnapshotReader::SnapshotReader(const std::string &text)
+{
+    // Validate the trailing checksum first: it covers every byte up
+    // to its own line, so truncation and bit flips both fail here
+    // before any value is interpreted.
+    const std::string marker = "checksum = ";
+    const std::size_t pos = text.rfind(marker);
+    if (pos == std::string::npos ||
+        (pos != 0 && text[pos - 1] != '\n')) {
+        throw SnapshotError("snapshot has no checksum line");
+    }
+    const std::size_t value_at = pos + marker.size();
+    std::size_t end = text.find('\n', value_at);
+    if (end == std::string::npos)
+        end = text.size();
+    if (text.find('\n', end + 1) != std::string::npos)
+        throw SnapshotError("trailing data after snapshot checksum");
+    const std::uint64_t want =
+        parseHex16(text.substr(value_at, end - value_at), "checksum");
+    const std::uint64_t got =
+        snapshotFnv1a64(std::string_view(text).substr(0, pos));
+    if (want != got) {
+        throw SnapshotError("snapshot checksum mismatch (stored " +
+                            hex16(want) + ", computed " + hex16(got) +
+                            "): truncated or corrupted file");
+    }
+
+    std::istringstream is(text.substr(0, pos));
+    std::string line;
+
+    if (!std::getline(is, line) ||
+        line.compare(0, sizeof(kMagic) - 1, kMagic) != 0) {
+        throw SnapshotError(
+            "not a sysscale snapshot (bad magic line)");
+    }
+    const std::string ver = line.substr(sizeof(kMagic) - 1);
+    if (ver != std::to_string(kSnapFormatVersion)) {
+        throw SnapshotError(
+            "snapshot format v" + ver + " does not match this build's v" +
+            std::to_string(kSnapFormatVersion) +
+            "; stale snapshots must be re-simulated");
+    }
+
+    std::size_t lineno = 1;
+    while (std::getline(is, line)) {
+        ++lineno;
+        if (line.empty())
+            throw SnapshotError("empty snapshot line " +
+                                std::to_string(lineno));
+        const std::size_t sep = line.find(" = ");
+        if (sep == std::string::npos)
+            throw SnapshotError("malformed snapshot line " +
+                                std::to_string(lineno) + ": \"" + line +
+                                "\"");
+        const std::string key = line.substr(0, sep);
+        const std::string value = line.substr(sep + 3);
+        if (!values_.emplace(key, value).second)
+            throw SnapshotError("duplicate snapshot key \"" + key + "\"");
+    }
+
+    if (values_.count("spec") == 0 || values_.count("tick") == 0)
+        throw SnapshotError("snapshot missing spec/tick header keys");
+    specKey_ = values_["spec"];
+    tick_ = parseU64(values_["tick"], "tick");
+    consumed_.insert("spec");
+    consumed_.insert("tick");
+}
+
+void
+SnapshotReader::push(const std::string &scope)
+{
+    prefixLens_.push_back(prefix_.size());
+    prefix_ += scope;
+    prefix_ += '.';
+}
+
+void
+SnapshotReader::pop()
+{
+    if (prefixLens_.empty())
+        throw SnapshotError("SnapshotReader::pop with empty scope stack");
+    prefix_.resize(prefixLens_.back());
+    prefixLens_.pop_back();
+}
+
+std::string
+SnapshotReader::full(const std::string &key) const
+{
+    return prefix_ + key;
+}
+
+bool
+SnapshotReader::has(const std::string &key) const
+{
+    return values_.count(full(key)) != 0;
+}
+
+const std::string &
+SnapshotReader::consume(const std::string &key)
+{
+    const std::string f = full(key);
+    const auto it = values_.find(f);
+    if (it == values_.end())
+        throw SnapshotError("snapshot is missing key \"" + f + "\"");
+    consumed_.insert(f);
+    return it->second;
+}
+
+std::uint64_t
+SnapshotReader::getU64(const std::string &key)
+{
+    return parseU64(consume(key), full(key));
+}
+
+bool
+SnapshotReader::getBool(const std::string &key)
+{
+    const std::string &v = consume(key);
+    if (v == "1")
+        return true;
+    if (v == "0")
+        return false;
+    throw SnapshotError("non-boolean value for key \"" + full(key) +
+                        "\": \"" + v + "\"");
+}
+
+double
+SnapshotReader::getDouble(const std::string &key)
+{
+    try {
+        return decodeDouble(consume(key));
+    } catch (const SnapshotError &) {
+        throw SnapshotError("malformed double for key \"" + full(key) +
+                            "\"");
+    }
+}
+
+std::string
+SnapshotReader::getString(const std::string &key)
+{
+    return unescapeValue(consume(key));
+}
+
+void
+SnapshotReader::skipScope(const std::string &scope)
+{
+    const std::string p = prefix_ + scope + ".";
+    for (auto it = values_.lower_bound(p);
+         it != values_.end() && it->first.compare(0, p.size(), p) == 0;
+         ++it) {
+        consumed_.insert(it->first);
+    }
+}
+
+void
+SnapshotReader::finish() const
+{
+    for (const auto &kv : values_) {
+        if (consumed_.count(kv.first) == 0)
+            throw SnapshotError(
+                "snapshot key \"" + kv.first +
+                "\" was never consumed: field-set mismatch "
+                "(kSnapFormatVersion should have been bumped)");
+    }
+}
+
+void
+writeSnapshotFile(const std::string &path, const std::string &text)
+{
+    // lint:allow nondeterminism -- pid/serial only name the temp file
+    static std::atomic<std::uint64_t> serial{0};
+    const std::string tmp = path + ".tmp." +
+                            std::to_string(::getpid()) + "." +
+                            std::to_string(serial.fetch_add(1));
+    {
+        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+        if (!os)
+            throw SnapshotError("cannot open \"" + tmp +
+                                "\" for writing");
+        os << text;
+        os.flush();
+        if (!os) {
+            std::remove(tmp.c_str());
+            throw SnapshotError("short write to \"" + tmp + "\"");
+        }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        throw SnapshotError("cannot rename \"" + tmp + "\" to \"" +
+                            path + "\"");
+    }
+}
+
+std::string
+readSnapshotFile(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        throw SnapshotError("cannot open snapshot \"" + path + "\"");
+    std::ostringstream os;
+    os << is.rdbuf();
+    if (is.bad())
+        throw SnapshotError("read error on snapshot \"" + path + "\"");
+    return os.str();
+}
+
+} // namespace sysscale

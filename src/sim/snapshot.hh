@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Versioned, deterministic simulator snapshots.
+ *
+ * A snapshot is a line-oriented text image of the full simulator
+ * state at one tick — every component's private state, the whole
+ * stats hierarchy, the pending event queue in exact
+ * `(tick, priority, seq)` order, the RNG stream, the installed PMU
+ * policy, and (optionally) the trace buffer. Restoring a snapshot
+ * into a freshly constructed cell and resuming is byte-identical to
+ * never having stopped; `tests/test_snapshot.cc` pins that with a
+ * randomized differential battery.
+ *
+ * Format (all text, one `key = value` pair per line):
+ *
+ *     sysscale-snap v<kSnapFormatVersion>
+ *     spec = <16-hex spec key>
+ *     tick = <decimal tick>
+ *     <dotted.scoped.key> = <value>
+ *     ...
+ *     checksum = <16-hex FNV-1a of everything above>
+ *
+ * Doubles are encoded as the 16-hex IEEE-754 bit pattern so round
+ * trips are bit-exact (NaNs, infinities and signed zeros included).
+ * The trailing checksum catches truncation and bit flips; the
+ * version line is rejected loudly on mismatch, exactly like the spec
+ * codec. Writers are strict about duplicate keys and readers are
+ * strict about *unconsumed* keys, so a divergence bisects to a named
+ * field instead of silently misaligning (`tools/snap_inspect` dumps
+ * the decoded view).
+ *
+ * Bump kSnapFormatVersion whenever the serialized field set changes
+ * shape OR the meaning of any serialized field changes in the model;
+ * the golden fixture check (`snap_inspect --check`) plus the
+ * repo-invariant linter enforce that the committed fixture always
+ * matches the in-tree version.
+ */
+
+#ifndef SYSSCALE_SIM_SNAPSHOT_HH
+#define SYSSCALE_SIM_SNAPSHOT_HH
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace sysscale {
+
+/**
+ * Snapshot encoding version. Bump on any change to the serialized
+ * field set or the semantics behind a serialized field.
+ */
+constexpr int kSnapFormatVersion = 1;
+
+/**
+ * Every snapshot failure mode — unreadable file, bad header, stale
+ * version, checksum mismatch, missing/duplicate/unconsumed keys,
+ * unparsable values, wrong spec — throws this. Callers that want
+ * "degrade to a cache miss" catch it and re-simulate from scratch.
+ */
+class SnapshotError : public std::runtime_error
+{
+  public:
+    explicit SnapshotError(const std::string &what)
+        : std::runtime_error(what)
+    {}
+};
+
+/** FNV-1a/64 (local copy so sim/ stays dependency-free). */
+std::uint64_t snapshotFnv1a64(std::string_view data);
+
+/** Bit-exact double encoding: 16 lowercase hex of the bit pattern. */
+std::string encodeDouble(double v);
+
+/** Invert encodeDouble(). Throws SnapshotError on malformed input. */
+double decodeDouble(const std::string &text);
+
+/**
+ * Builds the snapshot text. Scopes nest via push()/pop() and turn
+ * into dotted key prefixes; duplicate full keys throw.
+ */
+class SnapshotWriter
+{
+  public:
+    SnapshotWriter(std::string spec_key, Tick tick);
+
+    /** Enter a key scope (becomes a dotted prefix). */
+    void push(const std::string &scope);
+    void pop();
+
+    void putU64(const std::string &key, std::uint64_t v);
+    void putBool(const std::string &key, bool v);
+    void putDouble(const std::string &key, double v);
+    /** Strings are escaped (\\n, \\r, \\\\) so values stay one line. */
+    void putString(const std::string &key, const std::string &v);
+
+    /** Full snapshot text: header + body + checksum line. */
+    std::string str() const;
+
+  private:
+    void emit(const std::string &key, const std::string &value);
+
+    std::string specKey_;
+    Tick tick_;
+    std::string prefix_;
+    std::vector<std::size_t> prefixLens_;
+    std::set<std::string> seen_;
+    std::string body_;
+};
+
+/**
+ * Parses and fully validates a snapshot text up front (header,
+ * version, checksum), then serves typed key lookups. Every get
+ * consumes its key; finish() throws if any key was never consumed,
+ * so adding a field without bumping the version cannot pass
+ * silently. skipScope() consumes a whole optional section (e.g. the
+ * trace buffer when the restoring cell is not tracing).
+ */
+class SnapshotReader
+{
+  public:
+    explicit SnapshotReader(const std::string &text);
+
+    const std::string &specKey() const { return specKey_; }
+    Tick tick() const { return tick_; }
+
+    void push(const std::string &scope);
+    void pop();
+
+    bool has(const std::string &key) const;
+
+    std::uint64_t getU64(const std::string &key);
+    bool getBool(const std::string &key);
+    double getDouble(const std::string &key);
+    std::string getString(const std::string &key);
+
+    /** Consume every key under @p scope (relative to the prefix). */
+    void skipScope(const std::string &scope);
+
+    /** Throw SnapshotError when any key remains unconsumed. */
+    void finish() const;
+
+  private:
+    const std::string &consume(const std::string &key);
+    std::string full(const std::string &key) const;
+
+    std::string specKey_;
+    Tick tick_ = 0;
+    std::string prefix_;
+    std::vector<std::size_t> prefixLens_;
+    std::map<std::string, std::string> values_;
+    std::set<std::string> consumed_;
+};
+
+/**
+ * Write @p text to @p path via the repo's tmp + atomic-rename
+ * protocol, so concurrent readers never observe a partial snapshot.
+ * Throws SnapshotError on any IO failure.
+ */
+void writeSnapshotFile(const std::string &path,
+                       const std::string &text);
+
+/** Read a whole snapshot file. Throws SnapshotError on IO failure. */
+std::string readSnapshotFile(const std::string &path);
+
+} // namespace sysscale
+
+#endif // SYSSCALE_SIM_SNAPSHOT_HH

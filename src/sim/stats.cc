@@ -4,6 +4,7 @@
 #include <iomanip>
 
 #include "sim/logging.hh"
+#include "sim/snapshot.hh"
 
 namespace sysscale {
 namespace stats {
@@ -20,6 +21,18 @@ void
 Scalar::dump(std::ostream &os, const std::string &prefix) const
 {
     os << prefix << name() << " " << value() << " # " << desc() << "\n";
+}
+
+void
+Scalar::saveState(SnapshotWriter &w) const
+{
+    w.putDouble("value", value_);
+}
+
+void
+Scalar::loadState(SnapshotReader &r)
+{
+    value_ = r.getDouble("value");
 }
 
 void
@@ -58,6 +71,26 @@ Average::dump(std::ostream &os, const std::string &prefix) const
     os << prefix << name() << "::max " << max() << " # max sample\n";
     os << prefix << name() << "::count " << count()
        << " # sample count\n";
+}
+
+void
+Average::saveState(SnapshotWriter &w) const
+{
+    w.putDouble("sum", sum_);
+    w.putDouble("weight", weight_);
+    w.putDouble("min", min_);
+    w.putDouble("max", max_);
+    w.putU64("count", count_);
+}
+
+void
+Average::loadState(SnapshotReader &r)
+{
+    sum_ = r.getDouble("sum");
+    weight_ = r.getDouble("weight");
+    min_ = r.getDouble("min");
+    max_ = r.getDouble("max");
+    count_ = r.getU64("count");
 }
 
 void
@@ -103,6 +136,26 @@ TimeAverage::dump(std::ostream &os, const std::string &prefix) const
 {
     os << prefix << name() << "::tmean " << mean()
        << " # " << desc() << "\n";
+}
+
+void
+TimeAverage::saveState(SnapshotWriter &w) const
+{
+    w.putDouble("integral", integral_);
+    w.putU64("elapsed", elapsed_);
+    w.putDouble("current", current_);
+    w.putU64("last_set", lastSet_);
+    w.putBool("started", started_);
+}
+
+void
+TimeAverage::loadState(SnapshotReader &r)
+{
+    integral_ = r.getDouble("integral");
+    elapsed_ = r.getU64("elapsed");
+    current_ = r.getDouble("current");
+    lastSet_ = r.getU64("last_set");
+    started_ = r.getBool("started");
 }
 
 Distribution::Distribution(StatGroup *parent, std::string name,
@@ -161,6 +214,34 @@ Distribution::dump(std::ostream &os, const std::string &prefix) const
        << " # samples >= " << hi_ << "\n";
 }
 
+void
+Distribution::saveState(SnapshotWriter &w) const
+{
+    // lo/hi/width are construction-fixed; only the counts move.
+    w.putU64("buckets", buckets_.size());
+    for (std::size_t i = 0; i < buckets_.size(); ++i)
+        w.putU64("bucket" + std::to_string(i), buckets_[i]);
+    w.putU64("underflow", underflow_);
+    w.putU64("overflow", overflow_);
+    w.putU64("samples", samples_);
+    w.putDouble("sum", sum_);
+}
+
+void
+Distribution::loadState(SnapshotReader &r)
+{
+    const std::uint64_t n = r.getU64("buckets");
+    if (n != buckets_.size())
+        throw SnapshotError("Distribution '" + name() +
+                            "': bucket count mismatch");
+    for (std::size_t i = 0; i < buckets_.size(); ++i)
+        buckets_[i] = r.getU64("bucket" + std::to_string(i));
+    underflow_ = r.getU64("underflow");
+    overflow_ = r.getU64("overflow");
+    samples_ = r.getU64("samples");
+    sum_ = r.getDouble("sum");
+}
+
 StatGroup::StatGroup(StatGroup *parent, std::string name)
     : parent_(parent), name_(std::move(name))
 {
@@ -209,6 +290,36 @@ StatGroup::dumpStats(std::ostream &os) const
         s->dump(os, prefix);
     for (const auto *g : children_)
         g->dumpStats(os);
+}
+
+void
+StatGroup::saveStats(SnapshotWriter &w) const
+{
+    for (const auto *s : stats_) {
+        w.push(s->name());
+        s->saveState(w);
+        w.pop();
+    }
+    for (const auto *g : children_) {
+        w.push(g->name());
+        g->saveStats(w);
+        w.pop();
+    }
+}
+
+void
+StatGroup::loadStats(SnapshotReader &r)
+{
+    for (auto *s : stats_) {
+        r.push(s->name());
+        s->loadState(r);
+        r.pop();
+    }
+    for (auto *g : children_) {
+        r.push(g->name());
+        g->loadStats(r);
+        r.pop();
+    }
 }
 
 } // namespace stats

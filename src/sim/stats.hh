@@ -46,6 +46,13 @@ class StatBase
     virtual void dump(std::ostream &os,
                       const std::string &prefix) const = 0;
 
+    /** @name Snapshot support: bit-exact round trip of the
+     *  accumulator state (keys are scoped under the stat's name by
+     *  StatGroup::saveStats). @{ */
+    virtual void saveState(SnapshotWriter &w) const = 0;
+    virtual void loadState(SnapshotReader &r) = 0;
+    /** @} */
+
   private:
     std::string name_;
     std::string desc_;
@@ -66,6 +73,8 @@ class Scalar : public StatBase
     void reset() override { value_ = 0.0; }
     void dump(std::ostream &os,
               const std::string &prefix) const override;
+    void saveState(SnapshotWriter &w) const override;
+    void loadState(SnapshotReader &r) override;
 
   private:
     double value_ = 0.0;
@@ -87,6 +96,8 @@ class Average : public StatBase
     void reset() override;
     void dump(std::ostream &os,
               const std::string &prefix) const override;
+    void saveState(SnapshotWriter &w) const override;
+    void loadState(SnapshotReader &r) override;
 
   private:
     double sum_ = 0.0;
@@ -117,6 +128,8 @@ class TimeAverage : public StatBase
     void reset() override;
     void dump(std::ostream &os,
               const std::string &prefix) const override;
+    void saveState(SnapshotWriter &w) const override;
+    void loadState(SnapshotReader &r) override;
 
   private:
     double integral_ = 0.0;
@@ -145,6 +158,8 @@ class Distribution : public StatBase
     void reset() override;
     void dump(std::ostream &os,
               const std::string &prefix) const override;
+    void saveState(SnapshotWriter &w) const override;
+    void loadState(SnapshotReader &r) override;
 
   private:
     double lo_;
@@ -179,6 +194,18 @@ class StatGroup
 
     /** Recursively dump "path.stat value # desc" lines. */
     void dumpStats(std::ostream &os) const;
+
+    /** @name Snapshot support.
+     *
+     * Recursively round-trip every statistic in this group and its
+     * children, scoping keys by group and stat name in registration
+     * order. Because registration order is construction order (and
+     * construction is deterministic), save and load walk identical
+     * sequences.
+     * @{ */
+    void saveStats(SnapshotWriter &w) const;
+    void loadStats(SnapshotReader &r);
+    /** @} */
 
   private:
     friend class StatBase;

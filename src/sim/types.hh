@@ -15,6 +15,12 @@
 
 namespace sysscale {
 
+// Snapshot machinery (sim/snapshot.hh), forward-declared here so any
+// component header can declare saveState/loadState hooks without
+// pulling the full codec in.
+class SnapshotWriter;
+class SnapshotReader;
+
 /** Simulated time in picoseconds. */
 using Tick = std::uint64_t;
 

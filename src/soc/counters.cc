@@ -1,6 +1,7 @@
 #include "soc/counters.hh"
 
 #include "sim/logging.hh"
+#include "sim/snapshot.hh"
 
 namespace sysscale {
 namespace soc {
@@ -77,6 +78,28 @@ PerfCounterBlock::clearWindow()
 {
     windowSum_.fill(0.0);
     windowCount_ = 0;
+}
+
+void
+PerfCounterBlock::saveState(SnapshotWriter &w) const
+{
+    for (std::size_t i = 0; i < kNumCounters; ++i)
+        w.putDouble("pending" + std::to_string(i), pending_[i]);
+    w.putU64("pending_ticks", pendingTicks_);
+    for (std::size_t i = 0; i < kNumCounters; ++i)
+        w.putDouble("window_sum" + std::to_string(i), windowSum_[i]);
+    w.putU64("window_count", windowCount_);
+}
+
+void
+PerfCounterBlock::loadState(SnapshotReader &r)
+{
+    for (std::size_t i = 0; i < kNumCounters; ++i)
+        pending_[i] = r.getDouble("pending" + std::to_string(i));
+    pendingTicks_ = r.getU64("pending_ticks");
+    for (std::size_t i = 0; i < kNumCounters; ++i)
+        windowSum_[i] = r.getDouble("window_sum" + std::to_string(i));
+    windowCount_ = r.getU64("window_count");
 }
 
 } // namespace soc

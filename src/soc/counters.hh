@@ -116,6 +116,11 @@ class PerfCounterBlock : public SimObject
     /** PMU evaluation hook: clear the window. */
     void clearWindow();
 
+    /** @name Snapshot support: pending + window accumulation. @{ */
+    void saveState(SnapshotWriter &w) const override;
+    void loadState(SnapshotReader &r) override;
+    /** @} */
+
   private:
     // Occupancy-style observables are time-weighted within the
     // sample; count-style ones accumulate.

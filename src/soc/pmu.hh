@@ -50,6 +50,11 @@ class PmuPolicy
      */
     virtual std::size_t firmwareBytes() const { return 0; }
 
+    /** @name Snapshot support: stateless policies need nothing. @{ */
+    virtual void saveState(SnapshotWriter &w) const { (void)w; }
+    virtual void loadState(SnapshotReader &r) { (void)r; }
+    /** @} */
+
     /**
      * True once this instance has ever been installed in a PMU.
      * Stateful policies (the adaptive governor's learned thresholds)

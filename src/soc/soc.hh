@@ -165,6 +165,45 @@ class Soc : public SimObject
      */
     RunMetrics run(Tick duration);
 
+    /** @name Window accounting (snapshot/slicing support).
+     *
+     * A RunAccumulators sample captures every monotonic accumulator
+     * a RunMetrics window is differenced from. run() itself is
+     * implemented as sampleAccumulators() / metricsBetween(), so a
+     * sliced run that carries a baseline sample across checkpoints
+     * computes the final window through the identical sequence of
+     * floating-point operations — byte-identical metrics.
+     * @{ */
+    struct RunAccumulators
+    {
+        double instructions = 0.0;
+        double frames = 0.0;
+        std::array<Joule, power::kNumRails> rail{};
+        double latInt = 0.0;
+        double latSecs = 0.0;
+        double bwInt = 0.0;
+        double freqInt = 0.0;
+        double lowSecs = 0.0;
+        double elapsedSeconds = 0.0;
+        double qos = 0.0;
+        double trans = 0.0;
+        double stall = 0.0;
+    };
+
+    /** Sample every run-window accumulator at the current instant. */
+    RunAccumulators sampleAccumulators() const;
+
+    /** Metrics over a window bounded by two samples. */
+    static RunMetrics metricsBetween(const RunAccumulators &before,
+                                     const RunAccumulators &after,
+                                     double seconds);
+    /** @} */
+
+    /** @name Snapshot support (see sim/snapshot.hh). @{ */
+    void saveState(SnapshotWriter &w) const override;
+    void loadState(SnapshotReader &r) override;
+    /** @} */
+
     /** Loaded memory latency of the last step (ns). */
     double lastMemLatencyNs() const { return lastMemLatencyNs_; }
 

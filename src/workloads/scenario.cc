@@ -7,6 +7,7 @@
 #include "io/isp.hh"
 #include "obs/trace.hh"
 #include "sim/logging.hh"
+#include "sim/snapshot.hh"
 #include "soc/soc.hh"
 #include "workloads/battery.hh"
 
@@ -107,6 +108,20 @@ ScenarioScript::fire()
     }
     if (next_ < actions_.size())
         eventq().schedule(&event_, actions_[next_].at);
+}
+
+void
+ScenarioScript::saveState(SnapshotWriter &w) const
+{
+    w.putU64("next", next_);
+}
+
+void
+ScenarioScript::loadState(SnapshotReader &r)
+{
+    next_ = r.getU64("next");
+    if (next_ > actions_.size())
+        throw SnapshotError("scenario: cursor past the action list");
 }
 
 const std::vector<std::string> &

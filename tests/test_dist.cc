@@ -1032,3 +1032,227 @@ TEST(Worker, PublishesMetricsAfterEveryResolvedClaim)
     EXPECT_GT(all[0].simSeconds, 0.0);
     EXPECT_GT(all[0].wallSeconds, 0.0);
 }
+
+TEST(Slice, EntriesRoundTripThroughClaim)
+{
+    const TempDir dir("slice-claim");
+    dist::WorkQueue queue(dir.sub("q"));
+
+    const exp::ExperimentSpec spec = fastSpec("cell"); // 12 ms total
+    const Tick step = 5 * kTicksPerMs;
+    EXPECT_EQ(dist::WorkQueue::sliceCount(spec, step), 3u);
+
+    const std::string key = queue.enqueueSlice(spec, step, 1);
+    EXPECT_EQ(key, dist::WorkQueue::sliceKeyFor(exp::specKey(spec),
+                                                step, 1));
+
+    dist::Claim claim;
+    ASSERT_TRUE(queue.tryClaim("w1", claim));
+    EXPECT_TRUE(claim.isSlice);
+    EXPECT_EQ(claim.key, key);
+    EXPECT_EQ(claim.baseKey, exp::specKey(spec));
+    EXPECT_EQ(claim.step, step);
+    EXPECT_EQ(claim.index, 1u);
+    EXPECT_EQ(claim.t0, 5 * kTicksPerMs);
+    EXPECT_EQ(claim.t1, 10 * kTicksPerMs);
+    EXPECT_EQ(claim.total, 12 * kTicksPerMs);
+    EXPECT_EQ(claim.spec, spec);
+
+    // Re-enqueueing a claimed slice is a skip, which is what makes
+    // the "enqueue successor, then release" crash protocol safe to
+    // replay from any point.
+    const std::size_t skipped = queue.counters().skipped;
+    queue.enqueueSlice(spec, step, 1);
+    EXPECT_EQ(queue.counters().skipped, skipped + 1);
+
+    queue.release(claim);
+    EXPECT_TRUE(queue.scan().drained());
+
+    // Bounds are validated eagerly.
+    EXPECT_THROW(queue.enqueueSlice(spec, step, 3),
+                 std::invalid_argument);
+    EXPECT_THROW(queue.enqueueSlice(spec, 0, 0),
+                 std::invalid_argument);
+}
+
+TEST(Slice, TamperedEntriesAreQuarantinedNeverSimulated)
+{
+    const TempDir dir("slice-corrupt");
+    dist::WorkQueue queue(dir.sub("q"));
+
+    const exp::ExperimentSpec spec = fastSpec("cell");
+    const Tick step = 5 * kTicksPerMs;
+    const std::string base = exp::specKey(spec);
+
+    // A slice document filed under the wrong slice key: the claim
+    // path recomputes the key and refuses to run it.
+    const std::string wrongKey =
+        dist::WorkQueue::sliceKeyFor(base, step, 2);
+    queue.enqueueSlice(spec, step, 0);
+    std::filesystem::rename(
+        queue.pendingPath(
+            dist::WorkQueue::sliceKeyFor(base, step, 0)),
+        queue.pendingPath(wrongKey));
+
+    // And one that is outright truncated garbage.
+    const std::string gibberishKey(16, 'a');
+    {
+        std::ofstream os(queue.pendingPath(gibberishKey));
+        os << "sysscale-slice v1\nbase = oops";
+    }
+
+    dist::Claim claim;
+    EXPECT_FALSE(queue.tryClaim("w1", claim));
+    EXPECT_EQ(queue.counters().corrupt, 2u);
+    EXPECT_TRUE(queue.scan().drained());
+}
+
+TEST(Slice, SlicedDispatchMatchesUnslicedByteForByte)
+{
+    const TempDir dir("slice-identity");
+    exp::ResultCache cache(dir.sub("cache"));
+
+    // Two workers drain a grid whose 12 ms cells each split into
+    // three checkpoint-chained slices.
+    const auto specs = smallGrid();
+    dist::DispatchOptions opts;
+    opts.spawnWorkers = 2;
+    opts.poll = std::chrono::milliseconds(10);
+    opts.sliceTicks = 5 * kTicksPerMs;
+    const dist::DispatchOutcome outcome =
+        dist::runDistributed(specs, dir.sub("q"), cache, opts);
+    EXPECT_EQ(outcome.localWork.simulated, 3 * specs.size())
+        << "each slice simulated exactly once across both workers";
+    for (const auto &res : outcome.results)
+        EXPECT_TRUE(res.ok) << res.id << ": " << res.error;
+
+    // Against an independent unsliced simulation, every field but
+    // the host wall-clock matches bit for bit — slicing is invisible
+    // in the output.
+    exp::RunnerOptions iopts;
+    iopts.jobs = 1;
+    const auto independent = exp::ExperimentRunner(iopts).run(specs);
+    ASSERT_EQ(independent.size(), outcome.results.size());
+    for (std::size_t i = 0; i < independent.size(); ++i) {
+        exp::RunResult a = outcome.results[i];
+        exp::RunResult b = independent[i];
+        a.hostSeconds = b.hostSeconds = 0.0;
+        EXPECT_EQ(exp::csvRow(a), exp::csvRow(b)) << specs[i].id;
+        EXPECT_EQ(a.statsDump, b.statsDump) << specs[i].id;
+    }
+}
+
+TEST(Slice, ChainCrashResumesWithZeroDuplicateSimulation)
+{
+    const TempDir dir("slice-crash");
+    exp::ResultCache cache(dir.sub("cache"));
+    dist::WorkQueue queue(dir.sub("q"));
+
+    const exp::ExperimentSpec spec = fastSpec("cell");
+    const Tick step = 5 * kTicksPerMs; // 3 slices.
+    queue.enqueueSlice(spec, step, 0);
+
+    // A worker claims slice 0, simulates it, publishes its chain
+    // snapshot — and dies before enqueueing the successor or
+    // releasing the claim.
+    dist::Claim claim;
+    ASSERT_TRUE(queue.tryClaim("w-dead", claim));
+    ASSERT_TRUE(claim.isSlice);
+    exp::SliceOptions so;
+    so.t0 = claim.t0;
+    so.t1 = claim.t1;
+    so.outSnap = queue.snapshotPath(claim.baseKey, claim.t1);
+    ASSERT_TRUE(exp::runCellSlice(claim.spec, so).ok);
+    backdate(queue.leasePath(claim.key, "w-dead"),
+             std::chrono::seconds(3600));
+
+    // A healthy worker drains the rest: it reclaims the stale slice
+    // claim, recognizes the published snapshot as its completion
+    // marker (snapshot hit, no re-simulation), and runs only the two
+    // remaining slices of the chain.
+    dist::WorkerOptions wopts;
+    wopts.workerId = "w-alive";
+    wopts.drain = true;
+    wopts.poll = std::chrono::milliseconds(10);
+    wopts.leaseTimeout = std::chrono::seconds(60);
+    const dist::WorkerStats stats =
+        dist::runWorker(dir.sub("q"), cache, wopts);
+    EXPECT_EQ(stats.reclaims, 1u);
+    EXPECT_EQ(stats.cacheHits, 1u) << "slice 0 resolves by snapshot";
+    EXPECT_EQ(stats.simulated, 2u) << "only slices 1 and 2 run";
+    EXPECT_TRUE(queue.scan().drained());
+
+    // The assembled cell is byte-identical to an unsliced run.
+    exp::RunResult chained;
+    ASSERT_TRUE(cache.lookup(spec, chained));
+    exp::RunResult whole = exp::runCell(spec);
+    chained.hostSeconds = whole.hostSeconds = 0.0;
+    EXPECT_EQ(exp::csvRow(chained), exp::csvRow(whole));
+    EXPECT_EQ(chained.statsDump, whole.statsDump);
+}
+
+TEST(Slice, CorruptChainSnapshotDegradesNeverCrashes)
+{
+    const TempDir dir("slice-degrade");
+    exp::ResultCache cache(dir.sub("cache"));
+    dist::WorkQueue queue(dir.sub("q"));
+
+    const exp::ExperimentSpec spec = fastSpec("cell");
+    const Tick step = 5 * kTicksPerMs;
+    const std::string base = exp::specKey(spec);
+
+    // Slice 1 is on the queue but its input snapshot — the chain
+    // handoff at t0 — is corrupt on disk. The worker must degrade
+    // to a cache miss (re-simulate the prefix inside the slice),
+    // finish the chain, and still produce the byte-identical cell.
+    {
+        std::ofstream os(queue.snapshotPath(base, step));
+        os << "sysscale-snap v1\nnot a real snapshot\n";
+    }
+    queue.enqueueSlice(spec, step, 1);
+
+    dist::WorkerOptions wopts;
+    wopts.workerId = "w1";
+    wopts.drain = true;
+    wopts.poll = std::chrono::milliseconds(10);
+    const dist::WorkerStats stats =
+        dist::runWorker(dir.sub("q"), cache, wopts);
+    EXPECT_EQ(stats.failures, 0u);
+    EXPECT_EQ(stats.simulated, 2u) << "slices 1 and 2";
+    EXPECT_TRUE(queue.scan().drained());
+
+    exp::RunResult chained;
+    ASSERT_TRUE(cache.lookup(spec, chained));
+    EXPECT_TRUE(chained.ok) << chained.error;
+    exp::RunResult whole = exp::runCell(spec);
+    chained.hostSeconds = whole.hostSeconds = 0.0;
+    EXPECT_EQ(exp::csvRow(chained), exp::csvRow(whole));
+    EXPECT_EQ(chained.statsDump, whole.statsDump);
+}
+
+TEST(Slice, FailedSliceFailsItsCellLoudly)
+{
+    const TempDir dir("slice-fail");
+    exp::ResultCache cache(dir.sub("cache"));
+
+    // An unknown governor makes every slice of the cell fail
+    // validation inside runCellSlice. The chain must surface one
+    // loud error row for the *cell* (base key), exactly like an
+    // unsliced failure — and a healthy sibling cell still resolves.
+    exp::ExperimentSpec bad = fastSpec("bad");
+    bad.governor = "no-such-governor";
+    std::vector<exp::ExperimentSpec> specs{bad, fastSpec("good")};
+
+    dist::DispatchOptions opts;
+    opts.spawnWorkers = 1;
+    opts.poll = std::chrono::milliseconds(10);
+    opts.sliceTicks = 5 * kTicksPerMs;
+    const dist::DispatchOutcome outcome =
+        dist::runDistributed(specs, dir.sub("q"), cache, opts);
+    EXPECT_EQ(outcome.failedCells, 1u);
+    EXPECT_FALSE(outcome.results[0].ok);
+    EXPECT_NE(outcome.results[0].error.find("governor"),
+              std::string::npos)
+        << outcome.results[0].error;
+    EXPECT_TRUE(outcome.results[1].ok);
+}

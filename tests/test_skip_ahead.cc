@@ -15,15 +15,22 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
 #include <sstream>
 #include <string>
 #include <vector>
+
+#include <unistd.h>
 
 #include "compute/cstates.hh"
 #include "exp/experiment.hh"
 #include "exp/report.hh"
 #include "io/display.hh"
 #include "sim/sim_object.hh"
+#include "sim/snapshot.hh"
 #include "soc/soc.hh"
 #include "workloads/battery.hh"
 #include "workloads/profile.hh"
@@ -104,6 +111,74 @@ standbyProfile()
     p.coreFreqRequest = workloads::kBatteryCoreFreq;
     return workloads::WorkloadProfile("standby", workloads::WorkloadClass::Micro,
                                       {p});
+}
+
+/** Fresh per-test directory under the system tmp. */
+class TempDir
+{
+  public:
+    explicit TempDir(const std::string &tag)
+        : path_((std::filesystem::temp_directory_path() /
+                 ("sysscale-skip-test-" + tag + "-" +
+                  std::to_string(::getpid())))
+                    .string())
+    {
+        std::filesystem::remove_all(path_);
+        std::filesystem::create_directories(path_);
+    }
+
+    ~TempDir() { std::filesystem::remove_all(path_); }
+
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+/** A standby cell long enough for replay batches to form. */
+exp::ExperimentSpec
+standbySpec()
+{
+    exp::ExperimentSpec spec;
+    spec.id = "standby/checkpoint";
+    spec.workload = standbyProfile();
+    spec.governor = "sysscale";
+    spec.warmup = 10 * kTicksPerMs;
+    spec.window = 120 * kTicksPerMs;
+    return spec;
+}
+
+/**
+ * The replayed_steps scalar from a RunResult stats dump
+ * ("<path>.replayed_steps <value> # desc"). -1 when absent.
+ */
+double
+replayedFromDump(const std::string &dump)
+{
+    const std::string needle = ".replayed_steps ";
+    const std::size_t at = dump.find(needle);
+    if (at == std::string::npos)
+        return -1.0;
+    return std::strtod(dump.c_str() + at + needle.size(), nullptr);
+}
+
+/**
+ * The replayed_steps scalar out of a snapshot text — stats doubles
+ * are serialized as 16-hex bit patterns under
+ * "stats...replayed_steps.value". -1 when absent.
+ */
+double
+replayedFromSnapshot(const std::string &text)
+{
+    const std::string needle = ".replayed_steps.value = ";
+    const std::size_t at = text.find(needle);
+    if (at == std::string::npos)
+        return -1.0;
+    const std::uint64_t u = std::strtoull(
+        text.c_str() + at + needle.size(), nullptr, 16);
+    double d = 0.0;
+    std::memcpy(&d, &u, sizeof(d));
+    return d;
 }
 
 } // anonymous namespace
@@ -229,4 +304,86 @@ TEST(SkipAhead, MetricsBitIdenticalAcrossModes)
     for (power::Rail r : power::kAllRails)
         EXPECT_EQ(on.railEnergy[power::railIndex(r)],
                   off.railEnergy[power::railIndex(r)]);
+}
+
+TEST(SkipAhead, SaveInsideReplayBatchMatchesRunThrough)
+{
+    // Checkpoint a 95%-idle cell at an off-grid tick chosen to land
+    // inside a replay batch: the save must force the StepPlan to
+    // re-frame around the cut without perturbing anything observable.
+    // Metrics, counters, and the full stats dump (which includes
+    // replayed_steps itself) must match the uninterrupted run.
+    SkipAheadGuard guard(true);
+    const exp::ExperimentSpec spec = standbySpec();
+    const Tick total = spec.warmup + spec.window;
+    const Tick k = 70 * kTicksPerMs + 37;
+    ASSERT_LT(k, total);
+
+    const exp::RunResult a = exp::runCell(spec);
+    ASSERT_TRUE(a.ok) << a.error;
+    // The premise: replay batches actually form in this cell, so the
+    // cut at k genuinely lands inside one.
+    ASSERT_GT(replayedFromDump(a.statsDump), 0.0);
+
+    const TempDir dir("replay-batch");
+    const std::string snap = dir.path() + "/standby.t70.snap";
+    exp::SliceOptions first;
+    first.t1 = k;
+    first.outSnap = snap;
+    const exp::RunResult mid = exp::runCellSlice(spec, first);
+    ASSERT_TRUE(mid.ok) << mid.error;
+
+    exp::SliceOptions second;
+    second.t0 = k;
+    second.inSnap = snap;
+    const exp::RunResult b = exp::runCellSlice(spec, second);
+    ASSERT_TRUE(b.ok) << b.error;
+
+    EXPECT_EQ(a.metrics.instructions, b.metrics.instructions);
+    EXPECT_EQ(a.metrics.energy, b.metrics.energy);
+    EXPECT_EQ(a.metrics.avgPower, b.metrics.avgPower);
+    EXPECT_EQ(a.metrics.stallTicks, b.metrics.stallTicks);
+    for (power::Rail r : power::kAllRails)
+        EXPECT_EQ(a.metrics.railEnergy[power::railIndex(r)],
+                  b.metrics.railEnergy[power::railIndex(r)]);
+    for (std::size_t i = 0; i < a.counters.values.size(); ++i)
+        EXPECT_EQ(a.counters.values[i], b.counters.values[i]) << i;
+    EXPECT_EQ(a.statsDump, b.statsDump);
+}
+
+TEST(SkipAhead, RestoreThenReplayReengagesFastPath)
+{
+    // StepPlan survival, stated directly on the replay counter: the
+    // snapshot taken at k already carries replayed steps (the save
+    // happened after batches formed), and the restored cell keeps
+    // replaying — the final count is strictly larger than the saved
+    // one, and byte-identical to the uninterrupted run's.
+    SkipAheadGuard guard(true);
+    const exp::ExperimentSpec spec = standbySpec();
+    const Tick k = 70 * kTicksPerMs + 37;
+
+    const TempDir dir("restore-replay");
+    const std::string snap = dir.path() + "/standby.t70.snap";
+    exp::SliceOptions first;
+    first.t1 = k;
+    first.outSnap = snap;
+    ASSERT_TRUE(exp::runCellSlice(spec, first).ok);
+
+    const double atSave = replayedFromSnapshot(readSnapshotFile(snap));
+    EXPECT_GT(atSave, 0.0)
+        << "checkpoint must land after replay engaged";
+
+    exp::SliceOptions second;
+    second.t0 = k;
+    second.inSnap = snap;
+    const exp::RunResult b = exp::runCellSlice(spec, second);
+    ASSERT_TRUE(b.ok) << b.error;
+
+    const double atEnd = replayedFromDump(b.statsDump);
+    EXPECT_GT(atEnd, atSave)
+        << "restored cell must re-enter the replay fast path";
+
+    const exp::RunResult a = exp::runCell(spec);
+    ASSERT_TRUE(a.ok) << a.error;
+    EXPECT_EQ(replayedFromDump(a.statsDump), atEnd);
 }

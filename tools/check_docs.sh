@@ -10,6 +10,8 @@
 #      documented in docs/EXPERIMENTS.md,
 #   4. every sweep_queue subcommand (the kSubcommands registry in
 #      tools/sweep_queue.cc) is documented in docs/OPERATIONS.md,
+#      and likewise every snap_inspect subcommand (the kSubcommands
+#      registry in tools/snap_inspect.cc),
 #   5. every --flag the sweep tools accept (extracted from their
 #      `arg == "--x"` dispatch) is documented somewhere in the
 #      README or docs/,
@@ -115,6 +117,22 @@ for cmd in $subcommands; do
     if ! grep -q "sweep_queue $cmd" docs/OPERATIONS.md; then
         echo "check_docs: docs/OPERATIONS.md does not document" \
              "'sweep_queue $cmd'"
+        errors=$((errors + 1))
+    fi
+done
+
+# --- 4b. OPERATIONS.md documents every snap_inspect subcommand ------
+snap_src=tools/snap_inspect.cc
+snap_cmds=$(sed -n '/kSubcommands\[\]/,/};/p' "$snap_src" |
+            grep -o '"[a-z-]*"' | tr -d '"')
+if [ -z "$snap_cmds" ]; then
+    echo "check_docs: could not extract subcommands from $snap_src"
+    errors=$((errors + 1))
+fi
+for cmd in $snap_cmds; do
+    if ! grep -q "snap_inspect $cmd" docs/OPERATIONS.md; then
+        echo "check_docs: docs/OPERATIONS.md does not document" \
+             "'snap_inspect $cmd'"
         errors=$((errors + 1))
     fi
 done

@@ -59,6 +59,15 @@ spec-version-guard
     ``spec-version-waiver: <reason>`` among its additions.  Catches
     the silent cache-poisoning change: semantics moved, key did not.
 
+snap-version-guard
+    Diff mode only: the same contract for the snapshot codec — a
+    diff touching src/sim/snapshot.* must also change
+    kSnapFormatVersion or carry ``snap-version-waiver: <reason>``.
+    A format change without a bump lets a stale checkpoint restore
+    into a build that reads its bytes differently; the golden
+    fixture (snap_inspect check) catches behavioural drift, this
+    guard catches the codec itself moving.
+
 Waiver syntax
 -------------
 A finding is waived by a comment on the flagged line or in the
@@ -352,10 +361,9 @@ def check_governor_soc_mutation(path, lines, findings):
                 "loop" % (m.group("recv"), m.group("call"))))
 
 
-@check("spec-version-guard",
-       "a diff touching spec_codec.* or a spec-serialized header must "
-       "bump kSpecFormatVersion or carry a spec-version-waiver line")
-def check_spec_version_guard(diff_text, findings):
+def _version_guard(diff_text, findings, check_name, guarded_files,
+                   constant, waiver_key, message):
+    """Shared engine of the two codec-version guards."""
     touched = set()
     bumped = False
     waiver = None
@@ -367,25 +375,57 @@ def check_spec_version_guard(diff_text, findings):
             continue
         if line.startswith("+") and not line.startswith("+++"):
             body = line[1:]
-            if "kSpecFormatVersion" in body and "=" in body:
+            if constant in body and "=" in body:
                 bumped = True
-            wm = re.search(r"spec-version-waiver:\s*(\S.*)", body)
+            wm = re.search(waiver_key + r":\s*(\S.*)", body)
             if wm:
                 waiver = wm.group(1)
         if line.startswith(("+", "-")) and not \
                 line.startswith(("+++", "---")):
-            if current in SPEC_SERIALIZED:
+            if current in guarded_files:
                 touched.add(current)
         # Deleting the constant alone must not count as a bump.
-    if touched and not bumped:
-        if waiver:
-            return
+    if touched and not bumped and not waiver:
         findings.append(Finding(
-            "spec-version-guard", ", ".join(sorted(touched)), 0,
-            "spec-serialized code changed without a kSpecFormatVersion "
-            "bump — bump it (and re-bake codec goldens) or add a line "
-            "'spec-version-waiver: <reason>' to the diff if the change "
-            "is provably encoding-neutral"))
+            check_name, ", ".join(sorted(touched)), 0, message))
+
+
+@check("spec-version-guard",
+       "a diff touching spec_codec.* or a spec-serialized header must "
+       "bump kSpecFormatVersion or carry a spec-version-waiver line")
+def check_spec_version_guard(diff_text, findings):
+    _version_guard(
+        diff_text, findings, "spec-version-guard", SPEC_SERIALIZED,
+        "kSpecFormatVersion", "spec-version-waiver",
+        "spec-serialized code changed without a kSpecFormatVersion "
+        "bump — bump it (and re-bake codec goldens) or add a line "
+        "'spec-version-waiver: <reason>' to the diff if the change "
+        "is provably encoding-neutral")
+
+
+# The snapshot codec itself: a format change without a version bump
+# lets a stale checkpoint restore into a build that decodes its bytes
+# differently.  Component saveState() bodies are deliberately NOT
+# listed — the golden fixture test (snap_inspect check) pins those,
+# field by named field.
+SNAP_SERIALIZED = (
+    "src/sim/snapshot.cc",
+    "src/sim/snapshot.hh",
+)
+
+
+@check("snap-version-guard",
+       "a diff touching sim/snapshot.* must bump kSnapFormatVersion "
+       "or carry a snap-version-waiver line")
+def check_snap_version_guard(diff_text, findings):
+    _version_guard(
+        diff_text, findings, "snap-version-guard", SNAP_SERIALIZED,
+        "kSnapFormatVersion", "snap-version-waiver",
+        "snapshot codec changed without a kSnapFormatVersion bump — "
+        "bump it (and re-bake tests/data/videoconf.t1s.snap with "
+        "snap_inspect bake-golden) or add a line "
+        "'snap-version-waiver: <reason>' to the diff if the change "
+        "is provably encoding-neutral")
 
 
 # The macro expansion guards every argument behind TRACE_ACTIVE (and
@@ -505,7 +545,17 @@ DIFF_FIXTURES = (
     ("spec_change_bump.diff", 0),
     ("spec_change_waiver.diff", 0),
     ("non_spec_change.diff", 0),
+    ("snap_change_no_bump.diff", 1),
+    ("snap_change_bump.diff", 0),
+    ("snap_change_waiver.diff", 0),
 )
+
+DIFF_CHECKS = ("spec-version-guard", "snap-version-guard")
+
+
+def run_diff_checks(diff_text, findings):
+    for name in DIFF_CHECKS:
+        CHECKS[name](diff_text, findings)
 
 
 def self_test():
@@ -537,9 +587,9 @@ def self_test():
                   encoding="utf-8") as f:
             diff = f.read()
         findings = []
-        check_spec_version_guard(diff, findings)
+        run_diff_checks(diff, findings)
         if len(findings) != expect:
-            failures.append("%s: expected %d spec-version finding(s), "
+            failures.append("%s: expected %d version-guard finding(s), "
                             "got %d" % (fname, expect, len(findings)))
     if failures:
         print("lint_invariants --self-test FAILED:")
@@ -558,11 +608,11 @@ def main(argv=None):
     parser.add_argument("--root", default=REPO_ROOT,
                         help="repository root to lint")
     parser.add_argument("--diff-base", metavar="REF",
-                        help="also run the spec-version-guard against "
-                             "git diff REF")
+                        help="also run the spec/snap version guards "
+                             "against git diff REF")
     parser.add_argument("--diff-file", metavar="PATH",
-                        help="run the spec-version-guard against a "
-                             "unified diff file (testing)")
+                        help="run the spec/snap version guards "
+                             "against a unified diff file (testing)")
     parser.add_argument("--list-checks", action="store_true",
                         help="print the check registry and exit")
     parser.add_argument("--self-test", action="store_true",
@@ -580,11 +630,11 @@ def main(argv=None):
     run_source_checks(args.root, findings)
     if args.diff_file:
         with open(args.diff_file, encoding="utf-8") as f:
-            check_spec_version_guard(f.read(), findings)
+            run_diff_checks(f.read(), findings)
     elif args.diff_base:
         try:
-            check_spec_version_guard(git_diff(args.diff_base,
-                                              args.root), findings)
+            run_diff_checks(git_diff(args.diff_base, args.root),
+                            findings)
         except RuntimeError as e:
             print("lint_invariants: %s" % e, file=sys.stderr)
             return 2

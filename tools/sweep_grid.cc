@@ -175,6 +175,12 @@ usage()
         "  --stall-timeout-s N  abort a --distributed sweep after N\n"
         "                     seconds without any cell completing\n"
         "                     (default: 0 = wait forever)\n"
+        "  --slice-s N        with --distributed: dispatch cells\n"
+        "                     longer than N simulated seconds as a\n"
+        "                     checkpoint-chained sequence of N-second\n"
+        "                     slices (snapshots hand off under the\n"
+        "                     queue's snaps/; results byte-identical\n"
+        "                     to unsliced; default: 0 = off)\n"
         "  --stream-csv       with --distributed --csv: write rows\n"
         "                     to the CSV as cells resolve (spec\n"
         "                     order; the finished file is byte-\n"
@@ -319,6 +325,7 @@ main(int argc, char **argv)
     std::string distributed_dir;
     std::size_t spawn_workers = 0;
     long stall_timeout_s = 0;
+    Tick slice_ticks = 0;
     bool stream_csv = false;
     bool ddr4 = false;
     bool quiet = false;
@@ -371,6 +378,14 @@ main(int argc, char **argv)
             spawn_workers = static_cast<std::size_t>(n);
         } else if (arg == "--stall-timeout-s") {
             stall_timeout_s = std::atol(value().c_str());
+        } else if (arg == "--slice-s") {
+            const double s = std::atof(value().c_str());
+            if (s < 0) {
+                std::fprintf(stderr, "sweep_grid: --slice-s must "
+                                     "be >= 0\n");
+                return 2;
+            }
+            slice_ticks = static_cast<Tick>(s * kTicksPerSec);
         } else if (arg == "--stream-csv") {
             stream_csv = true;
         } else if (arg == "--ddr4") {
@@ -508,6 +523,11 @@ main(int argc, char **argv)
                              "--distributed\n");
         return 2;
     }
+    if (distributed_dir.empty() && slice_ticks > 0) {
+        std::fprintf(stderr, "sweep_grid: --slice-s needs "
+                             "--distributed\n");
+        return 2;
+    }
     if (!distributed_dir.empty() && jobs > 0) {
         std::fprintf(stderr,
                      "sweep_grid: --jobs controls the in-process "
@@ -558,6 +578,7 @@ main(int argc, char **argv)
         dist::DispatchOptions dopts;
         dopts.spawnWorkers = spawn_workers;
         dopts.stallTimeout = std::chrono::seconds(stall_timeout_s);
+        dopts.sliceTicks = slice_ticks;
         if (!quiet) {
             dopts.onEvent = [](const std::string &line) {
                 std::fprintf(stderr, "sweep_grid: %s\n",
